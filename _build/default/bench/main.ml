@@ -1,0 +1,264 @@
+(* Bechamel benchmarks: host-side (wall-clock) cost of the simulator.
+
+   One Test.make per paper table/figure — each runs a scaled-down but
+   structurally identical version of the experiment that regenerates it
+   — plus microbenchmarks of the collector operations themselves.  The
+   virtual-time *results* of the experiments are produced by
+   `bin/experiments.exe`; this harness tells you what the simulation
+   costs to run.
+
+   Run:  dune exec bench/main.exe  *)
+
+open Bechamel
+open Toolkit
+open Heap
+open Manticore_gc
+open Runtime
+
+let small_params =
+  {
+    Params.default with
+    Params.capacity_bytes = 64 * 1024 * 1024;
+    local_heap_bytes = 32 * 1024;
+    chunk_bytes = 8 * 1024;
+    nursery_min_bytes = 4 * 1024;
+    global_budget_per_vproc = 128 * 1024;
+  }
+
+let mk_ctx ?(n_vprocs = 8) () =
+  let ctx =
+    Ctx.create ~params:small_params ~machine:Numa.Machines.amd48 ~n_vprocs
+      ~policy:Sim_mem.Page_policy.Local ()
+  in
+  Global_gc.install_sync_hook ctx;
+  ctx
+
+(* --- Collector-operation microbenchmarks ------------------------- *)
+
+let bench_alloc =
+  Test.make ~name:"gc/alloc-vector"
+    (Staged.stage (fun () ->
+         let ctx = mk_ctx ~n_vprocs:1 () in
+         let m = Ctx.mutator ctx 0 in
+         for i = 1 to 2_000 do
+           ignore (Alloc.alloc_vector ctx m [| Value.of_int i; Value.of_int i |])
+         done))
+
+let bench_minor =
+  Test.make ~name:"gc/minor-collection"
+    (Staged.stage (fun () ->
+         let ctx = mk_ctx ~n_vprocs:1 () in
+         let m = Ctx.mutator ctx 0 in
+         let keep = Roots.add m.Ctx.roots (Value.of_int 0) in
+         for i = 1 to 200 do
+           Roots.set keep (Alloc.alloc_vector ctx m [| Value.of_int i; Roots.get keep |])
+         done;
+         Minor_gc.run ctx m))
+
+let bench_promote =
+  Test.make ~name:"gc/promotion"
+    (Staged.stage (fun () ->
+         let ctx = mk_ctx ~n_vprocs:1 () in
+         let m = Ctx.mutator ctx 0 in
+         let keep = Roots.add m.Ctx.roots (Value.of_int 0) in
+         for i = 1 to 100 do
+           Roots.set keep (Alloc.alloc_vector ctx m [| Value.of_int i; Roots.get keep |])
+         done;
+         ignore (Promote.value ctx m (Roots.get keep))))
+
+let bench_global_gc =
+  Test.make ~name:"gc/global-collection"
+    (Staged.stage (fun () ->
+         let ctx = mk_ctx ~n_vprocs:4 () in
+         let m = Ctx.mutator ctx 0 in
+         for i = 1 to 300 do
+           ignore (Promote.value ctx m (Alloc.alloc_vector ctx m [| Value.of_int i |]))
+         done;
+         Global_gc.run ctx))
+
+let bench_sched =
+  Test.make ~name:"runtime/spawn-steal-await"
+    (Staged.stage (fun () ->
+         let ctx = mk_ctx ~n_vprocs:4 () in
+         let rt = Sched.create ctx in
+         ignore
+           (Sched.run rt ~main:(fun m ->
+                let futs =
+                  List.init 64 (fun i ->
+                      Sched.spawn rt m ~env:[||] (fun m' _ ->
+                          Ctx.charge_work ctx m' ~cycles:10_000.;
+                          Value.of_int i))
+                in
+                List.iter (fun f -> ignore (Sched.await rt m f)) futs;
+                Value.unit))))
+
+let bench_channels =
+  Test.make ~name:"runtime/channel-rendezvous"
+    (Staged.stage (fun () ->
+         let ctx = mk_ctx ~n_vprocs:2 () in
+         let rt = Sched.create ctx in
+         ignore
+           (Sched.run rt ~main:(fun m ->
+                let ch = Sched.new_channel rt m in
+                let _ =
+                  Sched.spawn rt m ~env:[||] (fun m' _ ->
+                      for i = 1 to 50 do
+                        Sched.send rt m' ch (Value.of_int i)
+                      done;
+                      Value.unit)
+                in
+                let s = ref 0 in
+                for _ = 1 to 50 do
+                  s := !s + Value.to_int (Sched.recv rt m ch)
+                done;
+                Value.of_int !s))))
+
+let bench_events =
+  Test.make ~name:"runtime/sync-choice"
+    (Staged.stage (fun () ->
+         let ctx = mk_ctx ~n_vprocs:2 () in
+         let rt = Sched.create ctx in
+         ignore
+           (Sched.run rt ~main:(fun m ->
+                let a = Sched.new_channel rt m in
+                let b = Sched.new_channel rt m in
+                let _ =
+                  Sched.spawn rt m ~env:[||] (fun m' _ ->
+                      for i = 1 to 25 do
+                        Sched.send rt m' (if i mod 2 = 0 then a else b)
+                          (Value.of_int i)
+                      done;
+                      Value.unit)
+                in
+                let s = ref 0 in
+                for _ = 1 to 25 do
+                  let _, v = Sched.select rt m [ a; b ] in
+                  s := !s + Value.to_int v
+                done;
+                Value.of_int !s))))
+
+let bench_mutation =
+  Test.make ~name:"gc/write-barrier"
+    (Staged.stage (fun () ->
+         let ctx = mk_ctx ~n_vprocs:1 () in
+         let m = Ctx.mutator ctx 0 in
+         let r = Roots.add m.Ctx.roots (Mut.alloc_ref ctx m (Value.of_int 0)) in
+         Minor_gc.run ctx m;
+         Minor_gc.run ctx m;
+         for i = 1 to 500 do
+           let v = Alloc.alloc_vector ctx m [| Value.of_int i; Value.of_int i |] in
+           Mut.set ctx m (Roots.get r) v
+         done;
+         Minor_gc.run ctx m;
+         Roots.remove m.Ctx.roots r))
+
+(* --- One benchmark per paper table / figure ----------------------- *)
+
+let run_workload ~machine ~policy ~n_vprocs ~name ~scale () =
+  let spec = Option.get (Workloads.Registry.find name) in
+  let cfg =
+    {
+      (Harness.Run_config.default ~machine ~n_vprocs) with
+      Harness.Run_config.policy;
+      scale;
+    }
+  in
+  ignore (Harness.Run_config.execute spec cfg)
+
+let bench_table1 =
+  Test.make ~name:"table1/bandwidth-probe"
+    (Staged.stage (fun () ->
+         ignore
+           (Harness.Membw.measure Numa.Machines.amd48 ~streamers:6 ~src_node:0
+              ~dst_node:2 ~mb_per_streamer:2)))
+
+let bench_fig4 =
+  Test.make ~name:"fig4/intel-raytracer-x8"
+    (Staged.stage
+       (run_workload ~machine:Numa.Machines.intel32
+          ~policy:Sim_mem.Page_policy.Local ~n_vprocs:8 ~name:"raytracer"
+          ~scale:0.5))
+
+let bench_fig5 =
+  Test.make ~name:"fig5/amd-local-quicksort-x8"
+    (Staged.stage
+       (run_workload ~machine:Numa.Machines.amd48
+          ~policy:Sim_mem.Page_policy.Local ~n_vprocs:8 ~name:"quicksort"
+          ~scale:0.1))
+
+let bench_fig6 =
+  Test.make ~name:"fig6/amd-interleaved-smvm-x8"
+    (Staged.stage
+       (run_workload ~machine:Numa.Machines.amd48
+          ~policy:Sim_mem.Page_policy.Interleaved ~n_vprocs:8 ~name:"smvm"
+          ~scale:0.5))
+
+let bench_fig7 =
+  Test.make ~name:"fig7/amd-socket0-smvm-x8"
+    (Staged.stage
+       (run_workload ~machine:Numa.Machines.amd48
+          ~policy:(Sim_mem.Page_policy.Single_node 0) ~n_vprocs:8 ~name:"smvm"
+          ~scale:0.5))
+
+let bench_figs_bh =
+  Test.make ~name:"fig5/amd-local-barnes-hut-x8"
+    (Staged.stage
+       (run_workload ~machine:Numa.Machines.amd48
+          ~policy:Sim_mem.Page_policy.Local ~n_vprocs:8 ~name:"barnes-hut"
+          ~scale:0.1))
+
+let tests =
+  Test.make_grouped ~name:"manticore-numa-gc"
+    [
+      bench_alloc;
+      bench_minor;
+      bench_promote;
+      bench_global_gc;
+      bench_sched;
+      bench_channels;
+      bench_events;
+      bench_mutation;
+      bench_table1;
+      bench_fig4;
+      bench_fig5;
+      bench_fig6;
+      bench_fig7;
+      bench_figs_bh;
+    ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw_results = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let () =
+  print_endline "Host-side cost of the simulator (bechamel, monotonic clock):";
+  let results = benchmark () in
+  let table = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-45s %14.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-45s (no estimate)\n" name)
+    (List.sort compare rows);
+  print_newline ();
+  (* The actual paper artifacts, at CI scale: every table and figure. *)
+  print_endline "Regenerating the paper's evaluation (fast scales) — see";
+  print_endline "EXPERIMENTS.md and `experiments all` for the full versions:";
+  print_newline ();
+  print_endline (Harness.Figures.table1 ~fast:true ());
+  print_endline (Harness.Figures.fig4 ~fast:true ());
+  print_endline (Harness.Figures.fig5 ~fast:true ());
+  print_endline (Harness.Figures.fig6 ~fast:true ());
+  print_endline (Harness.Figures.fig7 ~fast:true ());
+  print_endline (Harness.Figures.gc_report ~fast:true ())

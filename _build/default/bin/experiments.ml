@@ -1,0 +1,116 @@
+(* Regenerate the paper's tables and figures.  `experiments all` prints
+   everything EXPERIMENTS.md records. *)
+
+open Cmdliner
+
+let progress verbose =
+  if verbose then fun s -> Printf.eprintf "  [run] %s\n%!" s else fun _ -> ()
+
+let fast_arg =
+  Arg.(value & flag & info [ "fast" ] ~doc:"Smaller scales (CI-speed run).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE"
+        ~doc:"Also write the figure's raw sweep data as CSV (fig4-fig7 only).")
+
+let svg_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "svg" ] ~docv:"FILE"
+        ~doc:"Also render the figure as an SVG chart (fig4-fig7 only).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-run progress.")
+
+let experiments =
+  [
+    ("table1", "Table 1: node-to-node bandwidth",
+     fun ~fast ~progress:_ -> Harness.Figures.table1 ~fast ());
+    ("fig4", "Figure 4: Intel speedups",
+     fun ~fast ~progress -> Harness.Figures.fig4 ~fast ~progress ());
+    ("fig5", "Figure 5: AMD speedups, local allocation",
+     fun ~fast ~progress -> Harness.Figures.fig5 ~fast ~progress ());
+    ("fig6", "Figure 6: AMD speedups, interleaved allocation",
+     fun ~fast ~progress -> Harness.Figures.fig6 ~fast ~progress ());
+    ("fig7", "Figure 7: AMD speedups, socket-zero allocation",
+     fun ~fast ~progress -> Harness.Figures.fig7 ~fast ~progress ());
+    ("gc", "Collector statistics per benchmark",
+     fun ~fast ~progress:_ -> Harness.Figures.gc_report ~fast ());
+    ("ablations", "Design-decision ablation study",
+     fun ~fast ~progress:_ -> Harness.Figures.ablations ~fast ());
+    ("baseline", "Split-heap vs unified stop-the-world collector",
+     fun ~fast ~progress:_ -> Harness.Figures.baseline ~fast ());
+    ("footnote3", "Footnote 3: two-socket single-node collapse",
+     fun ~fast ~progress:_ -> Harness.Figures.footnote3 ~fast ());
+  ]
+
+let run_one name fast verbose =
+  match List.find_opt (fun (n, _, _) -> n = name) experiments with
+  | None ->
+      Printf.eprintf "unknown experiment %S\n" name;
+      exit 1
+  | Some (_, _, f) ->
+      print_string (f ~fast ~progress:(progress verbose));
+      print_newline ()
+
+let fig_of_name = function
+  | "fig4" -> Some `Fig4
+  | "fig5" -> Some `Fig5
+  | "fig6" -> Some `Fig6
+  | "fig7" -> Some `Fig7
+  | _ -> None
+
+let fig_title = function
+  | `Fig4 -> "Figure 4: Intel speedups (local allocation)"
+  | `Fig5 -> "Figure 5: AMD speedups (local allocation)"
+  | `Fig6 -> "Figure 6: AMD speedups (interleaved allocation)"
+  | `Fig7 -> "Figure 7: AMD speedups (socket-zero allocation)"
+
+let cmd_of_experiment (name, doc, f) =
+  let run fast verbose csv svg =
+    print_string (f ~fast ~progress:(progress verbose));
+    print_newline ();
+    (match (csv, fig_of_name name) with
+    | Some path, Some fig ->
+        Harness.Csv.write ~path
+          (Harness.Csv.of_sweep (Harness.Figures.fig_results fig ~fast ()));
+        Printf.eprintf "wrote %s\n" path
+    | Some _, None -> prerr_endline "--csv is only available for fig4..fig7"
+    | None, _ -> ());
+    match (svg, fig_of_name name) with
+    | Some path, Some fig ->
+        let series = Harness.Figures.fig_series fig ~fast () in
+        Harness.Csv.write ~path
+          (Harness.Svg_plot.render ~title:(fig_title fig) ~xlabel:"Threads"
+             ~ylabel:"Speedup" ~ideal:true series);
+        Printf.eprintf "wrote %s\n" path
+    | Some _, None -> prerr_endline "--svg is only available for fig4..fig7"
+    | None, _ -> ()
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ fast_arg $ verbose_arg $ csv_arg $ svg_arg)
+
+let all_cmd =
+  let run fast verbose =
+    List.iter
+      (fun (name, _, _) ->
+        Printf.printf "==== %s ====\n%!" name;
+        run_one name fast verbose)
+      experiments
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every experiment in order.")
+    Term.(const run $ fast_arg $ verbose_arg)
+
+let () =
+  let info =
+    Cmd.info "experiments"
+      ~doc:
+        "Regenerate the evaluation of 'Garbage Collection for Multicore NUMA \
+         Machines' on the simulated machines."
+  in
+  exit (Cmd.eval (Cmd.group info (all_cmd :: List.map cmd_of_experiment experiments)))

@@ -1,0 +1,116 @@
+(* Run one benchmark on one simulated machine configuration and report
+   timing, scheduler and collector statistics. *)
+
+open Cmdliner
+
+let run name machine_name threads policy_str scale cache_scale bw_scale trace census seed verbose =
+  let spec =
+    match Workloads.Registry.find name with
+    | Some s -> s
+    | None ->
+        Printf.eprintf "unknown workload %S; available: %s\n" name
+          (String.concat ", " Workloads.Registry.names);
+        exit 1
+  in
+  let machine =
+    match Numa.Machines.by_name machine_name with
+    | Some m -> m
+    | None ->
+        Printf.eprintf "unknown machine %S (amd48 | intel32 | tiny4)\n"
+          machine_name;
+        exit 1
+  in
+  let policy =
+    match Sim_mem.Page_policy.of_string policy_str with
+    | Ok p -> p
+    | Error e ->
+        prerr_endline e;
+        exit 1
+  in
+  let cfg =
+    {
+      (Harness.Run_config.default ~machine ~n_vprocs:threads) with
+      Harness.Run_config.policy;
+      scale;
+      cache_scale;
+      bw_scale;
+      trace;
+      census;
+      seed;
+    }
+  in
+  let o = Harness.Run_config.execute spec cfg in
+  Printf.printf "%s on %s, %d threads, %s placement, scale %g\n" spec.name
+    machine_name threads
+    (Sim_mem.Page_policy.to_string policy)
+    scale;
+  Printf.printf "  checksum      %.9g (validated)\n" o.Harness.Run_config.checksum;
+  Printf.printf "  simulated time %.3f ms\n"
+    (o.Harness.Run_config.elapsed_ns /. 1e6);
+  let s = o.Harness.Run_config.sched in
+  Printf.printf "  scheduler     %d spawns, %d steals, %d inline runs, %d yields\n"
+    s.Runtime.Sched.spawns s.Runtime.Sched.steals s.Runtime.Sched.inline_runs
+    s.Runtime.Sched.yields;
+  if verbose then begin
+    let g = o.Harness.Run_config.gc in
+    Format.printf "  @[<v2>collector:@,%a@,global collections: %d@]@."
+      Manticore_gc.Gc_stats.pp g o.Harness.Run_config.globals
+  end;
+  Option.iter print_string o.Harness.Run_config.timeline;
+  Option.iter print_string o.Harness.Run_config.census_report
+
+let name_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BENCHMARK"
+        ~doc:
+          "One of dmm, raytracer, quicksort, smvm, barnes-hut, synthetic.")
+
+let machine_arg =
+  Arg.(value & opt string "amd48" & info [ "m"; "machine" ] ~doc:"amd48 | intel32 | tiny4.")
+
+let threads_arg =
+  Arg.(value & opt int 8 & info [ "t"; "threads" ] ~doc:"Number of vprocs.")
+
+let policy_arg =
+  Arg.(
+    value & opt string "local"
+    & info [ "p"; "policy" ] ~doc:"local | interleaved | single-node[:N].")
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~doc:"Workload scale factor.")
+
+let cache_scale_arg =
+  Arg.(value & opt int 32 & info [ "cache-scale" ] ~doc:"Cache size divisor.")
+
+let bw_scale_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "bw-scale" ]
+        ~doc:"Bank/link capacity divisor (traffic-to-capacity scaling).")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Render the collector event timeline.")
+
+let census_arg =
+  Arg.(
+    value & flag & info [ "census" ] ~doc:"Render a post-run heap census.")
+
+let seed_arg = Arg.(value & opt int 0x5eed & info [ "seed" ] ~doc:"Scheduler RNG seed.")
+let verbose_arg = Arg.(value & flag & info [ "v" ] ~doc:"Print collector statistics.")
+
+let () =
+  let info =
+    Cmd.info "msim"
+      ~doc:"Run a Manticore-GC benchmark on a simulated NUMA machine."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const run $ name_arg $ machine_arg $ threads_arg $ policy_arg
+            $ scale_arg $ cache_scale_arg $ bw_scale_arg $ trace_arg
+            $ census_arg $ seed_arg $ verbose_arg)))

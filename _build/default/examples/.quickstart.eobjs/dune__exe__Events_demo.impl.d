@@ -1,0 +1,1 @@
+examples/events_demo.ml: Array Ctx Heap List Manticore_gc Numa Pml Printf Runtime Sched Sim_mem Value

@@ -1,0 +1,1 @@
+examples/events_demo.mli:

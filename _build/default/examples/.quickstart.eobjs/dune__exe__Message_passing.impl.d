@@ -1,0 +1,1 @@
+examples/message_passing.ml: Array Ctx Gc_stats Heap List Manticore_gc Numa Pml Printf Runtime Sched Sim_mem Value

@@ -1,0 +1,1 @@
+examples/mutable_state.ml: Alloc Array Ctx Heap Invariants List Manticore_gc Mut Numa Pml Printf Promote Remember Roots Runtime Sched Sim_mem Value

@@ -1,0 +1,1 @@
+examples/mutable_state.mli:

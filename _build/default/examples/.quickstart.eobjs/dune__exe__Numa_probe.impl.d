@@ -1,0 +1,1 @@
+examples/numa_probe.ml: Array Format Harness List Numa Printf

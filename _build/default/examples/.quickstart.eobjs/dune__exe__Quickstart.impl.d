@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Ctx Format Gc_stats Heap Invariants List Manticore_gc Numa Pml Printf Roots Runtime Sched Sim_mem Value

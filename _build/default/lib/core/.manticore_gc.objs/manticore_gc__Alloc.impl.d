@@ -1,0 +1,1 @@
+lib/core/alloc.ml: Array Ctx Descriptor Forward Gc_stats Heap Int64 Local_heap Major_gc Minor_gc Obj_repr Params Promote Roots Value

@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Array Census Gc_stats Gc_trace Global_heap Header Heap Int64 Invariants Local_heap Memory Numa Obj_repr Params Remember Roots Sim_mem Store Value

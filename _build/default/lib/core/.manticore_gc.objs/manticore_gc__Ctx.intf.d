@@ -1,0 +1,1 @@
+lib/core/ctx.mli: Census Gc_stats Gc_trace Global_heap Heap Invariants Local_heap Numa Params Remember Roots Sim_mem Store Value

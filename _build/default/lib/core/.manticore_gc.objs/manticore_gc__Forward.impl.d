@@ -1,0 +1,1 @@
+lib/core/forward.ml: Ctx Gc_stats Global_heap Header Heap Obj_repr Params Printf Roots Sim_mem Store Sys Value

@@ -1,0 +1,1 @@
+lib/core/gc_trace.ml: Array Buffer Float Hashtbl List Option Printf String

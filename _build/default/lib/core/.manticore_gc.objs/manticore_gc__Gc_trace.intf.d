@@ -1,0 +1,1 @@
+lib/core/gc_trace.mli:

@@ -1,0 +1,1 @@
+lib/core/global_gc.ml: Array Chunk Ctx Float Forward Gc_stats Gc_trace Global_heap Header Heap List Local_heap Major_gc Minor_gc Obj_repr Params Proxy Queue Roots Sim_mem String Sys Value

@@ -1,0 +1,1 @@
+lib/core/major_gc.ml: Ctx Forward Gc_stats Gc_trace Header Heap List Local_heap Minor_gc Obj_repr Params Proxy Queue Remember Roots Sim_mem Store Value

@@ -1,0 +1,1 @@
+lib/core/major_gc.mli: Ctx Heap Store

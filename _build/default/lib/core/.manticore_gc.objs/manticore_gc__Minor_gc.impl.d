@@ -1,0 +1,1 @@
+lib/core/minor_gc.ml: Ctx Forward Gc_stats Gc_trace Heap Local_heap Obj_repr Proxy Remember Roots Value

@@ -1,0 +1,1 @@
+lib/core/mut.ml: Alloc Ctx Descriptor Header Heap Local_heap Obj_repr Promote Remember Store Value

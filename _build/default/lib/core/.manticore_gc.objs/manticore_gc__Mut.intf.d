@@ -1,0 +1,1 @@
+lib/core/mut.mli: Ctx Heap Value

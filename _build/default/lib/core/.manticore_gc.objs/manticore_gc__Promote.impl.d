@@ -1,0 +1,1 @@
+lib/core/promote.ml: Ctx Forward Gc_stats Gc_trace Heap Local_heap Queue Value

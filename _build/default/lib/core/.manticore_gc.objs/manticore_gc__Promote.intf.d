@@ -1,0 +1,1 @@
+lib/core/promote.mli: Ctx Heap

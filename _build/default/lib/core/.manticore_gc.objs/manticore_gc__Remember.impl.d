@@ -1,0 +1,1 @@
+lib/core/remember.ml: Hashtbl List

@@ -1,0 +1,159 @@
+open Heap
+open Sim_mem
+
+type mutator = {
+  id : int;
+  node : int;
+  lh : Local_heap.t;
+  roots : Roots.t;
+  proxies : Roots.t;
+  remembered : Remember.t;
+  mutable now_ns : float;
+  mutable in_gc : bool;
+  stats : Gc_stats.t;
+}
+
+type t = {
+  store : Store.t;
+  cost : Numa.Cost_model.t;
+  global : Global_heap.t;
+  params : Params.t;
+  muts : mutator array;
+  global_roots : Roots.t;
+  mutable global_gc_pending : bool;
+  mutable global_budget_bytes : int;
+  mutable safe_point_hook : t -> mutator -> unit;
+  stats : Gc_stats.t;
+  trace : Gc_trace.t;
+}
+
+let create ?(params = Params.default) ?(cap_scale = 1.) ~machine ~n_vprocs
+    ~policy () =
+  (match Params.validate params with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Ctx.create: " ^ m));
+  let cores = Numa.Topology.sparse_core_assignment machine n_vprocs in
+  let vproc_node v = Numa.Topology.node_of_core machine cores.(v) in
+  let store =
+    Store.create
+      ~n_nodes:(Numa.Topology.n_nodes machine)
+      ~capacity_bytes:params.Params.capacity_bytes
+      ~page_bytes:params.Params.page_bytes ~policy
+  in
+  let cost = Numa.Cost_model.create ~cap_scale machine ~n_vprocs ~vproc_node in
+  let global =
+    Global_heap.create ~affinity:params.Params.chunk_affinity store ~n_vprocs
+      ~chunk_bytes:params.Params.chunk_bytes
+  in
+  let muts =
+    Array.init n_vprocs (fun id ->
+        let node = vproc_node id in
+        (* Stagger (color) heap bases with a one-page spacer: equally
+           aligned heaps would put every vproc's hot low pages on the
+           same cache sets and the same interleave residue. *)
+        ignore
+          (Sim_mem.Page_alloc.alloc store.Store.pa ~policy
+             ~requester_node:node ~bytes:params.Params.page_bytes);
+        {
+          id;
+          node;
+          lh =
+            Local_heap.create store ~vproc:id ~node
+              ~bytes:params.Params.local_heap_bytes;
+          roots = Roots.create ();
+          proxies = Roots.create ();
+          remembered = Remember.create ();
+          now_ns = 0.;
+          in_gc = false;
+          stats = Gc_stats.create ();
+        })
+  in
+  {
+    store;
+    cost;
+    global;
+    params;
+    muts;
+    global_roots = Roots.create ();
+    global_gc_pending = false;
+    global_budget_bytes = n_vprocs * params.Params.global_budget_per_vproc;
+    safe_point_hook =
+      (fun _ _ ->
+        failwith
+          "Ctx: global collection pending but no safe-point hook installed \
+           (install one with Ctx.set_safe_point_hook or \
+           Global_gc.install_sync_hook)");
+    stats = Gc_stats.create ();
+    trace = Gc_trace.create ();
+  }
+
+let mutator t i = t.muts.(i)
+let n_vprocs t = Array.length t.muts
+let set_safe_point_hook t f = t.safe_point_hook <- f
+let request_global_gc t = t.global_gc_pending <- true
+let set_global_budget t b = t.global_budget_bytes <- b
+
+let charge_ns m ns =
+  m.now_ns <- m.now_ns +. ns;
+  if m.in_gc then m.stats.Gc_stats.gc_ns <- m.stats.Gc_stats.gc_ns +. ns
+
+let charge_work t m ~cycles = charge_ns m (Numa.Cost_model.work t.cost ~cycles)
+
+let charge_access t m addr bytes =
+  let dst_node = Memory.node_of_addr t.store.Store.mem addr in
+  charge_ns m
+    (Numa.Cost_model.access t.cost ~vproc:m.id ~dst_node ~addr ~bytes
+       ~now_ns:m.now_ns)
+
+let charge_bulk t m addr bytes =
+  let dst_node = Memory.node_of_addr t.store.Store.mem addr in
+  charge_ns m
+    (Numa.Cost_model.bulk t.cost ~vproc:m.id ~dst_node ~addr ~bytes
+       ~now_ns:m.now_ns)
+
+let read_word t m addr =
+  charge_access t m addr 8;
+  Memory.get t.store.Store.mem addr
+
+let write_word t m addr w =
+  charge_access t m addr 8;
+  Memory.set t.store.Store.mem addr w
+
+let touch t m ~addr ~bytes = charge_access t m addr bytes
+let bulk_touch t m ~addr ~bytes = charge_bulk t m addr bytes
+
+let get_raw t m addr i = read_word t m (Obj_repr.field_addr addr i)
+let get_float t m addr i = Int64.float_of_bits (get_raw t m addr i)
+let header_of t m addr = read_word t m addr
+
+let resolve t m v =
+  if not (Value.is_ptr v) then v
+  else begin
+    let rec follow addr =
+      let h = header_of t m addr in
+      if Header.is_forward h then follow (Header.forward_addr h)
+      else Value.of_ptr addr
+    in
+    follow (Value.to_ptr v)
+  end
+
+(* Field reads resolve forwarding on the returned pointer: an aliased
+   object may have been promoted out from under this reference, and in a
+   mutation-free heap following the forwarding word is always sound. *)
+let get_field t m addr i =
+  resolve t m (Value.of_word (read_word t m (Obj_repr.field_addr addr i)))
+
+let census t =
+  Census.collect t.store
+    ~locals:(Array.map (fun m -> m.lh) t.muts)
+    ~global:t.global
+
+let check_invariants t =
+  (* Mutated old-to-young slots recorded in remembered sets are legal
+     transient states; tell the checker which slots those are. *)
+  let remembered slot =
+    Array.exists (fun m -> Remember.mem m.remembered slot) t.muts
+  in
+  Invariants.check t.store ~remembered
+    ~locals:(Array.map (fun m -> m.lh) t.muts)
+    ~global:t.global

@@ -1,0 +1,111 @@
+(** The shared heap context and per-vproc mutator state.
+
+    One [Ctx.t] represents a running memory system: the simulated store,
+    the cost model for the machine it runs on, the global heap, and one
+    {!mutator} per vproc.  All simulated-time charging funnels through
+    {!charge} and the charged accessors here, so collectors and the
+    mutator API account every word they touch. *)
+
+open Heap
+
+(* The record fields below are exposed (not private) because the
+   collectors and the scheduler legitimately mutate clocks and flags;
+   application code should treat them as read-only and use the charged
+   accessors. *)
+
+type mutator = {
+  id : int;
+  node : int;  (** NUMA node of the hosting core *)
+  lh : Local_heap.t;
+  roots : Roots.t;  (** the vproc's root cells *)
+  proxies : Roots.t;
+      (** cells holding pointers to this vproc's live proxy objects; the
+          local collectors treat each proxy's referent as a root *)
+  remembered : Remember.t;
+      (** mutated old-area slots holding nursery pointers (the write
+          barrier of {!Mut}); scanned and cleared by minor collections *)
+  mutable now_ns : float;  (** the vproc's virtual clock *)
+  mutable in_gc : bool;
+  stats : Gc_stats.t;
+}
+
+type t = {
+  store : Store.t;
+  cost : Numa.Cost_model.t;
+  global : Global_heap.t;
+  params : Params.t;
+  muts : mutator array;
+  global_roots : Roots.t;
+      (** runtime-held references to global objects (channels, interned
+          data); forwarded by the global collector only *)
+  mutable global_gc_pending : bool;
+  mutable global_budget_bytes : int;
+      (** trigger threshold for global collection; starts at
+          [n_vprocs * params.global_budget_per_vproc] and grows if a
+          collection cannot get usage back under it *)
+  mutable safe_point_hook : t -> mutator -> unit;
+      (** called at an allocation safe point when a global collection is
+          pending; the runtime installs a scheduler barrier here.  The
+          default hook runs the global collection synchronously, which is
+          correct when no other mutator is running concurrently. *)
+  stats : Gc_stats.t;  (** aggregate of completed phases (global GCs) *)
+  trace : Gc_trace.t;  (** collector event trace (disabled by default) *)
+}
+
+val create :
+  ?params:Params.t ->
+  ?cap_scale:float ->
+  machine:Numa.Topology.t ->
+  n_vprocs:int ->
+  policy:Sim_mem.Page_policy.t ->
+  unit ->
+  t
+(** Build the store, cost model (vprocs assigned sparsely across nodes),
+    global heap, and [n_vprocs] mutators with their local heaps placed
+    under [policy].  Raises [Invalid_argument] on bad parameters. *)
+
+val mutator : t -> int -> mutator
+val n_vprocs : t -> int
+val set_safe_point_hook : t -> (t -> mutator -> unit) -> unit
+val request_global_gc : t -> unit
+val set_global_budget : t -> int -> unit
+
+(** {2 Charging} *)
+
+val charge_ns : mutator -> float -> unit
+val charge_work : t -> mutator -> cycles:float -> unit
+val read_word : t -> mutator -> int -> int64
+(** Charged single-word load. *)
+
+val write_word : t -> mutator -> int -> int64 -> unit
+val touch : t -> mutator -> addr:int -> bytes:int -> unit
+(** Charge an access without transferring data through the API (e.g. the
+    mutator "using" a raw payload). *)
+
+val bulk_touch : t -> mutator -> addr:int -> bytes:int -> unit
+(** Streaming variant of {!touch} for sequential scans and copies. *)
+
+(** {2 Charged object access (mutator API)} *)
+
+val get_field : t -> mutator -> int -> int -> Value.t
+(** Charged field read.  If the field holds a pointer to an object that
+    was promoted away (its header replaced by a forwarding word), the
+    forwarding is followed and the global address returned — aliases of
+    promoted objects stay usable until the next local collection repairs
+    them. *)
+
+val get_raw : t -> mutator -> int -> int -> int64
+val get_float : t -> mutator -> int -> int -> float
+
+val header_of : t -> mutator -> int -> int64
+(** Charged header read (follows no forwarding). *)
+
+val resolve : t -> mutator -> Value.t -> Value.t
+(** Follow a forwarding word if the referenced object was promoted out
+    from under a held reference. *)
+
+val census : t -> Census.t
+(** Uncharged heap census (see {!Heap.Census}). *)
+
+val check_invariants : t -> (Invariants.summary, string list) result
+(** Uncharged whole-heap validation (test/debug). *)

@@ -1,0 +1,110 @@
+open Heap
+
+type dest = { alloc_dst : int -> int; on_copy : int -> int -> unit }
+
+let local_dest ctx m ~bump ~limit ~on_copy =
+  ignore ctx;
+  {
+    alloc_dst =
+      (fun bytes ->
+        let a = !bump in
+        if a + bytes > limit then
+          failwith
+            (Printf.sprintf
+               "minor GC copy space overflow on vproc %d (%#x + %d > %#x)"
+               m.Ctx.id a bytes limit);
+        bump := a + bytes;
+        a);
+    on_copy;
+  }
+
+let global_dest ctx m ~on_copy =
+  {
+    alloc_dst =
+      (fun bytes ->
+        let addr, how =
+          Global_heap.alloc ctx.Ctx.global ~vproc:m.Ctx.id ~node:m.Ctx.node
+            ~bytes
+        in
+        (match how with
+        | `Same_chunk -> ()
+        | `Large ->
+            (* A dedicated page run: registering it is a global
+               synchronization, like a fresh chunk. *)
+            Ctx.charge_work ctx m
+              ~cycles:ctx.Ctx.params.Params.chunk_global_sync_cycles;
+            if
+              (not ctx.Ctx.global_gc_pending)
+              && Global_heap.in_use_bytes ctx.Ctx.global
+                 > ctx.Ctx.global_budget_bytes
+            then Ctx.request_global_gc ctx
+        | `New_chunk (_, provenance) ->
+            m.Ctx.stats.Gc_stats.chunk_acquires <-
+              m.Ctx.stats.Gc_stats.chunk_acquires + 1;
+            let cycles =
+              match provenance with
+              | `Reused -> ctx.Ctx.params.Params.chunk_local_sync_cycles
+              | `Fresh -> ctx.Ctx.params.Params.chunk_global_sync_cycles
+            in
+            Ctx.charge_work ctx m ~cycles;
+            if
+              (not ctx.Ctx.global_gc_pending)
+              && Global_heap.in_use_bytes ctx.Ctx.global
+                 > ctx.Ctx.global_budget_bytes
+            then Ctx.request_global_gc ctx);
+        addr);
+    on_copy;
+  }
+
+let trace = Sys.getenv_opt "MANTICORE_TRACE_EVAC" <> None
+
+let evacuate ctx m ~dest src =
+  let h = Ctx.read_word ctx m src in
+  if Header.is_forward h then Header.forward_addr h
+  else if Global_heap.is_large ctx.Ctx.global src then begin
+    (* Large objects are not copied: mark them live; the first marking
+       reports the object so the caller scans its fields exactly once. *)
+    if Global_heap.mark_large ctx.Ctx.global src then
+      dest.on_copy src ((Header.length_words h + 1) * 8);
+    src
+  end
+  else begin
+    if trace then
+      Printf.eprintf "evac v%d src=%#x hdr=%#Lx\n%!" m.Ctx.id src h;
+    let store = ctx.Ctx.store in
+    let bytes = (Header.length_words h + 1) * 8 in
+    let dst = dest.alloc_dst bytes in
+    Ctx.bulk_touch ctx m ~addr:src ~bytes;
+    Ctx.bulk_touch ctx m ~addr:dst ~bytes;
+    ignore (Obj_repr.copy_object store ~src ~dst);
+    Sim_mem.Memory.set store.Store.mem src (Header.forward dst);
+    Ctx.charge_work ctx m ~cycles:ctx.Ctx.params.Params.gc_obj_cycles;
+    dest.on_copy dst bytes;
+    dst
+  end
+
+let forward_field ctx m ~dest ~in_from field_addr =
+  let w = Ctx.read_word ctx m field_addr in
+  let v = Value.of_word w in
+  if Value.is_ptr v then begin
+    let target = Value.to_ptr v in
+    if in_from target then begin
+      let dst = evacuate ctx m ~dest target in
+      Ctx.write_word ctx m field_addr (Value.to_word (Value.of_ptr dst))
+    end
+  end
+
+let forward_cell ctx m ~dest ~in_from cell =
+  let v = Roots.get cell in
+  if Value.is_ptr v then begin
+    let target = Value.to_ptr v in
+    if in_from target then begin
+      let dst = evacuate ctx m ~dest target in
+      Roots.set cell (Value.of_ptr dst)
+    end
+  end;
+  Ctx.charge_work ctx m ~cycles:2.
+
+let scan_fields ctx m ~dest ~in_from addr =
+  Obj_repr.iter_pointer_slots ctx.Ctx.store addr (fun field_addr ->
+      forward_field ctx m ~dest ~in_from field_addr)

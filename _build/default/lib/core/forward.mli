@@ -1,0 +1,46 @@
+(** Shared evacuation machinery used by all four collectors.
+
+    Copying an object writes a forwarding word (the new address, low bit
+    0) over the old header, so later references to the old copy resolve
+    to the new one — the discrimination rule of Figure 1. *)
+
+type dest = {
+  alloc_dst : int -> int;
+      (** [alloc_dst bytes] returns the destination address; the provider
+          charges any synchronization (e.g. chunk acquisition) *)
+  on_copy : int -> int -> unit;
+      (** [on_copy dst bytes] — called after each object lands (queueing
+          for a later scan, statistics) *)
+}
+
+val local_dest :
+  Ctx.t -> Ctx.mutator -> bump:int ref -> limit:int ->
+  on_copy:(int -> int -> unit) -> dest
+(** Bump allocation into the vproc's own reserved copy space (minor
+    collections); raises [Failure] if [limit] would be exceeded, which
+    indicates a broken Appel split invariant. *)
+
+val global_dest : Ctx.t -> Ctx.mutator -> on_copy:(int -> int -> unit) -> dest
+(** Allocation into the vproc's current global chunk, acquiring chunks as
+    needed, charging node-local or global synchronization per the chunk's
+    provenance, and requesting a global collection when the in-use chunk
+    budget is exceeded (paper §3.4). *)
+
+val evacuate : Ctx.t -> Ctx.mutator -> dest:dest -> int -> int
+(** [evacuate ctx m ~dest src] — if [src]'s header is a forwarding word,
+    return its target; otherwise copy the object to [dest], write the
+    forwarding word, and return the new address.  All traffic is charged
+    to [m]. *)
+
+val forward_field : Ctx.t -> Ctx.mutator -> dest:dest -> in_from:(int -> bool) -> int -> unit
+(** [forward_field ctx m ~dest ~in_from field_addr] — read the word at
+    [field_addr]; if it is a pointer into the from region, evacuate the
+    target and update the field. *)
+
+val forward_cell : Ctx.t -> Ctx.mutator -> dest:dest -> in_from:(int -> bool) -> Roots.cell -> unit
+(** Same for an OCaml-side root cell (no memory charge for the cell
+    itself, a small fixed work charge instead). *)
+
+val scan_fields : Ctx.t -> Ctx.mutator -> dest:dest -> in_from:(int -> bool) -> int -> unit
+(** Forward every candidate pointer field of the object at the given
+    address (charged reads/writes). *)

@@ -1,0 +1,75 @@
+type t = {
+  mutable minor_count : int;
+  mutable major_count : int;
+  mutable promote_count : int;
+  mutable global_count : int;
+  mutable minor_copied_bytes : int;
+  mutable major_copied_bytes : int;
+  mutable promoted_bytes : int;
+  mutable global_copied_bytes : int;
+  mutable alloc_bytes : int;
+  mutable global_alloc_bytes : int;
+  mutable chunk_acquires : int;
+  mutable gc_ns : float;
+}
+
+let create () =
+  {
+    minor_count = 0;
+    major_count = 0;
+    promote_count = 0;
+    global_count = 0;
+    minor_copied_bytes = 0;
+    major_copied_bytes = 0;
+    promoted_bytes = 0;
+    global_copied_bytes = 0;
+    alloc_bytes = 0;
+    global_alloc_bytes = 0;
+    chunk_acquires = 0;
+    gc_ns = 0.;
+  }
+
+let reset t =
+  t.minor_count <- 0;
+  t.major_count <- 0;
+  t.promote_count <- 0;
+  t.global_count <- 0;
+  t.minor_copied_bytes <- 0;
+  t.major_copied_bytes <- 0;
+  t.promoted_bytes <- 0;
+  t.global_copied_bytes <- 0;
+  t.alloc_bytes <- 0;
+  t.global_alloc_bytes <- 0;
+  t.chunk_acquires <- 0;
+  t.gc_ns <- 0.
+
+let add ~into t =
+  into.minor_count <- into.minor_count + t.minor_count;
+  into.major_count <- into.major_count + t.major_count;
+  into.promote_count <- into.promote_count + t.promote_count;
+  into.global_count <- into.global_count + t.global_count;
+  into.minor_copied_bytes <- into.minor_copied_bytes + t.minor_copied_bytes;
+  into.major_copied_bytes <- into.major_copied_bytes + t.major_copied_bytes;
+  into.promoted_bytes <- into.promoted_bytes + t.promoted_bytes;
+  into.global_copied_bytes <- into.global_copied_bytes + t.global_copied_bytes;
+  into.alloc_bytes <- into.alloc_bytes + t.alloc_bytes;
+  into.global_alloc_bytes <- into.global_alloc_bytes + t.global_alloc_bytes;
+  into.chunk_acquires <- into.chunk_acquires + t.chunk_acquires;
+  into.gc_ns <- into.gc_ns +. t.gc_ns
+
+let total arr =
+  let acc = create () in
+  Array.iter (fun t -> add ~into:acc t) arr;
+  acc
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>minor: %d collections, %d B copied@,\
+     major: %d collections, %d B copied@,\
+     promotions: %d, %d B@,\
+     global: %d collections, %d B copied@,\
+     allocated: %d B nursery, %d B global; %d chunk acquires@,\
+     gc time: %.3f ms (simulated)@]"
+    t.minor_count t.minor_copied_bytes t.major_count t.major_copied_bytes
+    t.promote_count t.promoted_bytes t.global_count t.global_copied_bytes
+    t.alloc_bytes t.global_alloc_bytes t.chunk_acquires (t.gc_ns /. 1e6)

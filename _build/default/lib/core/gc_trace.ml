@@ -1,0 +1,82 @@
+type kind = Minor | Major | Promotion | Global
+
+type event = {
+  vproc : int;
+  kind : kind;
+  t_start_ns : float;
+  t_end_ns : float;
+  bytes : int;
+}
+
+type t = { mutable events : event list; mutable on : bool }
+
+let create () = { events = []; on = false }
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+let record t e = if t.on then t.events <- e :: t.events
+let events t = List.rev t.events
+let clear t = t.events <- []
+
+let kind_to_string = function
+  | Minor -> "minor"
+  | Major -> "major"
+  | Promotion -> "promotion"
+  | Global -> "global"
+
+let glyph = function Minor -> '.' | Major -> 'M' | Promotion -> 'p' | Global -> 'G'
+
+(* Later (more significant) phases win a shared bucket. *)
+let rank = function Minor -> 0 | Promotion -> 1 | Major -> 2 | Global -> 3
+
+let render_timeline ?(width = 72) t ~n_vprocs =
+  match events t with
+  | [] -> "(no collector events recorded)\n"
+  | evs ->
+      let t_end =
+        List.fold_left (fun acc e -> Float.max acc e.t_end_ns) 0. evs
+      in
+      let t_end = Float.max t_end 1. in
+      let lanes = Array.make_matrix n_vprocs width ' ' in
+      let occupant = Array.make_matrix n_vprocs width (-1) in
+      List.iter
+        (fun e ->
+          if e.vproc >= 0 && e.vproc < n_vprocs then begin
+            let col ns =
+              min (width - 1)
+                (int_of_float (float_of_int width *. ns /. t_end))
+            in
+            for ccol = col e.t_start_ns to col e.t_end_ns do
+              if rank e.kind >= occupant.(e.vproc).(ccol) then begin
+                occupant.(e.vproc).(ccol) <- rank e.kind;
+                lanes.(e.vproc).(ccol) <- glyph e.kind
+              end
+            done
+          end)
+        evs;
+      let buf = Buffer.create 2048 in
+      Buffer.add_string buf
+        (Printf.sprintf "collector timeline (0 .. %.3f ms):\n" (t_end /. 1e6));
+      Array.iteri
+        (fun v lane ->
+          Buffer.add_string buf (Printf.sprintf "  v%02d |%s|\n" v (String.init width (Array.get lane))))
+        lanes;
+      Buffer.add_string buf "  legend: . minor   M major   p promotion   G global\n";
+      Buffer.contents buf
+
+let summary t =
+  let tally = Hashtbl.create 4 in
+  List.iter
+    (fun e ->
+      let n, b =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt tally e.kind)
+      in
+      Hashtbl.replace tally e.kind (n + 1, b + e.bytes))
+    (events t);
+  let line k =
+    match Hashtbl.find_opt tally k with
+    | None -> Printf.sprintf "  %-10s 0\n" (kind_to_string k)
+    | Some (n, b) ->
+        Printf.sprintf "  %-10s %5d events, %9d bytes\n" (kind_to_string k) n b
+  in
+  "collector events:\n" ^ line Minor ^ line Major ^ line Promotion ^ line Global

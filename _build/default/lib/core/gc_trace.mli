@@ -1,0 +1,45 @@
+(** A lightweight event trace of collector activity, in virtual time.
+
+    Disabled by default (recording is a single branch per collection);
+    when enabled it captures one event per collection phase, which the
+    renderer lays out as per-vproc timeline lanes — a poor man's
+    heap-profile view of Figures 2–3 happening at runtime. *)
+
+type kind =
+  | Minor
+  | Major
+  | Promotion
+  | Global  (** the stop-the-world phase, recorded once *)
+
+type event = {
+  vproc : int;
+  kind : kind;
+  t_start_ns : float;
+  t_end_ns : float;
+  bytes : int;  (** bytes copied/promoted by this event *)
+}
+
+type t
+
+val create : unit -> t
+(** Created disabled. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val record : t -> event -> unit
+(** No-op when disabled. *)
+
+val events : t -> event list
+(** In recording order. *)
+
+val clear : t -> unit
+val kind_to_string : kind -> string
+
+val render_timeline : ?width:int -> t -> n_vprocs:int -> string
+(** ASCII lanes, one per vproc: ['.'] minor, ['M'] major, ['p'] promotion
+    and ['G'] global collection, bucketed over the trace's time span. *)
+
+val summary : t -> string
+(** Event counts and bytes by kind. *)

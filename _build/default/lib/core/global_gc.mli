@@ -1,0 +1,35 @@
+(** The parallel stop-the-world global collection (paper §3.4).
+
+    Triggered when the in-use chunk bytes exceed the budget.  The
+    triggering vproc becomes the leader; every vproc is brought to a safe
+    point (in the real runtime by zeroing its allocation-limit pointer;
+    here by the scheduler's barrier), performs its minor and major
+    collections, and then joins the parallel copying phase:
+
+    + all in-use chunks become from-space, gathered per NUMA node;
+    + each vproc evacuates its roots, proxies, and young data's global
+      targets into a fresh to-space chunk of its own;
+    + vprocs repeatedly claim unscanned to-space chunks — preferring
+      chunks resident on their own node — and scan them Cheney-style,
+      evacuating reachable from-space objects as they go;
+    + when no unscanned data remains anywhere, from-space chunks return
+      to the free pool and execution resumes.
+
+    Parallelism is simulated by charging each unit of claimed work to the
+    claiming vproc's virtual clock and always handing the next unit to
+    the vproc whose clock is smallest; the final barrier advances every
+    clock to the maximum. *)
+
+val run : Ctx.t -> unit
+(** Requires every mutator to be stopped at a safe point (no fiber holds
+    an unrooted heap reference). *)
+
+val install_sync_hook : Ctx.t -> unit
+(** Make allocation safe points run the global collection synchronously —
+    appropriate for single-threaded use and tests.  The scheduler
+    installs its own barrier-based hook instead. *)
+
+val leader : Ctx.t -> int
+(** The vproc that would lead a collection right now (the one with the
+    smallest virtual clock is used as a deterministic stand-in for "the
+    vproc that noticed first"). *)

@@ -1,0 +1,56 @@
+open Heap
+
+let run ctx (m : Ctx.mutator) =
+  let t_start = m.Ctx.now_ns in
+  let was_in_gc = m.Ctx.in_gc in
+  m.Ctx.in_gc <- true;
+  let lh = m.Ctx.lh in
+  let from_lo = lh.Local_heap.nursery_base
+  and from_hi = lh.Local_heap.alloc_ptr in
+  let in_from a = a >= from_lo && a < from_hi in
+  let dst_start = lh.Local_heap.old_top in
+  let bump = ref dst_start in
+  let copied = ref 0 in
+  let dest =
+    Forward.local_dest ctx m ~bump ~limit:lh.Local_heap.nursery_base
+      ~on_copy:(fun _ bytes -> copied := !copied + bytes)
+  in
+  (* Roots: the vproc's cells, its proxies' referents, and — with the
+     mutation extension — the remembered mutated slots. *)
+  Roots.iter m.Ctx.roots (fun c -> Forward.forward_cell ctx m ~dest ~in_from c);
+  Remember.iter m.Ctx.remembered (fun slot ->
+      Forward.forward_field ctx m ~dest ~in_from slot);
+  Roots.iter m.Ctx.proxies (fun c ->
+      let p = Value.to_ptr (Roots.get c) in
+      let r = Proxy.referent ctx.Ctx.store p in
+      if Value.is_ptr r && in_from (Value.to_ptr r) then begin
+        let dst = Forward.evacuate ctx m ~dest (Value.to_ptr r) in
+        Ctx.write_word ctx m
+          (Obj_repr.field_addr p 0)
+          (Value.to_word (Value.of_ptr dst))
+      end);
+  (* Cheney scan of the newly-copied region. *)
+  let scan = ref dst_start in
+  while !scan < !bump do
+    let addr = !scan in
+    Forward.scan_fields ctx m ~dest ~in_from addr;
+    scan := addr + Obj_repr.total_bytes ctx.Ctx.store addr
+  done;
+  (* New layout: the copies are the young data; re-split the free space. *)
+  lh.Local_heap.young_base <- dst_start;
+  lh.Local_heap.old_top <- !bump;
+  Local_heap.resplit lh;
+  (* The remembered targets are old data now. *)
+  Remember.clear m.Ctx.remembered;
+  m.Ctx.stats.Gc_stats.minor_count <- m.Ctx.stats.Gc_stats.minor_count + 1;
+  m.Ctx.stats.Gc_stats.minor_copied_bytes <-
+    m.Ctx.stats.Gc_stats.minor_copied_bytes + !copied;
+  Gc_trace.record ctx.Ctx.trace
+    {
+      Gc_trace.vproc = m.Ctx.id;
+      kind = Gc_trace.Minor;
+      t_start_ns = t_start;
+      t_end_ns = m.Ctx.now_ns;
+      bytes = !copied;
+    };
+  m.Ctx.in_gc <- was_in_gc

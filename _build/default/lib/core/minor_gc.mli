@@ -1,0 +1,18 @@
+(** The minor collection of Figure 2.
+
+    Copies all live nursery data into the old-data area (the reserved
+    copy space just above [old_top]), then re-splits the remaining free
+    space in half, the upper half becoming the new nursery.  Because no
+    pointers enter the local heap from outside (other than the vproc's
+    own roots and proxies), a minor collection requires no
+    synchronization with other vprocs.
+
+    Roots: the vproc's root cells and the referents of its proxies.
+    Objects promoted out of the nursery earlier left forwarding words
+    behind; evacuation resolves them.  On completion the just-copied data
+    becomes the *young data* that the next major collection will keep
+    local. *)
+
+val run : Ctx.t -> Ctx.mutator -> unit
+(** Charges all copying/scanning traffic to the mutator's clock and
+    updates its statistics. *)

@@ -1,0 +1,45 @@
+open Heap
+
+let ref_desc (ctx : Ctx.t) =
+  let table = ctx.Ctx.store.Store.table in
+  match Descriptor.find_by_name table "mutref" with
+  | Some d -> d
+  | None ->
+      Descriptor.register table ~name:"mutref" ~size_words:1
+        ~pointer_slots:[ 0 ]
+
+let alloc_ref ctx m v = Alloc.alloc_mixed ctx m (ref_desc ctx) [| v |]
+
+let is_ref ctx m v =
+  Value.is_ptr v
+  &&
+  let addr = Value.to_ptr (Ctx.resolve ctx m v) in
+  Header.id (Ctx.header_of ctx m addr) = (ref_desc ctx).Descriptor.id
+
+let get ctx m r =
+  Ctx.get_field ctx m (Value.to_ptr (Ctx.resolve ctx m r)) 0
+
+let set_pointer_field ctx (m : Ctx.mutator) obj i v =
+  let obj = Ctx.resolve ctx m obj in
+  let addr = Value.to_ptr obj in
+  let lh = m.Ctx.lh in
+  if Local_heap.in_heap lh addr then begin
+    (* Old-to-nursery edges must be remembered for the next minor
+       collection; anything else stays collector-invisible, as before. *)
+    (if
+       Value.is_ptr v
+       && Local_heap.in_old lh addr
+       && Local_heap.in_nursery lh (Value.to_ptr v)
+     then Remember.add m.Ctx.remembered ~slot:(Obj_repr.field_addr addr i));
+    Ctx.write_word ctx m (Obj_repr.field_addr addr i) (Value.to_word v)
+  end
+  else begin
+    (* A global object: the stored value must itself be global (I2). *)
+    let v = Promote.value ctx m v in
+    (* Shared-heap store: pay a synchronization premium, like the
+       CAS-based stores a real runtime would need here. *)
+    Ctx.charge_work ctx m ~cycles:30.;
+    Ctx.write_word ctx m (Obj_repr.field_addr addr i) (Value.to_word v)
+  end
+
+let set ctx m r v = set_pointer_field ctx m r 0 v

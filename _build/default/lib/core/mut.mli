@@ -1,0 +1,43 @@
+(** Mutable references — the write-barrier extension sketched in the
+    paper's conclusion (§5).
+
+    The paper's collector needs no barriers because PML is mutation-free;
+    every pointer points at older data and sharing happens only through
+    promotion.  Mutation breaks both properties, in exactly two ways, and
+    the barrier in {!set} restores them:
+
+    - storing a pointer to a {e nursery} object into an {e old} local
+      object creates the old-to-young edge minor collections assume away:
+      the mutated slot is recorded in the vproc's remembered set and the
+      next minor collection scans it as a root;
+    - storing a {e local} pointer into a {e global} object would violate
+      invariant I2 (no global-to-local pointers): the stored value is
+      promoted first, as in Doligez-Leroy.
+
+    Major collections additionally evacuate young objects that become
+    reachable from data moving to the global heap, rather than keeping
+    them local — mutation can create global-to-young edges that the
+    mutation-free young-exclusion rule would dangle.
+
+    A reference is an ordinary one-slot mixed object (descriptor
+    ["mutref"]), so all collectors scan it with the standard machinery. *)
+
+open Heap
+
+val alloc_ref : Ctx.t -> Ctx.mutator -> Value.t -> Value.t
+(** Allocate a mutable reference holding the given value. *)
+
+val get : Ctx.t -> Ctx.mutator -> Value.t -> Value.t
+(** Charged read through the (forwarding-resolved) reference. *)
+
+val set : Ctx.t -> Ctx.mutator -> Value.t -> Value.t -> unit
+(** [set ctx m r v] — assignment with the write barrier described above.
+    The reference is resolved to its live copy first. *)
+
+val set_pointer_field : Ctx.t -> Ctx.mutator -> Value.t -> int -> Value.t -> unit
+(** The barrier for an arbitrary object: [set_pointer_field ctx m obj i v]
+    stores [v] into field [i], which must be a pointer slot of [obj]'s
+    layout (a vector slot or a descriptor pointer slot) — the analogue of
+    [Array.set] on a heap vector. *)
+
+val is_ref : Ctx.t -> Ctx.mutator -> Value.t -> bool

@@ -1,0 +1,46 @@
+(** Tunable parameters of the memory system and its cost model.
+
+    Sizes are scaled down from the paper's (local heaps sized to L3,
+    32 MB global-GC budget per vproc) so that full 48-vproc simulations
+    finish in seconds; the ratios between them — nursery to local heap,
+    chunk to global budget — are preserved. *)
+
+type t = {
+  page_bytes : int;
+  capacity_bytes : int;  (** total simulated physical memory *)
+  local_heap_bytes : int;  (** fixed per-vproc local heap (paper: fits L3) *)
+  chunk_bytes : int;  (** global-heap chunk size *)
+  nursery_min_bytes : int;
+      (** run a major collection when the post-minor nursery would be
+          smaller than this (paper §3.3 "certain threshold") *)
+  global_budget_per_vproc : int;
+      (** trigger a global collection when in-use chunk bytes exceed
+          [n_vprocs * this] (paper: 32 MB) *)
+  alloc_cycles : float;  (** bump-allocation overhead per object *)
+  gc_obj_cycles : float;  (** per-object collector overhead *)
+  chunk_local_sync_cycles : float;
+      (** acquiring a recycled chunk: node-local synchronization *)
+  chunk_global_sync_cycles : float;
+      (** registering a fresh chunk: global synchronization *)
+  barrier_cycles : float;  (** global-GC handshake per vproc *)
+  chunk_affinity : bool;
+      (** preserve chunk node affinity on reuse (paper §3.1); disable
+          for the ablation study *)
+  young_exclusion : bool;
+      (** keep the last minor's survivors out of major collections
+          (paper §3.3); disable for the ablation study *)
+  unified_heap : bool;
+      (** baseline collector: ignore the local heaps and allocate
+          everything in the shared chunked heap (per-vproc allocation
+          buffers, parallel stop-the-world collection) — the
+          "traditional" design the paper's split-heap architecture is
+          built to beat *)
+}
+
+val default : t
+(** 4 KB pages, 256 MB capacity, 256 KB local heaps, 64 KB chunks,
+    32 KB nursery threshold, 768 KB global budget per vproc. *)
+
+val validate : t -> (unit, string) result
+(** Size sanity: powers/multiples where required, orderings (e.g. the
+    nursery threshold must fit in a local heap). *)

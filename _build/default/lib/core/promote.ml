@@ -1,0 +1,39 @@
+open Heap
+
+let is_local _ctx (m : Ctx.mutator) v =
+  Value.is_ptr v && Local_heap.in_heap m.Ctx.lh (Value.to_ptr v)
+
+let value ctx (m : Ctx.mutator) v =
+  if not (is_local ctx m v) then v
+  else begin
+    let t_start = m.Ctx.now_ns in
+    let was_in_gc = m.Ctx.in_gc in
+    m.Ctx.in_gc <- true;
+    let lh = m.Ctx.lh in
+    let in_from a = Local_heap.in_heap lh a in
+    let promoted = ref 0 in
+    let pending = Queue.create () in
+    let dest =
+      Forward.global_dest ctx m ~on_copy:(fun dst bytes ->
+          promoted := !promoted + bytes;
+          Queue.add dst pending)
+    in
+    let dst = Forward.evacuate ctx m ~dest (Value.to_ptr v) in
+    while not (Queue.is_empty pending) do
+      Forward.scan_fields ctx m ~dest ~in_from (Queue.pop pending)
+    done;
+    m.Ctx.stats.Gc_stats.promote_count <-
+      m.Ctx.stats.Gc_stats.promote_count + 1;
+    m.Ctx.stats.Gc_stats.promoted_bytes <-
+      m.Ctx.stats.Gc_stats.promoted_bytes + !promoted;
+    Gc_trace.record ctx.Ctx.trace
+      {
+        Gc_trace.vproc = m.Ctx.id;
+        kind = Gc_trace.Promotion;
+        t_start_ns = t_start;
+        t_end_ns = m.Ctx.now_ns;
+        bytes = !promoted;
+      };
+    m.Ctx.in_gc <- was_in_gc;
+    Value.of_ptr dst
+  end

@@ -1,0 +1,18 @@
+(** Object promotion (paper §3.1, §3.3).
+
+    When a vproc must share an object with another vproc — a stolen work
+    item's captured environment, a CML message — the object graph is
+    copied into the global heap first, preserving the invariant that no
+    pointers lead into a local heap.  Mechanically this is a major
+    collection whose root set is the single promoted value: the local
+    copies are left behind with forwarding words, to be skipped by later
+    local collections. *)
+
+val value : Ctx.t -> Ctx.mutator -> Heap.Value.t -> Heap.Value.t
+(** [value ctx m v] — returns the global version of [v].  Immediates and
+    already-global pointers return unchanged.  The synchronization cost
+    of any chunk acquisition is charged, and a global collection is
+    requested if the chunk budget is exceeded. *)
+
+val is_local : Ctx.t -> Ctx.mutator -> Heap.Value.t -> bool
+(** Does [v] point into [m]'s local heap? *)

@@ -1,0 +1,12 @@
+type t = (int, unit) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+let add t ~slot = if not (Hashtbl.mem t slot) then Hashtbl.add t slot ()
+(* Iterate in address order: hash order would make evacuation order — and
+   therefore every downstream address — nondeterministic. *)
+let iter t f =
+  let slots = Hashtbl.fold (fun slot () acc -> slot :: acc) t [] in
+  List.iter f (List.sort compare slots)
+let clear = Hashtbl.reset
+let cardinal = Hashtbl.length
+let mem t slot = Hashtbl.mem t slot

@@ -1,0 +1,31 @@
+(** Remembered sets — the write-barrier bookkeeping for the mutation
+    extension (paper §5: "some aspects of our system would need to be
+    enhanced, for example with write barriers ... in the context of
+    systems that permit frequent unrestricted memory mutation").
+
+    PML itself is mutation-free, which is what lets the paper's collector
+    skip barriers entirely.  This module adds the missing machinery for
+    the mutable-reference extension ({!Alloc.ref_set}): a mutation that
+    stores a pointer to a *younger* object into an *older* local object
+    records the mutated slot here, and the next minor collection treats
+    the slot as a root.  Entries are cleared by the collection that
+    consumes them (after a minor, the target is old data, so the slot no
+    longer needs remembering unless mutated again).
+
+    Slots are byte addresses of fields inside the vproc's old-data area.
+    Old objects do not move during minor collections, so entries stay
+    valid exactly as long as they are needed; an object promoted between
+    the mutation and the minor leaves a forwarding word, and processing
+    handles that conservatively. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> slot:int -> unit
+(** Record a mutated slot (deduplicated). *)
+
+val iter : t -> (int -> unit) -> unit
+val clear : t -> unit
+val cardinal : t -> int
+val mem : t -> int -> bool

@@ -1,0 +1,46 @@
+open Heap
+
+type cell = { mutable v : Value.t; mutable idx : int }
+type t = { mutable cells : cell array; mutable n : int }
+
+let create () = { cells = [||]; n = 0 }
+
+let add t v =
+  let c = { v; idx = t.n } in
+  if t.n = Array.length t.cells then begin
+    let bigger = Array.make (max 16 (2 * t.n)) c in
+    Array.blit t.cells 0 bigger 0 t.n;
+    t.cells <- bigger
+  end;
+  t.cells.(t.n) <- c;
+  t.n <- t.n + 1;
+  c
+
+let remove t c =
+  if c.idx < 0 || c.idx >= t.n || t.cells.(c.idx) != c then
+    invalid_arg "Roots.remove: stale cell";
+  let last = t.cells.(t.n - 1) in
+  t.cells.(c.idx) <- last;
+  last.idx <- c.idx;
+  t.n <- t.n - 1;
+  c.idx <- -1
+
+let get c = c.v
+let set c v = c.v <- v
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f t.cells.(i)
+  done
+
+let count t = t.n
+
+let protect t v f =
+  let c = add t v in
+  Fun.protect ~finally:(fun () -> remove t c) (fun () -> f c)
+
+let protect_many t vs f =
+  let cs = Array.map (fun v -> add t v) vs in
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun c -> remove t c) cs)
+    (fun () -> f cs)

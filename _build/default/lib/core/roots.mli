@@ -1,0 +1,31 @@
+(** GC root sets.
+
+    Mutator code holds simulated-heap references in OCaml variables, which
+    the collectors cannot see; any reference held across a potential GC
+    point must live in a root cell.  This is the explicit analogue of the
+    frame maps Manticore's compiler emits: the "compiler" here is the
+    [Pml] combinator layer, which roots intermediates for you.
+
+    Cells are registered in O(1) and removed in O(1) (swap-with-last);
+    collectors iterate all live cells and update their values in place. *)
+
+open Heap
+
+type cell = private { mutable v : Value.t; mutable idx : int }
+type t
+
+val create : unit -> t
+val add : t -> Value.t -> cell
+val remove : t -> cell -> unit
+(** Raises [Invalid_argument] if the cell was already removed. *)
+
+val get : cell -> Value.t
+val set : cell -> Value.t -> unit
+val iter : t -> (cell -> unit) -> unit
+val count : t -> int
+
+val protect : t -> Value.t -> (cell -> Value.t) -> Value.t
+(** [protect t v f] roots [v] for the extent of [f] and unroots on the
+    way out (including on exceptions). *)
+
+val protect_many : t -> Value.t array -> (cell array -> Value.t) -> Value.t

@@ -1,0 +1,1 @@
+lib/harness/ascii_plot.ml: Array Buffer Bytes Float List Printf String

@@ -1,0 +1,1 @@
+lib/harness/csv.ml: Buffer Figures Float Fun Gc_stats List Manticore_gc Printf Run_config

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Ascii_plot Hashtbl List Manticore_gc Membw Numa Option Page_policy Printf Run_config Sim_mem Table Workloads

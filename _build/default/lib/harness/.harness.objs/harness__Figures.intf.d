@@ -1,0 +1,1 @@
+lib/harness/figures.mli: Ascii_plot Numa Run_config Sim_mem

@@ -1,0 +1,1 @@
+lib/harness/membw.ml: Array Float Numa

@@ -1,0 +1,1 @@
+lib/harness/run_config.ml: Array Ctx Format Gc_stats Gc_trace Heap Manticore_gc Numa Page_policy Params Runtime Sim_mem Workloads

@@ -1,0 +1,1 @@
+lib/harness/run_config.mli: Format Gc_stats Manticore_gc Numa Page_policy Params Runtime Sim_mem Workloads

@@ -1,0 +1,1 @@
+lib/harness/svg_plot.ml: Array Ascii_plot Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/harness/svg_plot.mli: Ascii_plot

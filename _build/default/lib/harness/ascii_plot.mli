@@ -1,0 +1,13 @@
+(** Text rendering of the paper's speedup plots: one chart, several named
+    series over a shared x-axis (thread counts), with the ideal-speedup
+    diagonal drawn for reference, as in Figures 4–7. *)
+
+type series = { label : string; points : (int * float) list }
+(** [(threads, speedup)] pairs, ascending in threads. *)
+
+val render :
+  ?width:int -> ?height:int -> title:string -> xlabel:string ->
+  ylabel:string -> ideal:bool -> series list -> string
+(** Render to a multi-line string.  When [ideal] is set, the y=x diagonal
+    is drawn with ['.'].  Each series gets a distinct letter marker,
+    listed in the legend below the chart. *)

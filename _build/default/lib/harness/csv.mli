@@ -1,0 +1,9 @@
+(** CSV export of sweep results, for plotting outside the terminal. *)
+
+val of_sweep : Figures.sweep_result list -> string
+(** Columns: benchmark, scale, threads, elapsed_ns, speedup (vs the
+    sweep's own 1-thread run), minor/major/global collection counts, and
+    promoted bytes. *)
+
+val write : path:string -> string -> unit
+(** Write a string to a file (creating or truncating it). *)

@@ -1,0 +1,15 @@
+(** The bandwidth probe behind the measured companion to Table 1.
+
+    Streams simulated memory traffic from a set of co-located cores to a
+    chosen node's bank, driving the machine model directly (no heap, no
+    GC).  With enough streamers the offered load exceeds the resource's
+    rated bandwidth and the contention model caps delivery, so the
+    measured ceiling tracks the configured (theoretical) figure up to the
+    model's queueing headroom. *)
+
+val measure :
+  Numa.Topology.t -> streamers:int -> src_node:int -> dst_node:int ->
+  mb_per_streamer:int -> float
+(** Aggregate delivered GB/s. *)
+
+val theoretical : Numa.Topology.t -> src_node:int -> dst_node:int -> float

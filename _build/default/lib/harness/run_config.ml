@@ -1,0 +1,92 @@
+open Manticore_gc
+open Sim_mem
+
+type t = {
+  machine : Numa.Topology.t;
+  cache_scale : int;
+  bw_scale : int;
+  n_vprocs : int;
+  policy : Page_policy.t;
+  scale : float;
+  params : Params.t;
+  eager_promotion : bool;
+  near_steal : bool;  (* Near_first steal policy instead of random *)
+  trace : bool;
+  census : bool;
+  seed : int;
+}
+
+let harness_params =
+  {
+    Params.default with
+    Params.capacity_bytes = 512 * 1024 * 1024;
+    local_heap_bytes = 64 * 1024;
+    chunk_bytes = 20 * 1024;
+    nursery_min_bytes = 8 * 1024;
+    global_budget_per_vproc = 256 * 1024;
+  }
+
+let default ~machine ~n_vprocs =
+  {
+    machine;
+    cache_scale = 32;
+    bw_scale = 16;
+    n_vprocs;
+    policy = Page_policy.Local;
+    scale = 1.0;
+    params = harness_params;
+    eager_promotion = false;
+    near_steal = false;
+    trace = false;
+    census = false;
+    seed = 0x5eed;
+  }
+
+type outcome = {
+  checksum : float;
+  elapsed_ns : float;
+  gc : Gc_stats.t;
+  sched : Runtime.Sched.stats;
+  globals : int;
+  timeline : string option;
+  census_report : string option;
+}
+
+let execute spec t =
+  let machine = Numa.Machines.with_scaled_caches t.cache_scale t.machine in
+  let ctx =
+    Ctx.create ~params:t.params ~cap_scale:(float_of_int t.bw_scale) ~machine
+      ~n_vprocs:t.n_vprocs ~policy:t.policy ()
+  in
+  let rt =
+    Runtime.Sched.create ~eager_promotion:t.eager_promotion
+      ~steal_policy:
+        (if t.near_steal then Runtime.Sched.Near_first
+         else Runtime.Sched.Random_victim)
+      ~seed:t.seed ctx
+  in
+  if t.trace then Gc_trace.enable ctx.Ctx.trace;
+  let checksum = Workloads.Registry.run spec rt ~scale:t.scale in
+  let gc =
+    Gc_stats.total
+      (Array.init t.n_vprocs (fun i -> (Ctx.mutator ctx i).Ctx.stats))
+  in
+  {
+    checksum;
+    elapsed_ns = Runtime.Sched.elapsed_ns rt;
+    gc;
+    sched = Runtime.Sched.stats rt;
+    globals = ctx.Ctx.stats.Gc_stats.global_count;
+    timeline =
+      (if t.trace then
+         Some
+           (Gc_trace.render_timeline ctx.Ctx.trace ~n_vprocs:t.n_vprocs
+           ^ Gc_trace.summary ctx.Ctx.trace)
+       else None);
+    census_report =
+      (if t.census then Some (Heap.Census.render (Ctx.census ctx)) else None);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s x%d %a scale=%g"
+    t.machine.Numa.Topology.name t.n_vprocs Page_policy.pp t.policy t.scale

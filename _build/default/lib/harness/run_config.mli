@@ -1,0 +1,45 @@
+(** One benchmark execution on one configured simulated machine. *)
+
+open Manticore_gc
+open Sim_mem
+
+type t = {
+  machine : Numa.Topology.t;  (** full-size machine; see [cache_scale] *)
+  cache_scale : int;
+      (** divide cache sizes by this to match the scaled-down workloads
+          (DESIGN.md §6); the harness default is 32 *)
+  bw_scale : int;
+      (** divide bank/link *capacities* (not per-access costs) by this so
+          the scaled workloads' traffic keeps the real machines'
+          traffic-to-capacity ratio; the harness default is 32 *)
+  n_vprocs : int;
+  policy : Page_policy.t;
+  scale : float;  (** workload scale factor *)
+  params : Params.t;
+  eager_promotion : bool;  (** ablation: promote at spawn, not at steal *)
+  near_steal : bool;  (** extension: prefer same-package steal victims *)
+  trace : bool;  (** record and render the collector event timeline *)
+  census : bool;  (** render a post-run heap census *)
+  seed : int;
+}
+
+val default : machine:Numa.Topology.t -> n_vprocs:int -> t
+(** Local placement, scale 1.0, cache scale 32, and heap parameters sized
+    for the scaled workloads (64 KB local heaps, 16 KB chunks, 256 KB
+    global budget per vproc). *)
+
+type outcome = {
+  checksum : float;
+  elapsed_ns : float;  (** virtual makespan *)
+  gc : Gc_stats.t;  (** aggregated over vprocs, plus global-GC counts *)
+  sched : Runtime.Sched.stats;
+  globals : int;
+  timeline : string option;  (** rendered when [trace] was set *)
+  census_report : string option;  (** rendered when [census] was set *)
+}
+
+val execute : Workloads.Registry.spec -> t -> outcome
+(** Build the context and scheduler, run the benchmark, validate its
+    checksum, and collect statistics. *)
+
+val pp : Format.formatter -> t -> unit

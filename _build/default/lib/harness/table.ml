@@ -1,0 +1,20 @@
+let render ~header ~rows =
+  let n = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> n then invalid_arg "Table.render: ragged row")
+    rows;
+  let widths = Array.make n 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    (header :: rows);
+  let line cells =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ')
+         cells)
+  in
+  let rule =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" ((line header :: rule :: List.map line rows) @ [ "" ])

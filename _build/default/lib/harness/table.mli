@@ -1,0 +1,6 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Columns are sized to their widest cell; the header is separated by a
+    rule.  Raises [Invalid_argument] if a row's arity differs from the
+    header's. *)

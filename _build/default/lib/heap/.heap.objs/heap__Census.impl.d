@@ -1,0 +1,1 @@
+lib/heap/census.ml: Array Buffer Chunk Descriptor Global_heap Hashtbl Header List Local_heap Obj_repr Option Printf Sim_mem Store

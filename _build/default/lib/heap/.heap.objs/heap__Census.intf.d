@@ -1,0 +1,1 @@
+lib/heap/census.mli: Global_heap Local_heap Store

@@ -1,0 +1,1 @@
+lib/heap/descriptor.ml: Array Hashtbl Header

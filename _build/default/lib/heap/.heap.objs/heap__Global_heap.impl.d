@@ -1,0 +1,1 @@
+lib/heap/global_heap.ml: Addr Array Chunk List Memory Option Page_alloc Sim_mem Store

@@ -1,0 +1,1 @@
+lib/heap/global_heap.mli: Chunk Sim_mem Store

@@ -1,0 +1,1 @@
+lib/heap/invariants.ml: Addr Array Chunk Descriptor Format Global_heap Header List Local_heap Memory Obj_repr Proxy Sim_mem Store String Value

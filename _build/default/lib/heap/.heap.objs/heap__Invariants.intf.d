@@ -1,0 +1,1 @@
+lib/heap/invariants.mli: Global_heap Local_heap Store

@@ -1,0 +1,1 @@
+lib/heap/local_heap.ml: Addr Format Page_alloc Result Sim_mem Store

@@ -1,0 +1,1 @@
+lib/heap/local_heap.mli: Format Store

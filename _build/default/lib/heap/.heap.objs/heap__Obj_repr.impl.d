@@ -1,0 +1,1 @@
+lib/heap/obj_repr.ml: Addr Array Descriptor Header Int64 Memory Sim_mem Store Value

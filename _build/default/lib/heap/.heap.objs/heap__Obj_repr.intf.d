@@ -1,0 +1,1 @@
+lib/heap/obj_repr.mli: Descriptor Store Value

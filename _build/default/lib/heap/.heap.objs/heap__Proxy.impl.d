@@ -1,0 +1,1 @@
+lib/heap/proxy.ml: Header Obj_repr Value

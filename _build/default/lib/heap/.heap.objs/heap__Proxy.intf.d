@@ -1,0 +1,1 @@
+lib/heap/proxy.mli: Store Value

@@ -1,0 +1,1 @@
+lib/heap/store.ml: Descriptor Memory Page_alloc Page_policy Sim_mem

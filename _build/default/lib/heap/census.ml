@@ -1,0 +1,94 @@
+open Sim_mem
+
+type row = { kind : string; count : int; bytes : int }
+
+type t = {
+  local_rows : row list;
+  global_rows : row list;
+  forwarded : int;
+  local_bytes : int;
+  global_bytes : int;
+}
+
+type acc = {
+  tally : (string, int * int) Hashtbl.t;
+  mutable fwd : int;
+  mutable bytes : int;
+}
+
+let mk_acc () = { tally = Hashtbl.create 16; fwd = 0; bytes = 0 }
+
+let kind_name (s : Store.t) addr =
+  match Obj_repr.kind s addr with
+  | Obj_repr.Raw -> "raw"
+  | Obj_repr.Vector -> "vector"
+  | Obj_repr.Proxy -> "proxy"
+  | Obj_repr.Mixed d -> d.Descriptor.name
+  | exception Invalid_argument _ -> "corrupt"
+
+let walk (s : Store.t) acc ~lo ~hi =
+  let addr = ref lo in
+  while !addr < hi do
+    let h = Obj_repr.header s !addr in
+    if Header.is_forward h then begin
+      acc.fwd <- acc.fwd + 1;
+      let target = Header.forward_addr h in
+      addr := !addr + Obj_repr.total_bytes s target
+    end
+    else begin
+      let bytes = (Header.length_words h + 1) * 8 in
+      let k = kind_name s !addr in
+      let c, b = Option.value ~default:(0, 0) (Hashtbl.find_opt acc.tally k) in
+      Hashtbl.replace acc.tally k (c + 1, b + bytes);
+      acc.bytes <- acc.bytes + bytes;
+      addr := !addr + bytes
+    end
+  done
+
+let rows_of acc =
+  Hashtbl.fold (fun kind (count, bytes) l -> { kind; count; bytes } :: l) acc.tally []
+  |> List.sort (fun (a : row) (b : row) ->
+         compare (b.bytes, b.kind) (a.bytes, a.kind))
+
+let collect store ~locals ~global =
+  let la = mk_acc () and ga = mk_acc () in
+  Array.iter
+    (fun (lh : Local_heap.t) ->
+      walk store la ~lo:lh.Local_heap.base ~hi:lh.Local_heap.old_top;
+      walk store la ~lo:lh.Local_heap.nursery_base ~hi:lh.Local_heap.alloc_ptr)
+    locals;
+  List.iter
+    (fun c -> walk store ga ~lo:c.Chunk.base ~hi:c.Chunk.alloc_ptr)
+    (Global_heap.in_use global);
+  List.iter
+    (fun (addr, _bytes) ->
+      walk store ga ~lo:addr ~hi:(addr + Obj_repr.total_bytes store addr))
+    (Global_heap.large_list global);
+  {
+    local_rows = rows_of la;
+    global_rows = rows_of ga;
+    forwarded = la.fwd + ga.fwd;
+    local_bytes = la.bytes;
+    global_bytes = ga.bytes;
+  }
+
+let render t =
+  let buf = Buffer.create 1024 in
+  let section title rows total =
+    Buffer.add_string buf (Printf.sprintf "%s (%d bytes):\n" title total);
+    if rows = [] then Buffer.add_string buf "  (empty)\n"
+    else
+      List.iter
+        (fun r ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-14s %7d objects %10d bytes\n" r.kind r.count
+               r.bytes))
+        rows
+  in
+  section "local heaps" t.local_rows t.local_bytes;
+  section "global heap" t.global_rows t.global_bytes;
+  if t.forwarded > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "  (%d forwarding words awaiting collection)\n"
+         t.forwarded);
+  Buffer.contents buf

@@ -1,0 +1,20 @@
+(** Heap census: walk every allocated region and histogram the live
+    objects by kind — introspection for debugging and the [msim]
+    [--census] flag.  Read-only and uncharged. *)
+
+type row = {
+  kind : string;  (** "raw", "vector", "proxy", or a descriptor name *)
+  count : int;
+  bytes : int;  (** including headers *)
+}
+
+type t = {
+  local_rows : row list;  (** aggregated over all local heaps *)
+  global_rows : row list;
+  forwarded : int;  (** promotion leftovers awaiting the next collection *)
+  local_bytes : int;
+  global_bytes : int;
+}
+
+val collect : Store.t -> locals:Local_heap.t array -> global:Global_heap.t -> t
+val render : t -> string

@@ -1,0 +1,67 @@
+type desc = {
+  id : int;
+  name : string;
+  size_words : int;
+  pointer_slots : int array;
+  scan_slots : (int -> unit) -> unit;
+}
+
+type table = {
+  mutable descs : desc array; (* index = id - first_mixed_id *)
+  mutable n : int;
+  by_name : (string, desc) Hashtbl.t;
+}
+
+let create_table () = { descs = [||]; n = 0; by_name = Hashtbl.create 16 }
+
+(* The moral equivalent of the compiler emitting a per-type scanning
+   function: common small layouts get straight-line code. *)
+let specialize_scan slots =
+  match slots with
+  | [||] -> fun _ -> ()
+  | [| a |] -> fun f -> f a
+  | [| a; b |] ->
+      fun f ->
+        f a;
+        f b
+  | [| a; b; c |] ->
+      fun f ->
+        f a;
+        f b;
+        f c
+  | arr -> fun f -> Array.iter f arr
+
+let register t ~name ~size_words ~pointer_slots =
+  if size_words < 0 then invalid_arg "Descriptor.register: negative size";
+  if Hashtbl.mem t.by_name name then
+    invalid_arg ("Descriptor.register: duplicate name " ^ name);
+  let slots = Array.of_list pointer_slots in
+  Array.iteri
+    (fun i s ->
+      if s < 0 || s >= size_words then
+        invalid_arg "Descriptor.register: slot out of range";
+      if i > 0 && slots.(i - 1) >= s then
+        invalid_arg "Descriptor.register: slots must be strictly increasing")
+    slots;
+  let id = Header.first_mixed_id + t.n in
+  if id > Header.max_id then invalid_arg "Descriptor.register: table full";
+  let d =
+    { id; name; size_words; pointer_slots = slots; scan_slots = specialize_scan slots }
+  in
+  if t.n = Array.length t.descs then begin
+    let bigger = Array.make (max 8 (2 * t.n)) d in
+    Array.blit t.descs 0 bigger 0 t.n;
+    t.descs <- bigger
+  end;
+  t.descs.(t.n) <- d;
+  t.n <- t.n + 1;
+  Hashtbl.add t.by_name name d;
+  d
+
+let find t id =
+  let i = id - Header.first_mixed_id in
+  if i < 0 || i >= t.n then invalid_arg "Descriptor.find: unknown id";
+  t.descs.(i)
+
+let find_by_name t name = Hashtbl.find_opt t.by_name name
+let size t = t.n

@@ -1,0 +1,39 @@
+(** The object-descriptor table (paper §3.2).
+
+    Mixed-type objects — records containing both pointer and non-pointer
+    fields — carry an ID that indexes this table.  In Manticore the
+    compiler emits one scanning and one forwarding function per record
+    type; here, {!register} plays the compiler's role and builds a
+    specialized slot iterator for the type's exact pointer layout, so the
+    collectors never inspect non-pointer fields at run time.  Raw and
+    vector objects do not use the table: the collector handles their two
+    reserved IDs directly. *)
+
+type desc = private {
+  id : int;
+  name : string;
+  size_words : int;  (** body size, excluding the header *)
+  pointer_slots : int array;  (** strictly increasing field indices *)
+  scan_slots : (int -> unit) -> unit;
+      (** apply a function to each pointer-slot index; specialized at
+          registration time *)
+}
+
+type table
+
+val create_table : unit -> table
+
+val register :
+  table -> name:string -> size_words:int -> pointer_slots:int list -> desc
+(** Allocate the next mixed-object ID.  Raises [Invalid_argument] if a
+    slot is out of range or duplicated, if [size_words] is negative, if
+    the name is already registered, or if the table is full (IDs are 15
+    bits). *)
+
+val find : table -> int -> desc
+(** Look up by ID; raises [Invalid_argument] for an unknown or reserved
+    ID. *)
+
+val find_by_name : table -> string -> desc option
+val size : table -> int
+(** Number of registered mixed descriptors. *)

@@ -1,0 +1,36 @@
+(** Whole-heap structural validation: the executable form of the paper's
+    two heap invariants (§2.3) plus object-level well-formedness.
+
+    Checked properties:
+    - every allocated region parses as a sequence of well-formed objects
+      (valid header, known ID, mixed size matching its descriptor, no
+      forwarding words outside a collection);
+    - every pointer targets a mapped address holding a valid header;
+    - (I1) no local-heap object points into another vproc's local heap;
+    - (I2) no global-heap object points into any local heap — except the
+      referent slot of a proxy, which must point into its owner's local
+      heap or to a global object;
+    - no old-area object points into its own nursery (data only ever
+      points at older data in a mutation-free language) — except slots
+      the caller declares [remembered], i.e. covered by the mutation
+      extension's write barrier. *)
+
+type summary = {
+  objects : int;
+  bytes : int;
+  local_objects : int;
+  global_objects : int;
+  proxies : int;
+}
+
+val check :
+  ?remembered:(int -> bool) ->
+  Store.t -> locals:Local_heap.t array -> global:Global_heap.t ->
+  (summary, string list) result
+(** Returns every violation found (never raises on malformed heaps except
+    for out-of-range simulated addresses). *)
+
+val check_exn :
+  ?remembered:(int -> bool) ->
+  Store.t -> locals:Local_heap.t array -> global:Global_heap.t -> summary
+(** Like {!check} but raises [Failure] with the violations joined. *)

@@ -1,0 +1,82 @@
+open Sim_mem
+
+type t = {
+  vproc : int;
+  node : int;
+  base : int;
+  bytes : int;
+  limit : int;
+  mutable old_top : int;
+  mutable young_base : int;
+  mutable nursery_base : int;
+  mutable alloc_ptr : int;
+}
+
+let resplit t =
+  let free = t.limit - t.old_top in
+  let half = Addr.round_up_words (free / 2) in
+  t.nursery_base <- min t.limit (t.old_top + half);
+  t.alloc_ptr <- t.nursery_base
+
+let create (s : Store.t) ~vproc ~node ~bytes =
+  if bytes < 16 * Addr.word_bytes then invalid_arg "Local_heap.create: too small";
+  let base = Page_alloc.alloc s.pa ~policy:s.policy ~requester_node:node ~bytes in
+  let t =
+    {
+      vproc;
+      node;
+      base;
+      bytes;
+      limit = base + bytes;
+      old_top = base;
+      young_base = base;
+      nursery_base = base;
+      alloc_ptr = base;
+    }
+  in
+  resplit t;
+  t
+
+let alloc t ~bytes =
+  let bytes = Addr.round_up_words bytes in
+  if t.alloc_ptr + bytes > t.limit then None
+  else begin
+    let a = t.alloc_ptr in
+    t.alloc_ptr <- a + bytes;
+    Some a
+  end
+
+let nursery_bytes t = t.limit - t.nursery_base
+let nursery_free t = t.limit - t.alloc_ptr
+let old_bytes t = t.old_top - t.base
+let young_bytes t = t.old_top - t.young_base
+let free_bytes t = (t.nursery_base - t.old_top) + (t.limit - t.alloc_ptr)
+let in_heap t a = a >= t.base && a < t.limit
+let in_nursery t a = a >= t.nursery_base && a < t.alloc_ptr
+let in_old t a = a >= t.base && a < t.old_top
+let in_young t a = a >= t.young_base && a < t.old_top
+
+let check_layout t =
+  let ok c msg = if c then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let* () = ok (t.limit = t.base + t.bytes) "limit <> base + bytes" in
+  let* () = ok (t.base <= t.young_base) "young_base below base" in
+  let* () = ok (t.young_base <= t.old_top) "young_base above old_top" in
+  let* () = ok (t.old_top <= t.nursery_base) "old_top above nursery_base" in
+  let* () =
+    ok (t.nursery_base <= t.alloc_ptr && t.alloc_ptr <= t.limit)
+      "alloc_ptr outside nursery"
+  in
+  ok
+    (Addr.is_word_aligned t.old_top
+    && Addr.is_word_aligned t.nursery_base
+    && Addr.is_word_aligned t.alloc_ptr)
+    "unaligned area boundary"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[local-heap v%d@@node%d [%#x,%#x): old %dB (young %dB) | copy %dB | \
+     nursery %dB used %dB@]"
+    t.vproc t.node t.base t.limit (old_bytes t) (young_bytes t)
+    (t.nursery_base - t.old_top) (nursery_bytes t)
+    (t.alloc_ptr - t.nursery_base)

@@ -1,0 +1,18 @@
+let size_words = 3
+
+let init s ~addr ~owner ~referent =
+  Obj_repr.set_header s addr
+    (Header.encode ~id:Header.proxy_id ~length_words:size_words);
+  Obj_repr.set_field s addr 0 referent;
+  Obj_repr.set_field s addr 1 (Value.of_int owner);
+  Obj_repr.set_field s addr 2 (Value.of_int 0)
+
+let is_proxy s addr =
+  let h = Obj_repr.header s addr in
+  Header.is_header h && Header.id h = Header.proxy_id
+
+let referent s addr = Obj_repr.get_field s addr 0
+let set_referent s addr v = Obj_repr.set_field s addr 0 v
+let owner s addr = Value.to_int (Obj_repr.get_field s addr 1)
+let state s addr = Value.to_int (Obj_repr.get_field s addr 2)
+let set_state s addr n = Obj_repr.set_field s addr 2 (Value.of_int n)

@@ -1,0 +1,26 @@
+(** Object proxies (paper §3.1, footnote 1).
+
+    A proxy is a special global-heap object that is allowed to reference a
+    value in some vproc's *local* heap — the one sanctioned exception to
+    the no-global-to-local-pointers invariant, used by the explicit
+    concurrency constructs.  Ordinary scanning skips the referent slot
+    (see {!Obj_repr.iter_pointer_slots}); instead, the owning vproc keeps
+    a list of its live proxies and its local collectors treat the referent
+    as a root, updating it as the referent moves.  Once the referent is
+    promoted, the proxy holds a plain global reference.
+
+    Body layout: slot 0 — the referent value; slot 1 — owning vproc id
+    (immediate); slot 2 — a small state word for the runtime's use
+    (immediate, e.g. a channel-queue tag). *)
+
+val size_words : int
+
+val init : Store.t -> addr:int -> owner:int -> referent:Value.t -> unit
+(** Write a proxy header and body at [addr] (3 body words). *)
+
+val is_proxy : Store.t -> int -> bool
+val referent : Store.t -> int -> Value.t
+val set_referent : Store.t -> int -> Value.t -> unit
+val owner : Store.t -> int -> int
+val state : Store.t -> int -> int
+val set_state : Store.t -> int -> int -> unit

@@ -1,0 +1,12 @@
+open Sim_mem
+
+type t = {
+  mem : Memory.t;
+  pa : Page_alloc.t;
+  table : Descriptor.table;
+  policy : Page_policy.t;
+}
+
+let create ~n_nodes ~capacity_bytes ~page_bytes ~policy =
+  let mem = Memory.create ~n_nodes ~capacity_bytes ~page_bytes in
+  { mem; pa = Page_alloc.create mem; table = Descriptor.create_table (); policy }

@@ -1,0 +1,20 @@
+(** The shared, uncharged storage context: simulated memory, the page
+    allocator over it, the object-descriptor table, and the page-placement
+    policy in force for this run.
+
+    Functions over a [Store.t] touch simulated memory without charging
+    simulated time; all cost accounting happens in the mutator/GC layer,
+    which knows which vproc is paying. *)
+
+open Sim_mem
+
+type t = {
+  mem : Memory.t;
+  pa : Page_alloc.t;
+  table : Descriptor.table;
+  policy : Page_policy.t;
+}
+
+val create :
+  n_nodes:int -> capacity_bytes:int -> page_bytes:int -> policy:Page_policy.t ->
+  t

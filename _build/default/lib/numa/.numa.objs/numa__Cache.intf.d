@@ -1,0 +1,1 @@
+lib/numa/cache.mli:

@@ -1,0 +1,1 @@
+lib/numa/cost_model.ml: Array Cache Contention Float Hashtbl List Option Sys Topology

@@ -1,0 +1,1 @@
+lib/numa/cost_model.mli: Topology

@@ -1,0 +1,1 @@
+lib/numa/machines.ml: Array List Topology

@@ -1,0 +1,27 @@
+(** A 4-way set-associative, LRU cache model over simulated byte
+    addresses.  It classifies each access as hit or miss, which is all
+    the cost model needs, and is cheap enough (at most four comparisons)
+    to sit on the fast path of every simulated memory access. *)
+
+type t
+
+val create : size_kb:int -> line_bytes:int -> t
+(** [create ~size_kb ~line_bytes] rounds the set count down to a power of
+    two.  Raises [Invalid_argument] if either argument is not positive. *)
+
+val line_bytes : t -> int
+
+val access : t -> int -> bool
+(** [access t addr] probes and fills the line containing byte address
+    [addr]; returns [true] on a hit. *)
+
+val probe : t -> int -> bool
+(** [probe t addr] checks for a hit without filling. *)
+
+val invalidate_range : t -> lo:int -> hi:int -> unit
+(** Drop every line whose cached tag falls in [lo, hi) — used when a heap
+    region is reclaimed and its contents must no longer count as cached. *)
+
+val clear : t -> unit
+val hits : t -> int
+val misses : t -> int

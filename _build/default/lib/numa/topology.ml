@@ -1,0 +1,92 @@
+type t = {
+  name : string;
+  n_packages : int;
+  nodes_per_package : int;
+  cores_per_node : int;
+  ghz : float;
+  bw : float array array;
+  latency : float array array;
+  l1_kb : int;
+  l2_kb : int;
+  l3_usable_kb : int;
+}
+
+let n_nodes t = t.n_packages * t.nodes_per_package
+let n_cores t = n_nodes t * t.cores_per_node
+let node_of_core t core = core / t.cores_per_node
+let package_of_node t node = node / t.nodes_per_package
+let same_package t a b = package_of_node t a = package_of_node t b
+
+let distance_class t a b =
+  if a = b then `Local
+  else if same_package t a b then `Same_package
+  else `Cross_package
+
+let make ~name ~n_packages ~nodes_per_package ~cores_per_node ~ghz ~local_bw
+    ~same_package_bw ~cross_package_bw ~local_lat_ns ~same_package_lat_ns
+    ~cross_package_lat_ns ~l1_kb ~l2_kb ~l3_usable_kb =
+  if n_packages <= 0 || nodes_per_package <= 0 || cores_per_node <= 0 then
+    invalid_arg "Topology.make: non-positive shape";
+  let n = n_packages * nodes_per_package in
+  let t =
+    {
+      name;
+      n_packages;
+      nodes_per_package;
+      cores_per_node;
+      ghz;
+      bw = Array.make_matrix n n 0.;
+      latency = Array.make_matrix n n 0.;
+      l1_kb;
+      l2_kb;
+      l3_usable_kb;
+    }
+  in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let bw, lat =
+        match distance_class t a b with
+        | `Local -> (local_bw, local_lat_ns)
+        | `Same_package -> (same_package_bw, same_package_lat_ns)
+        | `Cross_package -> (cross_package_bw, cross_package_lat_ns)
+      in
+      t.bw.(a).(b) <- bw;
+      t.latency.(a).(b) <- lat
+    done
+  done;
+  t
+
+let sparse_core_assignment t n =
+  if n <= 0 || n > n_cores t then
+    invalid_arg "Topology.sparse_core_assignment: vproc count out of range";
+  (* Fill nodes round-robin: vproc i lands on node (i mod n_nodes), taking
+     the next unused core of that node.  Matches the paper's sparse
+     assignment that minimizes contention on the node-shared L3. *)
+  let nodes = n_nodes t in
+  let next_core = Array.make nodes 0 in
+  Array.init n (fun i ->
+      (* After all cores of the preferred node are in use (n > n_nodes *
+         cores_per_node never happens given the range check, but a node can
+         fill up when n is not a multiple of n_nodes), scan forward. *)
+      let rec pick node tries =
+        if tries > nodes then invalid_arg "sparse_core_assignment: no core"
+        else if next_core.(node) < t.cores_per_node then begin
+          let c = (node * t.cores_per_node) + next_core.(node) in
+          next_core.(node) <- next_core.(node) + 1;
+          c
+        end
+        else pick ((node + 1) mod nodes) (tries + 1)
+      in
+      pick (i mod nodes) 0)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>machine %s: %d packages x %d nodes x %d cores @@ %.3f GHz@,\
+     caches: L1 %dKB, L2 %dKB per core; L3 %dKB usable per node@,\
+     bandwidth GB/s (local/same-pkg/cross-pkg): %.1f / %s / %.1f@]" t.name
+    t.n_packages t.nodes_per_package t.cores_per_node t.ghz t.l1_kb t.l2_kb
+    t.l3_usable_kb
+    t.bw.(0).(0)
+    (if t.nodes_per_package > 1 then Printf.sprintf "%.1f" t.bw.(0).(1)
+     else "n/a")
+    t.bw.(0).(n_nodes t - 1)

@@ -1,0 +1,66 @@
+(** Machine topology: packages, NUMA nodes, cores, and the bandwidth /
+    latency relationships between nodes (paper, Appendix A).
+
+    A machine is a set of processor packages; each package contains one or
+    more NUMA nodes (dies); each node has a set of cores and an integrated
+    memory controller attached to a dedicated bank of physical RAM.  Nodes
+    are numbered [0 .. n_nodes-1], packages [0 .. n_packages-1], cores
+    [0 .. n_cores-1]; node [i] belongs to package [i / nodes_per_package]
+    and core [c] belongs to node [c / cores_per_node]. *)
+
+type t = private {
+  name : string;  (** e.g. ["amd48"] *)
+  n_packages : int;
+  nodes_per_package : int;
+  cores_per_node : int;
+  ghz : float;  (** core clock, cycles per ns *)
+  bw : float array array;
+      (** [bw.(src).(dst)] GB/s available from a core on node [src] to the
+          memory bank of node [dst]; the diagonal is local-bank bandwidth. *)
+  latency : float array array;
+      (** [latency.(src).(dst)] base (uncontended) ns for a cache-line fill
+          from node [src] to the bank of node [dst]. *)
+  l1_kb : int;  (** per-core L1 data cache *)
+  l2_kb : int;  (** per-core L2 *)
+  l3_usable_kb : int;
+      (** per-node L3 actually usable for data (the paper notes both
+          machines reserve part of the L3 for cross-node probes) *)
+}
+
+val make :
+  name:string ->
+  n_packages:int ->
+  nodes_per_package:int ->
+  cores_per_node:int ->
+  ghz:float ->
+  local_bw:float ->
+  same_package_bw:float ->
+  cross_package_bw:float ->
+  local_lat_ns:float ->
+  same_package_lat_ns:float ->
+  cross_package_lat_ns:float ->
+  l1_kb:int ->
+  l2_kb:int ->
+  l3_usable_kb:int ->
+  t
+(** Build a symmetric topology from the three bandwidth/latency classes of
+    Table 1.  For machines with one node per package, the same-package
+    figures are unused. *)
+
+val n_nodes : t -> int
+val n_cores : t -> int
+val node_of_core : t -> int -> int
+val package_of_node : t -> int -> int
+val same_package : t -> int -> int -> bool
+(** [same_package t a b] — are nodes [a] and [b] in the same package? *)
+
+val sparse_core_assignment : t -> int -> int array
+(** [sparse_core_assignment t n] chooses host cores for [n] vprocs,
+    spreading them across nodes round-robin so that node-shared L3 caches
+    see minimal contention (paper §2.2).  Raises [Invalid_argument] if
+    [n] exceeds [n_cores t] or is not positive. *)
+
+val distance_class : t -> int -> int -> [ `Local | `Same_package | `Cross_package ]
+(** Classify the relationship between two nodes. *)
+
+val pp : Format.formatter -> t -> unit

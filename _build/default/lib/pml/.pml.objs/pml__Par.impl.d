@@ -1,0 +1,1 @@
+lib/pml/par.ml: Alloc Array Ctx Heap List Manticore_gc Pval Roots Runtime Sched Value

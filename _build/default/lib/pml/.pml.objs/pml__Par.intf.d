@@ -1,0 +1,1 @@
+lib/pml/par.mli: Ctx Heap Manticore_gc Pval Runtime Sched Value

@@ -1,0 +1,1 @@
+lib/pml/pval.ml: Alloc Array Ctx Descriptor Header Heap List Manticore_gc Roots Store Value

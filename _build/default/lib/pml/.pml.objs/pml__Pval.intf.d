@@ -1,0 +1,1 @@
+lib/pml/pval.mli: Ctx Heap Manticore_gc Value

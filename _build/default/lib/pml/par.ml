@@ -1,0 +1,199 @@
+open Heap
+open Manticore_gc
+open Runtime
+
+type task = Ctx.mutator -> Value.t array -> Value.t
+
+let par2 rt m ~env_a ~env_b f g =
+  let fut = Sched.spawn rt m ~env:env_b g in
+  let a = f m env_a in
+  Roots.protect (m : Ctx.mutator).Ctx.roots a (fun ca ->
+      let b = Sched.await rt m fut in
+      Roots.protect m.Ctx.roots b (fun cb ->
+          (* Re-read both after any promotion/collection in await. *)
+          Pval.tuple (Sched.ctx rt) m [| Roots.get ca; Roots.get cb |]))
+  |> fun pair ->
+  let c = Sched.ctx rt in
+  (Pval.field c m pair 0, Pval.field c m pair 1)
+
+let rec dc rt (m : Ctx.mutator) ~env ~lo ~hi ~grain ~leaf ~combine =
+  (* The env must be rooted across the tick: a pending global collection
+     runs every vproc's minor and major first, moving local data. *)
+  Roots.protect_many m.Ctx.roots env (fun cells ->
+      Sched.tick rt m;
+      let env =
+        Array.map (fun cc -> Ctx.resolve (Sched.ctx rt) m (Roots.get cc)) cells
+      in
+      if hi - lo <= grain then leaf m env lo hi
+      else begin
+        let mid = (lo + hi) / 2 in
+        (* Spawn the upper half; env values are rooted by [spawn] before
+           any collection can move them. *)
+        let fut =
+          Sched.spawn rt m ~env (fun m' env' ->
+              dc rt m' ~env:env' ~lo:mid ~hi ~grain ~leaf ~combine)
+        in
+        let a = dc rt m ~env ~lo ~hi:mid ~grain ~leaf ~combine in
+        Roots.protect m.Ctx.roots a (fun ca ->
+            let b = Sched.await rt m fut in
+            Roots.protect m.Ctx.roots b (fun cb ->
+                combine m (Roots.get ca) (Roots.get cb)))
+      end)
+
+let tabulate rt m d ~env ~n ~grain ~f =
+  if n = 0 then Value.of_int 0
+  else
+    dc rt m ~env ~lo:0 ~hi:n ~grain:(max grain 1)
+      ~leaf:(fun m env lo hi ->
+        (* Root env across the element calls: f may allocate. *)
+        Roots.protect_many m.Ctx.roots env (fun cells ->
+            let c = Sched.ctx rt in
+            let ncell = hi - lo in
+            let vals = ref [] in
+            for k = 0 to ncell - 1 do
+              let env_now =
+                Array.map (fun cc -> Ctx.resolve c m (Roots.get cc)) cells
+              in
+              vals := Roots.add m.Ctx.roots (f m env_now (lo + k)) :: !vals
+            done;
+            let cells_arr = Array.of_list (List.rev !vals) in
+            let fields = Array.map Roots.get cells_arr in
+            Array.iter (fun cc -> Roots.remove m.Ctx.roots cc) cells_arr;
+            Alloc.alloc_vector c m fields))
+      ~combine:(fun m a b -> Pval.arr_join (Sched.ctx rt) m d a b)
+
+let tabulate_f rt m d ~env ~n ~grain ~f =
+  if n = 0 then Value.of_int 0
+  else
+    dc rt m ~env ~lo:0 ~hi:n ~grain:(max grain 1)
+      ~leaf:(fun m env lo hi ->
+        Roots.protect_many m.Ctx.roots env (fun cells ->
+            let c = Sched.ctx rt in
+            let v = Alloc.alloc_raw c m ~words:(hi - lo) in
+            Roots.protect m.Ctx.roots v (fun cv ->
+                for i = lo to hi - 1 do
+                  let env_now =
+                    Array.map (fun cc -> Ctx.resolve c m (Roots.get cc)) cells
+                  in
+                  let x = f m env_now i in
+                  Alloc.init_float c m (Roots.get cv) (i - lo) x
+                done;
+                Roots.get cv)))
+      ~combine:(fun m a b -> Pval.arr_join (Sched.ctx rt) m d a b)
+
+let reduce_f rt m ~env ~lo ~hi ~grain ~leaf op =
+  let c = Sched.ctx rt in
+  let v =
+    dc rt m ~env ~lo ~hi ~grain:(max grain 1)
+      ~leaf:(fun m env lo hi ->
+        Roots.protect_many m.Ctx.roots env (fun cells ->
+            let env_now =
+              Array.map (fun cc -> Ctx.resolve c m (Roots.get cc)) cells
+            in
+            Pval.box_float c m (leaf m env_now lo hi)))
+      ~combine:(fun m a b ->
+        Pval.box_float c m (op (Pval.unbox_float c m a) (Pval.unbox_float c m b)))
+  in
+  Pval.unbox_float c m v
+
+let scan_block = 256
+
+(* Join a rope of float-leaf blocks (built per block index) into one
+   flat float array.  Sequential, but over n/512 blocks only. *)
+let join_blocks rt (m : Ctx.mutator) d blocks =
+  let c = Sched.ctx rt in
+  let ptrs = ref [] in
+  Pval.arr_iter c m blocks (fun p -> ptrs := p :: !ptrs);
+  match List.rev !ptrs with
+  | [] -> Value.of_int 0
+  | first :: rest ->
+      let acc = Roots.add m.Ctx.roots first in
+      List.iter
+        (fun p ->
+          Roots.protect m.Ctx.roots p (fun cp ->
+              let joined = Pval.arr_join c m d (Roots.get acc) (Roots.get cp) in
+              Roots.set acc joined;
+              Value.unit)
+          |> ignore)
+        rest;
+      let v = Roots.get acc in
+      Roots.remove m.Ctx.roots acc;
+      v
+
+let scan_f rt (m : Ctx.mutator) d arr =
+  let c = Sched.ctx rt in
+  let n = Pval.farr_length c m arr in
+  if n = 0 then (Value.of_int 0, 0.)
+  else begin
+    let nblocks = (n + scan_block - 1) / scan_block in
+    let carr = Roots.add m.Ctx.roots arr in
+    (* Phase 1 (parallel): per-block sums. *)
+    let sums_arr =
+      tabulate_f rt m d
+        ~env:[| Roots.get carr |]
+        ~n:nblocks ~grain:1
+        ~f:(fun m env b ->
+          let arr = env.(0) in
+          let lo = b * scan_block and hi = min n ((b + 1) * scan_block) in
+          let s = ref 0. in
+          for i = lo to hi - 1 do
+            s := !s +. Pval.farr_get c m arr i
+          done;
+          !s)
+    in
+    (* Phase 2 (tiny, sequential): prefix the block sums.  Plain floats,
+       safe to capture in the phase-3 closures. *)
+    let csums = Roots.add m.Ctx.roots sums_arr in
+    let offsets = Array.make nblocks 0. in
+    let total = ref 0. in
+    for b = 0 to nblocks - 1 do
+      offsets.(b) <- !total;
+      total := !total +. Pval.farr_get c m (Roots.get csums) b
+    done;
+    Roots.remove m.Ctx.roots csums;
+    (* Phase 3 (parallel): each block fills from its offset; the block
+       leaves are then joined into one flat array. *)
+    let blocks =
+      tabulate rt m d
+        ~env:[| Roots.get carr |]
+        ~n:nblocks ~grain:1
+        ~f:(fun m env b ->
+          let arr = env.(0) in
+          let lo = b * scan_block and hi = min n ((b + 1) * scan_block) in
+          let width = hi - lo in
+          (* Read the inputs before allocating the output block. *)
+          let buf = Array.make width 0. in
+          let acc = ref offsets.(b) in
+          for i = lo to hi - 1 do
+            buf.(i - lo) <- !acc;
+            acc := !acc +. Pval.farr_get c m arr i
+          done;
+          let v = Alloc.alloc_raw c m ~words:width in
+          Array.iteri (fun k x -> Alloc.init_float c m v k x) buf;
+          v)
+    in
+    Roots.remove m.Ctx.roots carr;
+    let scanned =
+      Roots.protect m.Ctx.roots blocks (fun cb ->
+          join_blocks rt m d (Roots.get cb))
+    in
+    (scanned, !total)
+  end
+
+let filter rt (m : Ctx.mutator) d arr ~pred =
+  let c = Sched.ctx rt in
+  let n = Pval.arr_length c m arr in
+  if n = 0 then Value.of_int 0
+  else
+    dc rt m ~env:[| arr |] ~lo:0 ~hi:n ~grain:scan_block
+      ~leaf:(fun m env lo hi ->
+        let arr = env.(0) in
+        let keep = ref [] in
+        for i = lo to hi - 1 do
+          let x = Value.to_int (Pval.arr_get c m arr i) in
+          if pred x then keep := x :: !keep
+        done;
+        match List.rev !keep with
+        | [] -> Value.of_int 0
+        | xs -> Pval.arr_of_int_array c m d (Array.of_list xs))
+      ~combine:(fun m a b -> Pval.arr_join (Sched.ctx rt) m d a b)

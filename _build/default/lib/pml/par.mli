@@ -1,0 +1,70 @@
+(** Implicitly-threaded parallel combinators (paper §2.1, §2.3).
+
+    These are the PML surface forms — [par2], parallel tabulate, map and
+    reduce — implemented by pushing work onto the vproc-local deque and
+    executing the first unit immediately; idle vprocs steal the rest.
+
+    {b Environment discipline}: a parallel task's code must receive every
+    heap value it uses through its [env] array.  Values captured in plain
+    OCaml closures would neither be promoted when the task is stolen nor
+    updated when a collector moves them.  Plain integers and floats may
+    be captured freely. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+type task = Ctx.mutator -> Value.t array -> Value.t
+(** Task code: receives the *executing* vproc's mutator and the (possibly
+    promoted) environment.  Must root env values it holds across
+    allocation or suspension points. *)
+
+val par2 :
+  Sched.t -> Ctx.mutator -> env_a:Value.t array -> env_b:Value.t array ->
+  task -> task -> Value.t * Value.t
+(** Evaluate two tasks in parallel: [b] is spawned, [a] runs immediately
+    (the work-first strategy of §2.3); both results are returned rooted
+    against nothing — use or root them immediately. *)
+
+val dc :
+  Sched.t -> Ctx.mutator -> env:Value.t array -> lo:int -> hi:int ->
+  grain:int ->
+  leaf:(Ctx.mutator -> Value.t array -> int -> int -> Value.t) ->
+  combine:(Ctx.mutator -> Value.t -> Value.t -> Value.t) -> Value.t
+(** Divide-and-conquer over an integer range: ranges at or below [grain]
+    run [leaf m env lo hi]; larger ranges split in half, spawning the
+    upper half.  [combine] joins two sub-results (its arguments are
+    freshly rooted). *)
+
+val tabulate :
+  Sched.t -> Ctx.mutator -> Pval.descs -> env:Value.t array -> n:int ->
+  grain:int -> f:(Ctx.mutator -> Value.t array -> int -> Value.t) -> Value.t
+(** Build a parallel array of [n] values, [f m env i] each. *)
+
+val tabulate_f :
+  Sched.t -> Ctx.mutator -> Pval.descs -> env:Value.t array -> n:int ->
+  grain:int -> f:(Ctx.mutator -> Value.t array -> int -> float) -> Value.t
+(** Build a parallel float array. *)
+
+val reduce_f :
+  Sched.t -> Ctx.mutator -> env:Value.t array -> lo:int -> hi:int ->
+  grain:int ->
+  leaf:(Ctx.mutator -> Value.t array -> int -> int -> float) ->
+  (float -> float -> float) -> float
+(** Parallel reduction to a float: [leaf] folds a subrange; the operator
+    combines.  Results cross vprocs as boxed floats.  (A parallel map is
+    {!tabulate_f} with [f] reading the input array out of [env].) *)
+
+val scan_f :
+  Sched.t -> Ctx.mutator -> Pval.descs -> Value.t -> Value.t * float
+(** Exclusive parallel prefix sum of a float array (the NESL [scan]):
+    returns the scanned array and the total.  Three phases: parallel
+    per-block sums, a (tiny) sequential scan of the block sums, and a
+    parallel fill of each block from its offset. *)
+
+val filter :
+  Sched.t -> Ctx.mutator -> Pval.descs -> Value.t ->
+  pred:(int -> bool) -> Value.t
+(** Parallel filter (the NESL [pack]) over an array of immediates: keep
+    the elements satisfying [pred], preserving order.  Leaf blocks pack
+    locally; O(1) joins assemble the result. *)

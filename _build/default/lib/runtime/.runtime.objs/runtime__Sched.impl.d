@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Alloc Array Ctx Deque Effect Float Forward Gc_stats Global_gc Heap List Manticore_gc Numa Printexc Promote Proxy Queue Random Roots Value

@@ -1,0 +1,75 @@
+(* A growable ring buffer.  The simulator is single-threaded, so no
+   synchronization is needed; the cost model charges for it instead. *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable front : int; (* index of the oldest element *)
+  mutable n : int;
+}
+
+let create () = { buf = Array.make 8 None; front = 0; n = 0 }
+
+let grow t =
+  let cap = Array.length t.buf in
+  let bigger = Array.make (2 * cap) None in
+  for i = 0 to t.n - 1 do
+    bigger.(i) <- t.buf.((t.front + i) mod cap)
+  done;
+  t.buf <- bigger;
+  t.front <- 0
+
+let push t x =
+  if t.n = Array.length t.buf then grow t;
+  t.buf.((t.front + t.n) mod Array.length t.buf) <- Some x;
+  t.n <- t.n + 1
+
+let pop t =
+  if t.n = 0 then None
+  else begin
+    let i = (t.front + t.n - 1) mod Array.length t.buf in
+    let x = t.buf.(i) in
+    t.buf.(i) <- None;
+    t.n <- t.n - 1;
+    x
+  end
+
+let steal t =
+  if t.n = 0 then None
+  else begin
+    let x = t.buf.(t.front) in
+    t.buf.(t.front) <- None;
+    t.front <- (t.front + 1) mod Array.length t.buf;
+    t.n <- t.n - 1;
+    x
+  end
+
+let peek_front t = if t.n = 0 then None else t.buf.(t.front)
+
+let remove t pred =
+  let cap = Array.length t.buf in
+  let rec find i =
+    if i >= t.n then None
+    else
+      match t.buf.((t.front + i) mod cap) with
+      | Some x when pred x -> Some (i, x)
+      | _ -> find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some (i, x) ->
+      (* Shift the younger elements down over the hole. *)
+      for j = i to t.n - 2 do
+        t.buf.((t.front + j) mod cap) <- t.buf.((t.front + j + 1) mod cap)
+      done;
+      t.buf.((t.front + t.n - 1) mod cap) <- None;
+      t.n <- t.n - 1;
+      Some x
+
+let length t = t.n
+let is_empty t = t.n = 0
+
+let to_list t =
+  List.init t.n (fun i ->
+      match t.buf.((t.front + i) mod Array.length t.buf) with
+      | Some x -> x
+      | None -> assert false)

@@ -1,0 +1,29 @@
+(** The vproc-local work queue (paper §2.3).
+
+    The owner pushes and pops at the back (LIFO, depth-first execution of
+    implicitly-threaded work); thieves take from the front (FIFO — the
+    oldest, typically largest, unit of work). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+(** Owner: push at the back. *)
+
+val pop : 'a t -> 'a option
+(** Owner: pop from the back. *)
+
+val steal : 'a t -> 'a option
+(** Thief: take from the front. *)
+
+val peek_front : 'a t -> 'a option
+(** The oldest element, without removing it. *)
+
+val remove : 'a t -> ('a -> bool) -> 'a option
+(** Remove and return the first (oldest) element matching the predicate —
+    used to claim a specific queued work item at an await. O(n). *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val to_list : 'a t -> 'a list
+(** Front (oldest) first; for tests. *)

@@ -1,0 +1,748 @@
+open Heap
+open Manticore_gc
+
+type stats = {
+  mutable spawns : int;
+  mutable steals : int;
+  mutable inline_runs : int;
+  mutable fibers_completed : int;
+  mutable sends : int;
+  mutable yields : int;
+  mutable steal_promoted_bytes : int;
+}
+
+type work_item = {
+  wid : int;
+  fn : Ctx.mutator -> Value.t array -> Value.t;
+  mutable env : Roots.cell array;
+  mutable env_owner : int; (* vproc whose root set holds the env cells *)
+  pushed_ns : float;
+  fut : future;
+  mutable on_queue : int option; (* vproc whose deque currently holds it *)
+}
+
+and future = {
+  fid : int;
+  mutable fstate : fstate;
+  mutable waiters : waiter list;
+  mutable done_ns : float;
+}
+
+and fstate =
+  | Queued of work_item
+  | Running
+  | Done of {
+      owner : int;
+      cell : Roots.cell;
+      err : (exn * Printexc.raw_backtrace) option;
+    }
+
+and waiter = { w_vproc : int; w_k : (Value.t, unit) Effect.Deep.continuation }
+
+type task = { ready_ns : float; go : unit -> unit }
+
+type vproc = {
+  v_id : int;
+  mut : Ctx.mutator;
+  deque : work_item Deque.t;
+  runnable : task Queue.t;
+}
+
+(* Blocked channel partners.  A plain send/recv uses a fresh claim ref;
+   the arms of one [sync] choice share a claim ref, so committing any arm
+   atomically invalidates its siblings (the two-phase commit of Parallel
+   CML, simplified by the cooperative scheduler). *)
+type reader = {
+  r_vproc : int;
+  r_proxy : Roots.cell; (* in the receiver's proxy list *)
+  r_claim : bool ref;
+  r_resume : Value.t -> unit; (* deliver the message, reschedule the fiber *)
+}
+
+type writer = {
+  s_vproc : int;
+  s_val : Roots.cell; (* promoted message, rooted with the runtime *)
+  s_claim : bool ref;
+  s_resume : unit -> unit;
+}
+
+type chan = {
+  ch_id : int;
+  ch_obj : Roots.cell; (* the global-heap channel object *)
+  readers : reader Queue.t;
+  writers : writer Queue.t;
+}
+
+type steal_policy = Random_victim | Near_first
+
+type t = {
+  c : Ctx.t;
+  vprocs : vproc array;
+  quantum_ns : float;
+  eager_promotion : bool;
+  steal_policy : steal_policy;
+  rng : Random.State.t;
+  st : stats;
+  mutable next_wid : int;
+  mutable next_fid : int;
+  mutable next_chid : int;
+  mutable turn_start_ns : float;
+  mutable finished_ns : float;
+}
+
+type arm =
+  | Arm_send of chan * Value.t (* message already promoted *)
+  | Arm_recv of chan * Roots.cell (* pre-built proxy for blocking *)
+
+type _ Effect.t +=
+  | Ef_yield : unit Effect.t
+  | Ef_await : future -> Value.t Effect.t
+  | Ef_send : chan * Value.t -> unit Effect.t
+  | Ef_recv : chan * Roots.cell -> Value.t Effect.t
+  | Ef_sync : arm list -> (int * Value.t) Effect.t
+
+let ctx t = t.c
+let stats t = t.st
+let n_vprocs t = Array.length t.vprocs
+let elapsed_ns t = t.finished_ns
+
+let create ?(quantum_ns = 50_000.) ?(eager_promotion = false)
+    ?(steal_policy = Random_victim) ?(seed = 0x5eed) c =
+  let t =
+    {
+      c;
+      eager_promotion;
+      steal_policy;
+      vprocs =
+        Array.init (Ctx.n_vprocs c) (fun i ->
+            {
+              v_id = i;
+              mut = Ctx.mutator c i;
+              deque = Deque.create ();
+              runnable = Queue.create ();
+            });
+      quantum_ns;
+      rng = Random.State.make [| seed |];
+      st =
+        {
+          spawns = 0;
+          steals = 0;
+          inline_runs = 0;
+          fibers_completed = 0;
+          sends = 0;
+          yields = 0;
+          steal_promoted_bytes = 0;
+        };
+      next_wid = 0;
+      next_fid = 0;
+      next_chid = 0;
+      turn_start_ns = 0.;
+      finished_ns = 0.;
+    }
+  in
+  (* The paper's safe-point trick: a pending global collection zeroes the
+     allocation limit; here the allocating fiber yields and the scheduler
+     runs the collection between turns, when every fiber is parked at a
+     rooted suspension point. *)
+  Ctx.set_safe_point_hook c (fun _ _ -> Effect.perform Ef_yield);
+  t
+
+let enqueue_task (v : vproc) ~ready_ns go = Queue.add { ready_ns; go } v.runnable
+
+(* Resume a parked fiber with a heap value.  The value must ride in a
+   root cell, not in the closure: the task may sit in the runnable queue
+   across collections, and a closure-captured Value.t is invisible to
+   the collector. *)
+let enqueue_resume (vp : vproc) ~ready_ns k v =
+  let cell = Roots.add vp.mut.Ctx.roots v in
+  enqueue_task vp ~ready_ns (fun () ->
+      let v = Roots.get cell in
+      Roots.remove vp.mut.Ctx.roots cell;
+      Effect.Deep.continue k v)
+
+(* Pop entries until an unclaimed one appears; claimed entries are the
+   dead siblings of already-committed choices and are dropped (their
+   proxies are unregistered by the committing path). *)
+let rec take_unclaimed q claimed_of =
+  match Queue.take_opt q with
+  | None -> None
+  | Some e -> if !(claimed_of e) then take_unclaimed q claimed_of else Some e
+
+let take_reader ch = take_unclaimed ch.readers (fun r -> r.r_claim)
+let take_writer ch = take_unclaimed ch.writers (fun w -> w.s_claim)
+
+(* Hand a Done future's value to [to_vproc], promoting it out of the
+   owner's local heap first if it must cross vprocs.  The promotion is
+   the owner's work. *)
+let share t ~to_vproc (f : future) =
+  match f.fstate with
+  | Done { err = Some (e, bt); _ } -> Printexc.raise_with_backtrace e bt
+  | Done { owner; cell; err = None } ->
+      let v = Roots.get cell in
+      if to_vproc <> owner && Promote.is_local t.c t.vprocs.(owner).mut v then begin
+        let g = Promote.value t.c t.vprocs.(owner).mut v in
+        Roots.set cell g;
+        g
+      end
+      else v
+  | _ -> invalid_arg "Sched.share: future not done"
+
+let wake_waiters t (f : future) now =
+  let ws = List.rev f.waiters in
+  f.waiters <- [];
+  List.iter
+    (fun w ->
+      match f.fstate with
+      | Done { err = Some (e, bt); _ } ->
+          enqueue_task t.vprocs.(w.w_vproc) ~ready_ns:now (fun () ->
+              Effect.Deep.discontinue_with_backtrace w.w_k e bt)
+      | Done _ ->
+          let v = share t ~to_vproc:w.w_vproc f in
+          enqueue_resume t.vprocs.(w.w_vproc) ~ready_ns:now w.w_k v
+      | _ -> assert false)
+    ws
+
+let complete t (v : vproc) (f : future) result =
+  let cell, err =
+    match result with
+    | Ok value -> (Roots.add v.mut.Ctx.roots value, None)
+    | Error e -> (Roots.add v.mut.Ctx.roots Value.unit, Some e)
+  in
+  f.fstate <- Done { owner = v.v_id; cell; err };
+  f.done_ns <- v.mut.Ctx.now_ns;
+  t.st.fibers_completed <- t.st.fibers_completed + 1;
+  wake_waiters t f v.mut.Ctx.now_ns
+
+(* Claim a queued item's environment for executor [v], promoting it if it
+   crosses vprocs (lazy promotion at the steal, charged to the victim). *)
+let claim_env t (v : vproc) (item : work_item) =
+  if item.env_owner <> v.v_id then begin
+    let victim = t.vprocs.(item.env_owner) in
+    let moved =
+      Array.map
+        (fun c ->
+          let value = Ctx.resolve t.c victim.mut (Roots.get c) in
+          let before = victim.mut.Ctx.stats.Gc_stats.promoted_bytes in
+          let g = Promote.value t.c victim.mut value in
+          t.st.steal_promoted_bytes <-
+            t.st.steal_promoted_bytes
+            + (victim.mut.Ctx.stats.Gc_stats.promoted_bytes - before);
+          Roots.remove victim.mut.Ctx.roots c;
+          Roots.add v.mut.Ctx.roots g)
+        item.env
+    in
+    item.env <- moved;
+    item.env_owner <- v.v_id;
+    (* The thief pays the handshake: a couple of remote line transfers. *)
+    let topo = Numa.Cost_model.topology t.c.Ctx.cost in
+    Ctx.charge_ns v.mut
+      (4. *. topo.Numa.Topology.latency.(v.mut.Ctx.node).(victim.mut.Ctx.node))
+  end
+
+let take_env t (v : vproc) (item : work_item) =
+  (* Resolve forwarding: a cell may alias a value another path promoted. *)
+  let vals = Array.map (fun c -> Ctx.resolve t.c v.mut (Roots.get c)) item.env in
+  Array.iter (fun c -> Roots.remove v.mut.Ctx.roots c) item.env;
+  item.env <- [||];
+  vals
+
+(* Resume a parked fiber with an (arm index, value) pair; the value rides
+   in a root cell like in {!enqueue_resume}. *)
+let enqueue_resume_pair (vp : vproc) ~ready_ns k i v =
+  let cell = Roots.add vp.mut.Ctx.roots v in
+  enqueue_task vp ~ready_ns (fun () ->
+      let v = Roots.get cell in
+      Roots.remove vp.mut.Ctx.roots cell;
+      Effect.Deep.continue k (i, v))
+
+(* Deliver [gmsg] to a blocked reader: claim its proxy (a remote store
+   into the global heap), mark the choice committed, reschedule it. *)
+let commit_reader t (v : vproc) (r : reader) gmsg =
+  r.r_claim := true;
+  let paddr = Value.to_ptr (Roots.get r.r_proxy) in
+  Ctx.touch t.c v.mut ~addr:paddr ~bytes:16;
+  Proxy.set_state t.c.Ctx.store paddr 1;
+  Roots.remove t.vprocs.(r.r_vproc).mut.Ctx.proxies r.r_proxy;
+  r.r_resume gmsg
+
+(* Take a blocked writer's message and reschedule it. *)
+let commit_writer t (v : vproc) (w : writer) =
+  ignore v;
+  w.s_claim := true;
+  let gmsg = Roots.get w.s_val in
+  Roots.remove t.c.Ctx.global_roots w.s_val;
+  w.s_resume ();
+  gmsg
+
+(* When one arm of a parked choice commits, every sibling arm's resources
+   die: the recv arms' pre-built proxies and the send arms' rooted
+   messages.  The committed arm's own resources were consumed by the
+   commit path, so the removals are guarded. *)
+let release_choice (cleanups : (unit -> unit) list) =
+  List.iter (fun f -> try f () with Invalid_argument _ -> ()) cleanups
+
+(* Execute a work item to completion (modulo suspensions) on vproc [v]
+   under a fresh handler. *)
+let start_fiber t (v : vproc) (item : work_item) =
+  (match item.fut.fstate with
+  | Queued _ -> ()
+  | _ -> failwith "Sched.start_fiber: work item executed twice");
+  item.fut.fstate <- Running;
+  item.on_queue <- None;
+  claim_env t v item;
+  let env = take_env t v item in
+  let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option
+      = function
+    | Ef_yield ->
+        Some
+          (fun k ->
+            t.st.yields <- t.st.yields + 1;
+            enqueue_task v ~ready_ns:v.mut.Ctx.now_ns (fun () ->
+                Effect.Deep.continue k ()))
+    | Ef_await f ->
+        Some
+          (fun k ->
+            match f.fstate with
+            | Done _ -> (
+                match share t ~to_vproc:v.v_id f with
+                | value -> Effect.Deep.continue k value
+                | exception e -> Effect.Deep.discontinue k e)
+            | Running | Queued _ ->
+                (* A queued item stays on its deque for an idle vproc to
+                   claim; this fiber sleeps until the completion wakes
+                   it. *)
+                f.waiters <- { w_vproc = v.v_id; w_k = k } :: f.waiters)
+    | Ef_send (ch, gmsg) ->
+        Some
+          (fun k ->
+            t.st.sends <- t.st.sends + 1;
+            match take_reader ch with
+            | Some r ->
+                commit_reader t v r gmsg;
+                Effect.Deep.continue k ()
+            | None ->
+                let cell = Roots.add t.c.Ctx.global_roots gmsg in
+                Queue.add
+                  {
+                    s_vproc = v.v_id;
+                    s_val = cell;
+                    s_claim = ref false;
+                    s_resume =
+                      (fun () ->
+                        enqueue_task v ~ready_ns:v.mut.Ctx.now_ns (fun () ->
+                            Effect.Deep.continue k ()));
+                  }
+                  ch.writers)
+    | Ef_recv (ch, proxy_cell) ->
+        Some
+          (fun k ->
+            match take_writer ch with
+            | Some w ->
+                let gmsg = commit_writer t v w in
+                (* The pre-made proxy is not needed: drop it. *)
+                Roots.remove v.mut.Ctx.proxies proxy_cell;
+                Effect.Deep.continue k gmsg
+            | None ->
+                Queue.add
+                  {
+                    r_vproc = v.v_id;
+                    r_proxy = proxy_cell;
+                    r_claim = ref false;
+                    r_resume =
+                      (fun msg -> enqueue_resume v ~ready_ns:v.mut.Ctx.now_ns k msg);
+                  }
+                  ch.readers)
+    | Ef_sync arms ->
+        Some
+          (fun k ->
+            (* Poll: commit the first arm with an available partner. *)
+            let rec poll i = function
+              | [] -> None
+              | Arm_send (ch, gmsg) :: rest -> (
+                  match take_reader ch with
+                  | Some r ->
+                      t.st.sends <- t.st.sends + 1;
+                      commit_reader t v r gmsg;
+                      Some (i, Value.unit)
+                  | None -> poll (i + 1) rest)
+              | Arm_recv (ch, _) :: rest -> (
+                  match take_writer ch with
+                  | Some w -> Some (i, commit_writer t v w)
+                  | None -> poll (i + 1) rest)
+            in
+            match poll 0 arms with
+            | Some (i, value) ->
+                (* Release the unused pre-built proxies of recv arms. *)
+                List.iter
+                  (function
+                    | Arm_recv (_, pc) -> Roots.remove v.mut.Ctx.proxies pc
+                    | Arm_send _ -> ())
+                  arms;
+                Effect.Deep.continue k (i, value)
+            | None ->
+                (* Park on every arm under one shared claim; collect the
+                   per-arm cleanups run when any arm commits. *)
+                let claim = ref false in
+                let cleanups = ref [] in
+                List.iteri
+                  (fun i arm ->
+                    match arm with
+                    | Arm_send (ch, gmsg) ->
+                        let cell = Roots.add t.c.Ctx.global_roots gmsg in
+                        cleanups :=
+                          (fun () -> Roots.remove t.c.Ctx.global_roots cell)
+                          :: !cleanups;
+                        Queue.add
+                          {
+                            s_vproc = v.v_id;
+                            s_val = cell;
+                            s_claim = claim;
+                            s_resume =
+                              (fun () ->
+                                release_choice !cleanups;
+                                enqueue_task v ~ready_ns:v.mut.Ctx.now_ns
+                                  (fun () ->
+                                    Effect.Deep.continue k (i, Value.unit)));
+                          }
+                          ch.writers
+                    | Arm_recv (ch, pc) ->
+                        cleanups :=
+                          (fun () -> Roots.remove v.mut.Ctx.proxies pc)
+                          :: !cleanups;
+                        Queue.add
+                          {
+                            r_vproc = v.v_id;
+                            r_proxy = pc;
+                            r_claim = claim;
+                            r_resume =
+                              (fun msg ->
+                                release_choice !cleanups;
+                                enqueue_resume_pair v ~ready_ns:v.mut.Ctx.now_ns
+                                  k i msg);
+                          }
+                          ch.readers)
+                  arms)
+    | _ -> None
+  in
+  Effect.Deep.match_with
+    (fun () -> item.fn v.mut env)
+    ()
+    {
+      retc = (fun result -> complete t v item.fut (Ok result));
+      exnc =
+        (fun e ->
+          complete t v item.fut (Error (e, Printexc.get_raw_backtrace ())));
+      effc;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Fiber API                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let spawn t (m : Ctx.mutator) ~env fn =
+  let v = t.vprocs.(m.Ctx.id) in
+  let fut =
+    { fid = t.next_fid; fstate = Running; waiters = []; done_ns = 0. }
+  in
+  t.next_fid <- t.next_fid + 1;
+  (* Eager promotion (the ablation of §3.1's lazy scheme): pay the
+     promotion at every spawn instead of only at actual steals. *)
+  let env =
+    if t.eager_promotion then Array.map (fun v -> Promote.value t.c m v) env
+    else env
+  in
+  let item =
+    {
+      wid = t.next_wid;
+      fn;
+      env = Array.map (fun value -> Roots.add m.Ctx.roots value) env;
+      env_owner = m.Ctx.id;
+      pushed_ns = m.Ctx.now_ns;
+      fut;
+      on_queue = Some m.Ctx.id;
+    }
+  in
+  t.next_wid <- t.next_wid + 1;
+  fut.fstate <- Queued item;
+  Deque.push v.deque item;
+  t.st.spawns <- t.st.spawns + 1;
+  Ctx.charge_work t.c m ~cycles:40.;
+  fut
+
+(* Claim a queued item (possibly from another vproc's deque) and run it
+   inline in the current fiber. *)
+let resolve_queued t (m : Ctx.mutator) (item : work_item) =
+  let me = t.vprocs.(m.Ctx.id) in
+  let claimed =
+    match item.on_queue with
+    | None -> false
+    | Some q ->
+        let found = Deque.remove t.vprocs.(q).deque (fun i -> i.wid = item.wid) in
+        (match found with Some _ -> item.on_queue <- None | None -> ());
+        found <> None
+  in
+  if claimed then begin
+    (match item.fut.fstate with
+    | Queued _ -> ()
+    | _ -> failwith "Sched.resolve_queued: work item executed twice");
+    if item.env_owner <> m.Ctx.id then t.st.steals <- t.st.steals + 1
+    else t.st.inline_runs <- t.st.inline_runs + 1;
+    item.fut.fstate <- Running;
+    claim_env t me item;
+    let env = take_env t me item in
+    (* Run inside the current fiber: effects reach the current handler. *)
+    (match item.fn m env with
+    | result -> complete t me item.fut (Ok result)
+    | exception e ->
+        complete t me item.fut (Error (e, Printexc.get_raw_backtrace ())))
+  end
+
+(* Is there a vproc with nothing to do whose virtual clock is behind
+   ours?  If so, it would have stolen a queued item before our await even
+   happened in real time, so the awaiter must sleep rather than claim the
+   item inline (turn-based simulation runs the awaiter's turn first, but
+   virtual-time causality belongs to the thief). *)
+let exists_earlier_idle t (m : Ctx.mutator) =
+  let n = Array.length t.vprocs in
+  let rec go i =
+    if i >= n then false
+    else begin
+      let v = t.vprocs.(i) in
+      (v.v_id <> m.Ctx.id
+      && Queue.is_empty v.runnable
+      && Deque.is_empty v.deque
+      && v.mut.Ctx.now_ns < m.Ctx.now_ns)
+      || go (i + 1)
+    end
+  in
+  go 0
+
+let rec await t (m : Ctx.mutator) (f : future) =
+  match f.fstate with
+  | Done _ -> share t ~to_vproc:m.Ctx.id f
+  | Running -> Effect.perform (Ef_await f)
+  | Queued item ->
+      if exists_earlier_idle t m then Effect.perform (Ef_await f)
+      else begin
+        resolve_queued t m item;
+        await t m f
+      end
+
+let tick t (m : Ctx.mutator) =
+  if
+    t.c.Ctx.global_gc_pending
+    || m.Ctx.now_ns -. t.turn_start_ns > t.quantum_ns
+  then Effect.perform Ef_yield
+
+let yield _t _m = Effect.perform Ef_yield
+
+(* ------------------------------------------------------------------ *)
+(* Channels                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let new_channel t (m : Ctx.mutator) =
+  (* The channel is materialized as a small global object so that channel
+     metadata traffic exists in the simulated heap. *)
+  let local = Alloc.alloc_raw t.c m ~words:2 in
+  let g = Promote.value t.c m local in
+  let ch =
+    {
+      ch_id = t.next_chid;
+      ch_obj = Roots.add t.c.Ctx.global_roots g;
+      readers = Queue.create ();
+      writers = Queue.create ();
+    }
+  in
+  t.next_chid <- t.next_chid + 1;
+  ch
+
+let send t (m : Ctx.mutator) ch value =
+  (* Root the message across the tick's possible collection. *)
+  let value =
+    Roots.protect m.Ctx.roots value (fun cv ->
+        tick t m;
+        Ctx.resolve t.c m (Roots.get cv))
+  in
+  (* The sender promotes the message — the sharing point of §3.1. *)
+  let gmsg = Promote.value t.c m value in
+  Ctx.touch t.c m ~addr:(Value.to_ptr (Roots.get ch.ch_obj)) ~bytes:16;
+  Effect.perform (Ef_send (ch, gmsg))
+
+let recv t (m : Ctx.mutator) ch =
+  tick t m;
+  (* Pre-build the proxy that will stand for this fiber if it blocks (the
+     handler must not allocate). *)
+  let stub = Alloc.alloc_raw t.c m ~words:1 in
+  let dest = Forward.global_dest t.c m ~on_copy:(fun _ _ -> ()) in
+  let paddr = dest.Forward.alloc_dst ((Proxy.size_words + 1) * 8) in
+  Proxy.init t.c.Ctx.store ~addr:paddr ~owner:m.Ctx.id ~referent:stub;
+  Ctx.touch t.c m ~addr:paddr ~bytes:(8 * (Proxy.size_words + 1));
+  let pcell = Roots.add m.Ctx.proxies (Value.of_ptr paddr) in
+  Ctx.touch t.c m ~addr:(Value.to_ptr (Roots.get ch.ch_obj)) ~bytes:16;
+  Effect.perform (Ef_recv (ch, pcell))
+
+(* First-class synchronous events with choice — the Parallel CML
+   primitives the paper's explicit threading builds on (§2.1, [RRX09]). *)
+type event = Send_evt of chan * Value.t | Recv_evt of chan
+
+let mk_proxy t (m : Ctx.mutator) =
+  let stub = Alloc.alloc_raw t.c m ~words:1 in
+  let dest = Forward.global_dest t.c m ~on_copy:(fun _ _ -> ()) in
+  let paddr = dest.Forward.alloc_dst ((Proxy.size_words + 1) * 8) in
+  Proxy.init t.c.Ctx.store ~addr:paddr ~owner:m.Ctx.id ~referent:stub;
+  Ctx.touch t.c m ~addr:paddr ~bytes:(8 * (Proxy.size_words + 1));
+  Roots.add m.Ctx.proxies (Value.of_ptr paddr)
+
+let sync t (m : Ctx.mutator) (events : event list) =
+  if events = [] then invalid_arg "Sched.sync: empty choice";
+  (* Root every message across the tick's possible collection, promote
+     them (the sender side of each arm shares its message, §3.1), and
+     pre-build the blocking proxies for receive arms. *)
+  let cells =
+    List.map
+      (function
+        | Send_evt (ch, v) -> (ch, `S, Roots.add m.Ctx.roots v)
+        | Recv_evt ch -> (ch, `R, Roots.add m.Ctx.roots Value.unit))
+      events
+  in
+  tick t m;
+  let arms =
+    List.map
+      (fun (ch, kind, cell) ->
+        let arm =
+          match kind with
+          | `S ->
+              let gmsg = Promote.value t.c m (Ctx.resolve t.c m (Roots.get cell)) in
+              Arm_send (ch, gmsg)
+          | `R -> Arm_recv (ch, mk_proxy t m)
+        in
+        Roots.remove m.Ctx.roots cell;
+        arm)
+      cells
+  in
+  Effect.perform (Ef_sync arms)
+
+let select t m chans = sync t m (List.map (fun ch -> Recv_evt ch) chans)
+
+(* ------------------------------------------------------------------ *)
+(* The virtual-time driving loop                                       *)
+(* ------------------------------------------------------------------ *)
+
+type move =
+  | Run_task of vproc
+  | Run_own of vproc
+  | Run_steal of vproc * vproc (* thief, victim *)
+
+let next_move t =
+  let best = ref None in
+  let consider key mv =
+    match !best with
+    | Some (k, _) when k <= key -> ()
+    | _ -> best := Some (key, mv)
+  in
+  (* Victims for stealing, in deterministic rotated order per thief. *)
+  let n = Array.length t.vprocs in
+  Array.iter
+    (fun v ->
+      (match Queue.peek_opt v.runnable with
+      | Some task ->
+          consider (Float.max v.mut.Ctx.now_ns task.ready_ns) (Run_task v)
+      | None -> ());
+      if not (Deque.is_empty v.deque) then
+        consider v.mut.Ctx.now_ns (Run_own v))
+    t.vprocs;
+  (* Idle vprocs try to steal.  The default victim choice is uniformly
+     random (the paper's scheduler); [Near_first] prefers victims whose
+     node shares the thief's package, so stolen work's promoted data
+     crosses the cheap intra-package link — an extension worth an
+     ablation on the AMD machine's asymmetric interconnect. *)
+  let topo = Numa.Cost_model.topology t.c.Ctx.cost in
+  Array.iter
+    (fun thief ->
+      if Queue.is_empty thief.runnable && Deque.is_empty thief.deque then begin
+        let start = Random.State.int t.rng n in
+        let order =
+          match t.steal_policy with
+          | Random_victim -> List.init n (fun i -> (start + i) mod n)
+          | Near_first ->
+              let all = List.init n (fun i -> (start + i) mod n) in
+              let near, far =
+                List.partition
+                  (fun v ->
+                    Numa.Topology.same_package topo thief.mut.Ctx.node
+                      t.vprocs.(v).mut.Ctx.node)
+                  all
+              in
+              near @ far
+        in
+        let rec hunt = function
+          | [] -> ()
+          | v :: rest -> begin
+              let victim = t.vprocs.(v) in
+              match Deque.peek_front victim.deque with
+              | Some oldest when victim.v_id <> thief.v_id ->
+                  (* The steal cannot happen before the item existed. *)
+                  consider
+                    (Float.max thief.mut.Ctx.now_ns oldest.pushed_ns)
+                    (Run_steal (thief, victim))
+              | _ -> hunt rest
+            end
+        in
+        hunt order
+      end)
+    t.vprocs;
+  !best
+
+let run_move t = function
+  | Run_task v -> (
+      match Queue.take_opt v.runnable with
+      | None -> ()
+      | Some task ->
+          v.mut.Ctx.now_ns <- Float.max v.mut.Ctx.now_ns task.ready_ns;
+          t.turn_start_ns <- v.mut.Ctx.now_ns;
+          task.go ())
+  | Run_own v -> (
+      match Deque.pop v.deque with
+      | None -> ()
+      | Some item ->
+          v.mut.Ctx.now_ns <- Float.max v.mut.Ctx.now_ns item.pushed_ns;
+          t.turn_start_ns <- v.mut.Ctx.now_ns;
+          start_fiber t v item)
+  | Run_steal (thief, victim) -> (
+      match Deque.steal victim.deque with
+      | None -> ()
+      | Some item ->
+          item.on_queue <- None;
+          t.st.steals <- t.st.steals + 1;
+          thief.mut.Ctx.now_ns <-
+            Float.max thief.mut.Ctx.now_ns item.pushed_ns;
+          t.turn_start_ns <- thief.mut.Ctx.now_ns;
+          start_fiber t thief item)
+
+let run t ~main =
+  let v0 = t.vprocs.(0) in
+  let fut = spawn t v0.mut ~env:[||] (fun m _ -> main m) in
+  let rec loop () =
+    match fut.fstate with
+    | Done _ -> ()
+    | _ ->
+        if t.c.Ctx.global_gc_pending then begin
+          Global_gc.run t.c;
+          loop ()
+        end
+        else begin
+          match next_move t with
+          | Some (_, mv) ->
+              run_move t mv;
+              loop ()
+          | None ->
+              failwith
+                "Sched.run: deadlock — fibers blocked with no runnable work"
+        end
+  in
+  loop ();
+  t.finished_ns <-
+    Array.fold_left
+      (fun acc v -> Float.max acc v.mut.Ctx.now_ns)
+      0. t.vprocs;
+  share t ~to_vproc:0 fut

@@ -1,0 +1,119 @@
+(** The vproc scheduler: cooperative fibers over effect handlers, driven
+    in *virtual time*.
+
+    Each vproc owns a work deque and a runnable queue.  The scheduler
+    always advances the vproc with the smallest virtual clock, so "48
+    cores" are simulated faithfully on one host thread: parallel work
+    costs are charged to per-vproc clocks, and the program's makespan is
+    the clock of the vproc that finishes last.
+
+    Scheduling points are explicit, as in Manticore: spawning, awaiting,
+    channel operations, quantum expiry ({!tick}), and the global-GC safe
+    point (the allocation-limit-zeroing trick of §3.4 becomes a fiber
+    yield followed by a scheduler-run collection).  Fiber code must obey
+    the rooting discipline: any heap reference held across a call that
+    can allocate or suspend must live in a {!Manticore_gc.Roots} cell.
+
+    Work stealing (§2.3): an idle vproc takes the *oldest* item from a
+    victim's deque.  The item's captured environment is then promoted to
+    the global heap — lazy promotion, paid only when work actually moves
+    (§3.1); the promotion is charged to the victim, which services the
+    steal. *)
+
+open Heap
+open Manticore_gc
+
+type t
+type future
+type chan
+
+type stats = {
+  mutable spawns : int;
+  mutable steals : int;
+  mutable inline_runs : int;  (** futures claimed and run by the awaiter *)
+  mutable fibers_completed : int;
+  mutable sends : int;
+  mutable yields : int;
+  mutable steal_promoted_bytes : int;
+}
+
+type steal_policy =
+  | Random_victim  (** uniformly random victims — the paper's scheduler *)
+  | Near_first
+      (** prefer victims in the thief's own package (extension: stolen
+          work's promoted data then crosses the cheap intra-package
+          link) *)
+
+val create :
+  ?quantum_ns:float -> ?eager_promotion:bool -> ?steal_policy:steal_policy ->
+  ?seed:int -> Ctx.t -> t
+(** Wrap a heap context; installs the scheduler's global-GC safe-point
+    hook.  [quantum_ns] (default 50,000) bounds a fiber's run between
+    yields at {!tick} points.  [eager_promotion] promotes every spawned
+    environment immediately instead of lazily at steals — the ablation
+    of the paper's lazy scheme. *)
+
+val ctx : t -> Ctx.t
+val stats : t -> stats
+
+(** {2 Fiber API — call only from fiber code} *)
+
+val spawn :
+  t -> Ctx.mutator -> env:Value.t array ->
+  (Ctx.mutator -> Value.t array -> Value.t) -> future
+(** Push a unit of work onto the calling vproc's deque.  [env] values are
+    rooted with the spawner and handed (possibly promoted) to whichever
+    vproc executes the work. *)
+
+val await : t -> Ctx.mutator -> future -> Value.t
+(** Wait for a future.  A still-queued item is claimed and run inline by
+    the awaiter (stealing it first if it sits on another vproc's deque);
+    a running item suspends this fiber.  Re-raises the fiber's exception.
+    The returned value is promoted if it crosses vprocs. *)
+
+val tick : t -> Ctx.mutator -> unit
+(** A safe point: yields if the quantum expired or a global collection is
+    pending.  Combinators call this once per element of parallel work. *)
+
+val yield : t -> Ctx.mutator -> unit
+
+val new_channel : t -> Ctx.mutator -> chan
+(** A CML-style synchronous channel, represented by a global-heap object
+    rooted with the runtime. *)
+
+val send : t -> Ctx.mutator -> chan -> Value.t -> unit
+(** Synchronous send: promotes the message (the sharing point of §3.1)
+    and blocks until a receiver takes it. *)
+
+val recv : t -> Ctx.mutator -> chan -> Value.t
+(** Synchronous receive: blocks by publishing a proxy (footnote 1) that
+    stands for this fiber until a sender claims it. *)
+
+(** {2 First-class events (Parallel CML, §2.1)} *)
+
+type event =
+  | Send_evt of chan * Value.t  (** offer a message on a channel *)
+  | Recv_evt of chan  (** offer to take a message *)
+
+val sync : t -> Ctx.mutator -> event list -> int * Value.t
+(** Synchronize on exactly one of the events: the index of the committed
+    arm and, for a receive, the message ([Value.unit] for a send).  Arms
+    of one choice commit atomically — a partner taking one arm
+    invalidates the siblings.  Raises [Invalid_argument] on an empty
+    list. *)
+
+val select : t -> Ctx.mutator -> chan list -> int * Value.t
+(** [sync] over receive events only. *)
+
+(** {2 Top level} *)
+
+val run : t -> main:(Ctx.mutator -> Value.t) -> Value.t
+(** Run [main] as the initial fiber on vproc 0 and drive the scheduler
+    until it completes.  Returns its (globalized) result; re-raises its
+    exception.  Raises [Failure] on deadlock. *)
+
+val elapsed_ns : t -> float
+(** Virtual makespan of the last {!run}: the largest vproc clock when the
+    main fiber completed. *)
+
+val n_vprocs : t -> int

@@ -1,0 +1,1 @@
+lib/sim_mem/addr.ml:

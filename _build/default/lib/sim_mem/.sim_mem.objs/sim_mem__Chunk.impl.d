@@ -1,0 +1,1 @@
+lib/sim_mem/chunk.ml: Addr Array List Memory Page_alloc Page_policy

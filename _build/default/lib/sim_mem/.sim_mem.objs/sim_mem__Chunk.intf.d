@@ -1,0 +1,1 @@
+lib/sim_mem/chunk.mli: Page_alloc Page_policy

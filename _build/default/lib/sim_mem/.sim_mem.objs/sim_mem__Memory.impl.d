@@ -1,0 +1,1 @@
+lib/sim_mem/memory.ml: Addr Array Bigarray Bytes Char

@@ -1,0 +1,1 @@
+lib/sim_mem/page_alloc.ml: Hashtbl Memory Page_policy

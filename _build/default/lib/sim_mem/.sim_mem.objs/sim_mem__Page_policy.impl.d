@@ -1,0 +1,1 @@
+lib/sim_mem/page_policy.ml: Format Printf String

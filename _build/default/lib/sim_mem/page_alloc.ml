@@ -1,0 +1,64 @@
+type t = {
+  mem : Memory.t;
+  free_runs : (int, int list ref) Hashtbl.t; (* n_pages -> base addresses *)
+  mutable bump_page : int; (* next never-used page *)
+  mutable allocated : int;
+}
+
+let create mem =
+  {
+    mem;
+    free_runs = Hashtbl.create 16;
+    bump_page = 1 (* page 0 reserved so that address 0 stays null *);
+    allocated = 0;
+  }
+
+let pages_for t bytes =
+  let pb = Memory.page_bytes t.mem in
+  (bytes + pb - 1) / pb
+
+let take_free t n_pages =
+  match Hashtbl.find_opt t.free_runs n_pages with
+  | Some ({ contents = addr :: rest } as cell) ->
+      cell := rest;
+      Some addr
+  | _ -> None
+
+let alloc t ~policy ~requester_node ~bytes =
+  if bytes <= 0 then invalid_arg "Page_alloc.alloc: non-positive size";
+  let n_pages = pages_for t bytes in
+  let pb = Memory.page_bytes t.mem in
+  let first_page =
+    match take_free t n_pages with
+    | Some addr -> addr / pb
+    | None ->
+        let p = t.bump_page in
+        if (p + n_pages) * pb > Memory.capacity_bytes t.mem then
+          raise Out_of_memory;
+        t.bump_page <- p + n_pages;
+        p
+  in
+  let n_nodes = Memory.n_nodes t.mem in
+  Memory.map_pages t.mem ~first_page ~n_pages ~node_of_page:(fun abs_page ->
+      Page_policy.node_for_page policy ~n_nodes ~requester_node ~abs_page);
+  t.allocated <- t.allocated + (n_pages * pb);
+  first_page * pb
+
+let free t ~addr ~bytes =
+  let pb = Memory.page_bytes t.mem in
+  if addr mod pb <> 0 then invalid_arg "Page_alloc.free: unaligned";
+  let n_pages = pages_for t bytes in
+  Memory.unmap_pages t.mem ~first_page:(addr / pb) ~n_pages;
+  t.allocated <- t.allocated - (n_pages * pb);
+  let cell =
+    match Hashtbl.find_opt t.free_runs n_pages with
+    | Some c -> c
+    | None ->
+        let c = ref [] in
+        Hashtbl.add t.free_runs n_pages c;
+        c
+  in
+  cell := addr :: !cell
+
+let allocated_bytes t = t.allocated
+let memory t = t.mem

@@ -1,0 +1,24 @@
+(** Region allocator over simulated physical pages.
+
+    Hands out page-aligned, page-multiple regions of the flat address
+    space and maps their pages to NUMA nodes according to the placement
+    policy in force.  Address 0 is reserved (null), so the first page is
+    never allocated.  Freed regions are recycled by exact page count;
+    reuse re-maps pages under the current request's policy. *)
+
+type t
+
+val create : Memory.t -> t
+
+val alloc : t -> policy:Page_policy.t -> requester_node:int -> bytes:int -> int
+(** Returns the base byte address of a zeroed region covering [bytes]
+    (rounded up to whole pages).  Raises [Out_of_memory] when the
+    simulated physical memory is exhausted. *)
+
+val free : t -> addr:int -> bytes:int -> unit
+(** Return a region obtained from {!alloc} (same [bytes]). *)
+
+val allocated_bytes : t -> int
+(** Total bytes currently allocated (page-rounded). *)
+
+val memory : t -> Memory.t

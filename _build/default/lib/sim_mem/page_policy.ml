@@ -1,0 +1,40 @@
+type t = Local | Interleaved | Single_node of int
+
+let node_for_page t ~n_nodes ~requester_node ~abs_page =
+  match t with
+  | Local -> requester_node
+  | Interleaved -> abs_page mod n_nodes
+  | Single_node n ->
+      if n < 0 || n >= n_nodes then
+        invalid_arg "Page_policy: single node out of range";
+      n
+
+let to_string = function
+  | Local -> "local"
+  | Interleaved -> "interleaved"
+  | Single_node n -> if n = 0 then "single-node" else Printf.sprintf "single-node:%d" n
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "local" -> Ok Local
+  | "interleaved" | "interleave" -> Ok Interleaved
+  | "single-node" | "single" | "socket0" -> Ok (Single_node 0)
+  | s -> (
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "single-node" -> (
+          match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+          | Some n when n >= 0 -> Ok (Single_node n)
+          | _ -> Error (Printf.sprintf "bad single-node index in %S" s))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "unknown policy %S (expected local | interleaved | single-node[:N])"
+               s))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b =
+  match (a, b) with
+  | Local, Local | Interleaved, Interleaved -> true
+  | Single_node x, Single_node y -> x = y
+  | _ -> false

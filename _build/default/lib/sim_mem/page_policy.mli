@@ -1,0 +1,20 @@
+(** Physical page placement policies (paper §4.3).
+
+    - [Local]: pages land on the node of the requesting (pinned) vproc —
+      the paper's default and its headline design choice.
+    - [Interleaved]: pages are balanced round-robin across all nodes by
+      absolute page number, the GHC-style strategy of Figure 6.
+    - [Single_node n]: every page lands on node [n], the behaviour a
+      NUMA-oblivious single-threaded collector gets by default
+      (Figure 7 uses socket zero). *)
+
+type t = Local | Interleaved | Single_node of int
+
+val node_for_page : t -> n_nodes:int -> requester_node:int -> abs_page:int -> int
+(** Which node should host absolute page [abs_page]?  Raises
+    [Invalid_argument] if a [Single_node] target is out of range. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/workloads/barnes_hut.ml: Alloc Array Ctx Descriptor Float Header Heap List Manticore_gc Plummer Pml Roots Runtime Sched Store Value

@@ -1,0 +1,1 @@
+lib/workloads/barnes_hut.mli: Ctx Heap Manticore_gc Pml Runtime Sched Value

@@ -1,0 +1,1 @@
+lib/workloads/dmm.ml: Array Ctx Manticore_gc Pml Roots Runtime Sched Wutil

@@ -1,0 +1,1 @@
+lib/workloads/dmm.mli: Ctx Heap Manticore_gc Pml Runtime Sched Value

@@ -1,0 +1,1 @@
+lib/workloads/extras.ml: Array Ctx Float Heap List Manticore_gc Pml Roots Runtime Sched Value Wutil

@@ -1,0 +1,1 @@
+lib/workloads/plummer.ml: Array Float Random

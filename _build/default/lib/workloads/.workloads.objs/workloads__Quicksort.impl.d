@@ -1,0 +1,1 @@
+lib/workloads/quicksort.ml: Array Ctx Float Heap List Manticore_gc Pml Random Roots Runtime Sched Value

@@ -1,0 +1,1 @@
+lib/workloads/quicksort.mli: Ctx Heap Manticore_gc Pml Runtime Sched Value

@@ -1,0 +1,1 @@
+lib/workloads/raytracer.ml: Alloc Array Ctx Float Heap Manticore_gc Pml Roots Runtime Sched Value Wutil

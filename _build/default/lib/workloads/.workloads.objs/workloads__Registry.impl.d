@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Barnes_hut Ctx Dmm Extras Float Heap List Manticore_gc Pml Printf Quicksort Raytracer Runtime Sched Smvm Synthetic

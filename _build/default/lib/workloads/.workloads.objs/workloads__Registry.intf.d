@@ -1,0 +1,1 @@
+lib/workloads/registry.mli: Ctx Heap Manticore_gc Pml Runtime Sched

@@ -1,0 +1,1 @@
+lib/workloads/smvm.ml: Array Ctx Heap Manticore_gc Pml Roots Runtime Sched Value Wutil

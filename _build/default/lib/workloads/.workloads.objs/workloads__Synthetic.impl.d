@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Ctx Heap List Manticore_gc Pml Roots Runtime Sched Value

@@ -1,0 +1,1 @@
+lib/workloads/wutil.mli: Ctx Heap Manticore_gc Runtime Sched Value

@@ -1,0 +1,66 @@
+open Manticore_gc
+open Runtime
+
+let size_of_scale scale = max 8 (int_of_float (48. *. scale))
+
+(* Deterministic input values. *)
+let aval i k = float_of_int (((i * 31) + (k * 17)) mod 13) -. 6.
+let bval k j = float_of_int (((k * 7) + (j * 29)) mod 11) -. 5.
+
+let main rt d (m : Ctx.mutator) ~scale =
+  let c = Sched.ctx rt in
+  let n = size_of_scale scale in
+  (* Build A (rows) and B-transposed (columns) in parallel so the data is
+     distributed across the vprocs that will consume it. *)
+  let build f =
+    Pml.Par.tabulate rt m d ~env:[||] ~n ~grain:1 ~f:(fun m _ i ->
+        Pml.Pval.farr_tabulate c m d ~n ~f:(fun k -> f i k))
+  in
+  let a = build aval in
+  Roots.protect m.Ctx.roots a (fun ca ->
+      let bt = build (fun j k -> bval k j) in
+      Roots.protect m.Ctx.roots bt (fun cbt ->
+          let cm =
+            Pml.Par.tabulate rt m d
+              ~env:[| Roots.get ca; Roots.get cbt |]
+              ~n ~grain:1
+              ~f:(fun m env i ->
+                (* Each row is itself computed by a two-task parallel
+                   tabulate, halving the leaf granularity so 48 vprocs
+                   balance well even when rows barely outnumber them. *)
+                Pml.Par.tabulate_f rt m d ~env ~n ~grain:((n / 2) + 1)
+                  ~f:(fun m env j ->
+                    let av = env.(0) and btv = env.(1) in
+                    (* Fresh pointers per element; the dot product itself
+                       performs no allocation. *)
+                    let row = Pml.Pval.arr_get c m av i in
+                    let col = Pml.Pval.arr_get c m btv j in
+                    let s = ref 0. in
+                    for k = 0 to n - 1 do
+                      s :=
+                        !s
+                        +. (Pml.Pval.farr_get c m row k
+                           *. Pml.Pval.farr_get c m col k)
+                    done;
+                    Ctx.charge_work c m ~cycles:(2. *. float_of_int n);
+                    !s))
+          in
+          (* Checksum, reduced in parallel so verification does not
+             serialize the tail of the benchmark. *)
+          Roots.protect m.Ctx.roots cm (fun ccm ->
+              let total = Wutil.sum_rows rt m (Roots.get ccm) in
+              Pml.Pval.box_float c m total)))
+
+let expected ~scale =
+  let n = size_of_scale scale in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref 0. in
+      for k = 0 to n - 1 do
+        s := !s +. (aval i k *. bval k j)
+      done;
+      total := !total +. !s
+    done
+  done;
+  !total

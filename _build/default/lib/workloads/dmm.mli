@@ -1,0 +1,22 @@
+(** The DMM benchmark (paper §4.1): dense-matrix by dense-matrix
+    multiplication.  The paper multiplies two 600x600 matrices; our
+    default scaled size is 48x48 (see DESIGN.md §6).
+
+    Rows of the inputs and of the result are built by parallel tabulate,
+    so each row lives in (or near) the heap of the vproc that computes
+    with it — abundant, independent parallelism with excellent locality,
+    which is why this benchmark scales almost ideally in Figures 4–7. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+val size_of_scale : float -> int
+(** Matrix dimension for a scale factor ([1.0] -> 48). *)
+
+val main : Sched.t -> Pml.Pval.descs -> Ctx.mutator -> scale:float -> Value.t
+(** Fiber code: builds A and B (transposed), multiplies, and returns the
+    boxed checksum (sum of all result elements). *)
+
+val expected : scale:float -> float
+(** The checksum recomputed in plain OCaml. *)

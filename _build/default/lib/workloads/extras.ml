@@ -1,0 +1,206 @@
+open Heap
+open Manticore_gc
+open Runtime
+
+(* --- nqueens ------------------------------------------------------- *)
+
+let nq_of_scale scale =
+  if scale >= 1.5 then 10 else if scale >= 0.5 then 9 else 8
+
+(* Is placing a queen at [col] on the next row safe against the partial
+   board (a heap list of column indices, most recent first)? *)
+let safe c m board col =
+  let rec go v dist =
+    if Pml.Pval.is_nil v then true
+    else begin
+      let qc = Value.to_int (Pml.Pval.head c m v) in
+      if qc = col || qc = col - dist || qc = col + dist then false
+      else go (Pml.Pval.tail c m v) (dist + 1)
+    end
+  in
+  go board 1
+
+let rec solutions rt c (m : Ctx.mutator) ~n ~row ~spawn_depth board =
+  if row = n then 1
+  else begin
+    let cboard = Roots.add m.Ctx.roots board in
+    let count = ref 0 in
+    if spawn_depth > 0 then begin
+      (* Parallel: one task per safe column. *)
+      let futs = ref [] in
+      for col = 0 to n - 1 do
+        if safe c m (Roots.get cboard) col then begin
+          let board' =
+            Pml.Pval.cons c m (Value.of_int col) (Roots.get cboard)
+          in
+          let fut =
+            Sched.spawn rt m ~env:[| board' |] (fun m' env ->
+                Value.of_int
+                  (solutions rt c m' ~n ~row:(row + 1)
+                     ~spawn_depth:(spawn_depth - 1) env.(0)))
+          in
+          futs := fut :: !futs
+        end
+      done;
+      List.iter
+        (fun fut -> count := !count + Value.to_int (Sched.await rt m fut))
+        !futs
+    end
+    else begin
+      Sched.tick rt m;
+      for col = 0 to n - 1 do
+        if safe c m (Roots.get cboard) col then begin
+          let board' =
+            Pml.Pval.cons c m (Value.of_int col) (Roots.get cboard)
+          in
+          count :=
+            !count
+            + solutions rt c m ~n ~row:(row + 1) ~spawn_depth:0 board'
+        end
+      done
+    end;
+    Roots.remove m.Ctx.roots cboard;
+    !count
+  end
+
+let nqueens_main rt _d (m : Ctx.mutator) ~scale =
+  let c = Sched.ctx rt in
+  let n = nq_of_scale scale in
+  let count = solutions rt c m ~n ~row:0 ~spawn_depth:2 Pml.Pval.nil in
+  Pml.Pval.box_float c m (float_of_int count)
+
+let nqueens_expected ~scale =
+  match nq_of_scale scale with
+  | 8 -> 92.
+  | 9 -> 352.
+  | 10 -> 724.
+  | _ -> assert false
+
+(* --- mandelbrot ---------------------------------------------------- *)
+
+let mb_of_scale scale = max 16 (int_of_float (64. *. scale))
+let mb_max_iter = 64
+
+let escape cx cy =
+  let rec go zr zi i =
+    if i >= mb_max_iter || (zr *. zr) +. (zi *. zi) > 4. then i
+    else go ((zr *. zr) -. (zi *. zi) +. cx) ((2. *. zr *. zi) +. cy) (i + 1)
+  in
+  go 0. 0. 0
+
+let mandelbrot_main rt d (m : Ctx.mutator) ~scale =
+  let c = Sched.ctx rt in
+  let n = mb_of_scale scale in
+  let fn = float_of_int n in
+  let grid =
+    Pml.Par.tabulate rt m d ~env:[||] ~n ~grain:1 ~f:(fun m _ y ->
+        let out = Array.make n 0. in
+        for x = 0 to n - 1 do
+          let cx = (float_of_int x /. fn *. 3.) -. 2.25 in
+          let cy = (float_of_int y /. fn *. 2.5) -. 1.25 in
+          let it = escape cx cy in
+          out.(x) <- float_of_int it;
+          Ctx.charge_work c m ~cycles:(float_of_int (12 * (it + 1)))
+        done;
+        Pml.Pval.farr_tabulate c m d ~n ~f:(fun x -> out.(x)))
+  in
+  Roots.protect m.Ctx.roots grid (fun cg ->
+      let total = Wutil.sum_rows rt m (Roots.get cg) in
+      Pml.Pval.box_float c m total)
+
+let mandelbrot_expected ~scale =
+  let n = mb_of_scale scale in
+  let fn = float_of_int n in
+  let total = ref 0. in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      let cx = (float_of_int x /. fn *. 3.) -. 2.25 in
+      let cy = (float_of_int y /. fn *. 2.5) -. 1.25 in
+      total := !total +. float_of_int (escape cx cy)
+    done
+  done;
+  !total
+
+(* --- treeadd ------------------------------------------------------- *)
+
+let ta_depth_of_scale scale = max 8 (int_of_float (12. *. Float.min 1.5 scale))
+
+(* Build a complete binary tree of depth [d]: leaves are immediates,
+   interior nodes are pval nodes (size; left; right). *)
+let rec build_tree rt c (m : Ctx.mutator) descs ~depth ~label ~spawn_depth =
+  if depth = 0 then Value.of_int label
+  else if spawn_depth > 0 then begin
+    let fut =
+      Sched.spawn rt m ~env:[||] (fun m' _ ->
+          build_tree rt c m' descs ~depth:(depth - 1) ~label:((2 * label) + 1)
+            ~spawn_depth:(spawn_depth - 1))
+    in
+    let l =
+      build_tree rt c m descs ~depth:(depth - 1) ~label:(2 * label)
+        ~spawn_depth:(spawn_depth - 1)
+    in
+    Roots.protect m.Ctx.roots l (fun cl ->
+        let r = Sched.await rt m fut in
+        Pml.Pval.arr_node c m descs (Roots.get cl) r)
+  end
+  else begin
+    Sched.tick rt m;
+    let l =
+      build_tree rt c m descs ~depth:(depth - 1) ~label:(2 * label)
+        ~spawn_depth:0
+    in
+    Roots.protect m.Ctx.roots l (fun cl ->
+        let r =
+          build_tree rt c m descs ~depth:(depth - 1) ~label:((2 * label) + 1)
+            ~spawn_depth:0
+        in
+        Pml.Pval.arr_node c m descs (Roots.get cl) r)
+  end
+
+let rec sum_tree rt c (m : Ctx.mutator) ~spawn_depth v =
+  if Value.is_int v then Value.to_int v
+  else begin
+    (* Keep the node rooted: the recursion below can suspend and collect,
+       and fields must be re-read through the live copy. *)
+    let cv = Roots.add m.Ctx.roots v in
+    let field i =
+      Ctx.get_field c m (Value.to_ptr (Ctx.resolve c m (Roots.get cv))) i
+    in
+    let result =
+      if spawn_depth > 0 then begin
+        let fut =
+          Sched.spawn rt m ~env:[| field 2 |] (fun m' env ->
+              Value.of_int
+                (sum_tree rt c m' ~spawn_depth:(spawn_depth - 1) env.(0)))
+        in
+        let sl = sum_tree rt c m ~spawn_depth:(spawn_depth - 1) (field 1) in
+        sl + Value.to_int (Sched.await rt m fut)
+      end
+      else begin
+        Sched.tick rt m;
+        let sl = sum_tree rt c m ~spawn_depth:0 (field 1) in
+        sl + sum_tree rt c m ~spawn_depth:0 (field 2)
+      end
+    in
+    Roots.remove m.Ctx.roots cv;
+    result
+  end
+
+let treeadd_main rt d (m : Ctx.mutator) ~scale =
+  let c = Sched.ctx rt in
+  let depth = ta_depth_of_scale scale in
+  let tree = build_tree rt c m d ~depth ~label:1 ~spawn_depth:3 in
+  Roots.protect m.Ctx.roots tree (fun ct ->
+      let total = sum_tree rt c m ~spawn_depth:3 (Roots.get ct) in
+      Pml.Pval.box_float c m (float_of_int total))
+
+let treeadd_expected ~scale =
+  let depth = ta_depth_of_scale scale in
+  (* Leaves are labeled 2^depth .. 2^(depth+1)-1 via label doubling from
+     1; their sum is (2^depth) * (3 * 2^depth - 1) / 2 ... compute
+     directly instead. *)
+  let rec go depth label =
+    if depth = 0 then label
+    else go (depth - 1) (2 * label) + go (depth - 1) ((2 * label) + 1)
+  in
+  float_of_int (go depth 1)

@@ -1,0 +1,31 @@
+(** Additional programs from the Manticore benchmark family (the paper
+    evaluates five "from our benchmark suite"; these are three more
+    members of that suite's lineage, useful for widening GC coverage).
+    They are not part of the paper's figures.
+
+    - {b nqueens}: count the solutions of the N-queens problem by
+      parallel backtracking over heap-allocated partial boards — deep
+      fork-join parallelism with list churn.
+    - {b mandelbrot}: escape-time iteration over a grid — compute-bound
+      parallel tabulate, a second near-ideal scaler.
+    - {b treeadd}: build a balanced binary tree in parallel and sum it by
+      parallel traversal — pointer-heavy structures crossing vprocs. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+val nqueens_main :
+  Sched.t -> Pml.Pval.descs -> Ctx.mutator -> scale:float -> Value.t
+
+val nqueens_expected : scale:float -> float
+
+val mandelbrot_main :
+  Sched.t -> Pml.Pval.descs -> Ctx.mutator -> scale:float -> Value.t
+
+val mandelbrot_expected : scale:float -> float
+
+val treeadd_main :
+  Sched.t -> Pml.Pval.descs -> Ctx.mutator -> scale:float -> Value.t
+
+val treeadd_expected : scale:float -> float

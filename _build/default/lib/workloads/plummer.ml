@@ -1,0 +1,20 @@
+type particle = { mass : float; x : float; y : float; vx : float; vy : float }
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+let generate ~n ~seed =
+  let st = Random.State.make [| seed; n |] in
+  let a = 0.25 (* Plummer scale radius, squeezed into the unit box *) in
+  Array.init n (fun _ ->
+      (* Radius from the Plummer cumulative mass profile. *)
+      let u = Random.State.float st 0.999 +. 0.0005 in
+      let r = a /. sqrt ((u ** (-2. /. 3.)) -. 1.) in
+      let theta = Random.State.float st (2. *. Float.pi) in
+      let x = clamp (-0.99) 0.99 (r *. cos theta) in
+      let y = clamp (-0.99) 0.99 (r *. sin theta) in
+      (* Roughly circular velocities with some dispersion. *)
+      let v = 0.3 /. sqrt (sqrt ((r *. r) +. (a *. a))) in
+      let jitter = Random.State.float st 0.2 -. 0.1 in
+      let vx = (-.v *. sin theta) +. jitter in
+      let vy = (v *. cos theta) -. jitter in
+      { mass = 1. /. float_of_int n; x; y; vx; vy })

@@ -1,0 +1,9 @@
+(** Deterministic 2-D Plummer-distribution sampling for the Barnes-Hut
+    benchmark (the paper generates its 400,000 particles from a random
+    Plummer distribution). *)
+
+type particle = { mass : float; x : float; y : float; vx : float; vy : float }
+
+val generate : n:int -> seed:int -> particle array
+(** Positions are clamped into the unit box [[-1, 1]^2]; total mass is
+    normalized to 1. *)

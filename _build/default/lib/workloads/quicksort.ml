@@ -1,0 +1,119 @@
+open Heap
+open Manticore_gc
+open Runtime
+
+let size_of_scale scale = max 64 (int_of_float (40_000. *. scale))
+let seq_cutoff = 128
+let partition_grain = 512
+
+(* Deterministic pseudo-random input. *)
+let input_array n =
+  let st = Random.State.make [| 0xca11; n |] in
+  Array.init n (fun _ -> Random.State.int st 1_000_000)
+
+(* Sort a small rope by reading it out, sorting in OCaml, rebuilding. *)
+let seq_sort rt d (m : Ctx.mutator) arr =
+  let c = Sched.ctx rt in
+  let xs = Pml.Pval.arr_to_int_array c m arr in
+  Array.sort compare xs;
+  Pml.Pval.arr_of_int_array c m d xs
+
+(* Three-way parallel partition: returns a heap triple
+   (less, equal-count, greater). *)
+let partition3 rt d (m : Ctx.mutator) arr len pivot =
+  let c = Sched.ctx rt in
+  Pml.Par.dc rt m ~env:[| arr |] ~lo:0 ~hi:len ~grain:partition_grain
+    ~leaf:(fun m env lo hi ->
+      let arr = env.(0) in
+      (* Elements are immediates, so plain OCaml buckets suffice. *)
+      let lts = ref [] and gts = ref [] and eq = ref 0 in
+      for i = lo to hi - 1 do
+        let x = Value.to_int (Pml.Pval.arr_get c m arr i) in
+        if x < pivot then lts := x :: !lts
+        else if x > pivot then gts := x :: !gts
+        else incr eq
+      done;
+      let mk = function
+        | [] -> Value.of_int 0
+        | xs -> Pml.Pval.arr_of_int_array c m d (Array.of_list (List.rev xs))
+      in
+      let lt = mk !lts in
+      Roots.protect m.Ctx.roots lt (fun clt ->
+          let gt = mk !gts in
+          Pml.Pval.tuple c m [| Roots.get clt; Value.of_int !eq; gt |]))
+    ~combine:(fun m a b ->
+      let lt_a = Pml.Pval.field c m a 0 and lt_b = Pml.Pval.field c m b 0 in
+      let eq = Value.to_int (Pml.Pval.field c m a 1) + Value.to_int (Pml.Pval.field c m b 1) in
+      let gt_a = Pml.Pval.field c m a 2 and gt_b = Pml.Pval.field c m b 2 in
+      (* Joins are O(1); protect intermediates across the allocations. *)
+      Roots.protect m.Ctx.roots gt_a (fun cga ->
+          Roots.protect m.Ctx.roots gt_b (fun cgb ->
+              let lt = Pml.Pval.arr_join c m d lt_a lt_b in
+              Roots.protect m.Ctx.roots lt (fun clt ->
+                  let gt = Pml.Pval.arr_join c m d (Roots.get cga) (Roots.get cgb) in
+                  Roots.protect m.Ctx.roots gt (fun cgt ->
+                      Pml.Pval.tuple c m
+                        [| Roots.get clt; Value.of_int eq; Roots.get cgt |])))))
+
+let rec qsort rt d (m : Ctx.mutator) arr len =
+  let c = Sched.ctx rt in
+  let arr =
+    Roots.protect m.Ctx.roots arr (fun ca ->
+        Sched.tick rt m;
+        Ctx.resolve c m (Roots.get ca))
+  in
+  if len <= seq_cutoff then seq_sort rt d m arr
+  else begin
+    let pivot = Value.to_int (Pml.Pval.arr_get c m arr (len / 2)) in
+    let parts = partition3 rt d m arr len pivot in
+    let lt = Pml.Pval.field c m parts 0 in
+    let n_eq = Value.to_int (Pml.Pval.field c m parts 1) in
+    let gt = Pml.Pval.field c m parts 2 in
+    let n_lt = Pml.Pval.arr_length c m lt in
+    let n_gt = Pml.Pval.arr_length c m gt in
+    Roots.protect m.Ctx.roots lt (fun clt ->
+        let fut =
+          Sched.spawn rt m ~env:[| gt |] (fun m' env -> qsort rt d m' env.(0) n_gt)
+        in
+        let sorted_lt = qsort rt d m (Roots.get clt) n_lt in
+        Roots.protect m.Ctx.roots sorted_lt (fun cslt ->
+            let sorted_gt = Sched.await rt m fut in
+            Roots.protect m.Ctx.roots sorted_gt (fun csgt ->
+                let eqs =
+                  if n_eq = 0 then Value.of_int 0
+                  else
+                    Pml.Pval.arr_tabulate c m d ~n:n_eq ~f:(fun _ ->
+                        Value.of_int pivot)
+                in
+                Roots.protect m.Ctx.roots eqs (fun ceqs ->
+                    let right =
+                      Pml.Pval.arr_join c m d (Roots.get ceqs) (Roots.get csgt)
+                    in
+                    Roots.protect m.Ctx.roots right (fun cright ->
+                        Pml.Pval.arr_join c m d (Roots.get cslt)
+                          (Roots.get cright))))))
+  end
+
+let main rt d (m : Ctx.mutator) ~scale =
+  let c = Sched.ctx rt in
+  let n = size_of_scale scale in
+  let input = input_array n in
+  (* Build the input rope in parallel, as the paper's data generator
+     would. *)
+  let arr =
+    Pml.Par.tabulate rt m d ~env:[||] ~n ~grain:512 ~f:(fun _m _ i ->
+        Value.of_int input.(i))
+  in
+  let sorted = qsort rt d m arr n in
+  (* Validate: sorted permutation with the same sum. *)
+  Roots.protect m.Ctx.roots sorted (fun cs ->
+      let xs = Pml.Pval.arr_to_int_array c m (Roots.get cs) in
+      let want = Array.copy input in
+      Array.sort compare want;
+      let ok = Array.length xs = n && xs = want in
+      Pml.Pval.box_float c m
+        (if ok then float_of_int (Array.fold_left ( + ) 0 xs) else Float.nan))
+
+let expected ~scale =
+  let n = size_of_scale scale in
+  float_of_int (Array.fold_left ( + ) 0 (input_array n))

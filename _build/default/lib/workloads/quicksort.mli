@@ -1,0 +1,28 @@
+(** The Quicksort benchmark (paper §4.1): parallel quicksort over a
+    sequence of integers, after the NESL algorithm.  The paper sorts
+    10,000,000 integers; the default scaled size is 40,000.
+
+    The sequence is a rope (a [Pval] parallel array of immediates).  Each
+    level partitions in parallel — leaf tasks bucket a block into
+    less/equal/greater pieces and joins are O(1) interior nodes — and the
+    two recursive sorts run in parallel.  Scaling is limited by the
+    fork-join structure and the sequential residue at small sizes, which
+    is why quicksort improves steadily but sublinearly past ~16 threads
+    in the paper's figures. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+val size_of_scale : float -> int
+
+val main : Sched.t -> Pml.Pval.descs -> Ctx.mutator -> scale:float -> Value.t
+(** Returns a boxed checksum: the element sum if the output is a sorted
+    permutation of the input, or [nan] on corruption. *)
+
+val expected : scale:float -> float
+
+val qsort :
+  Sched.t -> Pml.Pval.descs -> Ctx.mutator -> Value.t -> int -> Value.t
+(** The parallel sort itself, on a rope of known length (exposed for
+    tests and examples). *)

@@ -1,0 +1,140 @@
+open Heap
+open Manticore_gc
+open Runtime
+
+let size_of_scale scale = max 16 (int_of_float (64. *. scale))
+let n_spheres = 9
+
+(* Scene: sphere s has center, radius, and diffuse albedo; deterministic
+   placement on a loose grid in front of the camera. *)
+let sphere_cx s = float_of_int ((s mod 3) - 1) *. 1.4
+let sphere_cy s = float_of_int ((s / 3) - 1) *. 1.1
+let sphere_cz s = 4. +. (0.6 *. float_of_int (s mod 4))
+let sphere_r s = 0.45 +. (0.05 *. float_of_int (s mod 3))
+let sphere_albedo s = 0.4 +. (0.06 *. float_of_int s)
+let light = (-3., 4., -1.)
+let floats_per_sphere = 5
+
+(* Pure pixel computation over an abstract scene reader, shared between
+   the simulated-heap run and the plain-OCaml oracle. *)
+let render_pixel ~scene_get x y n =
+  let fn = float_of_int n in
+  let px = ((float_of_int x +. 0.5) /. fn *. 2.) -. 1. in
+  let py = ((float_of_int y +. 0.5) /. fn *. 2.) -. 1. in
+  (* Ray from origin through the image plane at z = 1. *)
+  let dx, dy, dz =
+    let len = sqrt ((px *. px) +. (py *. py) +. 1.) in
+    (px /. len, py /. len, 1. /. len)
+  in
+  let best = ref infinity and best_s = ref (-1) in
+  for s = 0 to n_spheres - 1 do
+    let cx = scene_get s 0
+    and cy = scene_get s 1
+    and cz = scene_get s 2
+    and r = scene_get s 3 in
+    (* |o + t d - c|^2 = r^2 with o = 0 *)
+    let b = (dx *. cx) +. (dy *. cy) +. (dz *. cz) in
+    let c2 = (cx *. cx) +. (cy *. cy) +. (cz *. cz) -. (r *. r) in
+    let disc = (b *. b) -. c2 in
+    if disc > 0. then begin
+      let t = b -. sqrt disc in
+      if t > 1e-6 && t < !best then begin
+        best := t;
+        best_s := s
+      end
+    end
+  done;
+  if !best_s < 0 then 0.05 (* background *)
+  else begin
+    let s = !best_s in
+    let t = !best in
+    let hx = t *. dx and hy = t *. dy and hz = t *. dz in
+    let cx = scene_get s 0 and cy = scene_get s 1 and cz = scene_get s 2 in
+    let nx = hx -. cx and ny = hy -. cy and nz = hz -. cz in
+    let nl = sqrt ((nx *. nx) +. (ny *. ny) +. (nz *. nz)) in
+    let nx = nx /. nl and ny = ny /. nl and nz = nz /. nl in
+    let lx, ly, lz = light in
+    let ldx = lx -. hx and ldy = ly -. hy and ldz = lz -. hz in
+    let ll = sqrt ((ldx *. ldx) +. (ldy *. ldy) +. (ldz *. ldz)) in
+    let ldx = ldx /. ll and ldy = ldy /. ll and ldz = ldz /. ll in
+    (* Shadow ray: any sphere between the hit point and the light? *)
+    let shadowed = ref false in
+    for s' = 0 to n_spheres - 1 do
+      if s' <> s && not !shadowed then begin
+        let cx = scene_get s' 0 and cy = scene_get s' 1 and cz = scene_get s' 2 in
+        let r = scene_get s' 3 in
+        let ox = hx -. cx and oy = hy -. cy and oz = hz -. cz in
+        let b = (ldx *. ox) +. (ldy *. oy) +. (ldz *. oz) in
+        let c2 = (ox *. ox) +. (oy *. oy) +. (oz *. oz) -. (r *. r) in
+        let disc = (b *. b) -. c2 in
+        if disc > 0. && -.b -. sqrt disc > 1e-6 && -.b -. sqrt disc < ll then
+          shadowed := true
+      end
+    done;
+    let albedo = scene_get s 4 in
+    if !shadowed then 0.08 *. albedo
+    else begin
+      let lambert = Float.max 0. ((nx *. ldx) +. (ny *. ldy) +. (nz *. ldz)) in
+      albedo *. ((0.15 +. 0.85) *. lambert +. 0.08)
+    end
+  end
+
+let sphere_field s i =
+  match i with
+  | 0 -> sphere_cx s
+  | 1 -> sphere_cy s
+  | 2 -> sphere_cz s
+  | 3 -> sphere_r s
+  | _ -> sphere_albedo s
+
+let main rt d (m : Ctx.mutator) ~scale =
+  let c = Sched.ctx rt in
+  let n = size_of_scale scale in
+  (* The scene lives in the heap as one flat float array. *)
+  let scene =
+    Pml.Pval.farr_tabulate c m d
+      ~n:(n_spheres * floats_per_sphere)
+      ~f:(fun i -> sphere_field (i / floats_per_sphere) (i mod floats_per_sphere))
+  in
+  Roots.protect m.Ctx.roots scene (fun cscene ->
+      let image =
+        Pml.Par.tabulate rt m d
+          ~env:[| Roots.get cscene |]
+          ~n ~grain:1
+          ~f:(fun m env y ->
+            let out = Array.make n 0. in
+            (* The per-pixel allocations below can move the scene, so it
+               is kept in a root cell and re-read each pixel. *)
+            Roots.protect m.Ctx.roots env.(0) (fun cscene ->
+                for x = 0 to n - 1 do
+                  let scene = Roots.get cscene in
+                  let scene_get s i =
+                    Pml.Pval.farr_get c m scene ((s * floats_per_sphere) + i)
+                  in
+                  let v = render_pixel ~scene_get x y n in
+                  (* The ID original is a functional program: every ray,
+                     hit record and color is a fresh heap value.  Allocate
+                     the per-pixel intermediates (and drop them — nursery
+                     churn, reclaimed by the next minor collection). *)
+                  let ray = Alloc.alloc_raw c m ~words:6 in
+                  Alloc.init_float c m ray 0 (float_of_int x);
+                  let hit = Alloc.alloc_raw c m ~words:4 in
+                  Alloc.init_float c m hit 0 (v +. (0. *. Ctx.get_float c m (Value.to_ptr ray) 0));
+                  out.(x) <- Ctx.get_float c m (Value.to_ptr hit) 0;
+                  Ctx.charge_work c m ~cycles:(float_of_int (30 * n_spheres))
+                done;
+                Pml.Pval.farr_tabulate c m d ~n ~f:(fun x -> out.(x))))
+      in
+      Roots.protect m.Ctx.roots image (fun cimg ->
+          let total = Wutil.sum_rows rt m (Roots.get cimg) in
+          Pml.Pval.box_float c m total))
+
+let expected ~scale =
+  let n = size_of_scale scale in
+  let total = ref 0. in
+  for y = 0 to n - 1 do
+    for x = 0 to n - 1 do
+      total := !total +. render_pixel ~scene_get:sphere_field x y n
+    done
+  done;
+  !total

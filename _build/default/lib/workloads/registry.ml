@@ -1,0 +1,85 @@
+open Manticore_gc
+open Runtime
+
+type spec = {
+  name : string;
+  description : string;
+  fiber : Sched.t -> Pml.Pval.descs -> Ctx.mutator -> scale:float -> Heap.Value.t;
+  check : scale:float -> float -> bool;
+}
+
+let close a b =
+  let tol = 1e-6 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b)) in
+  Float.abs (a -. b) <= tol
+
+let all =
+  [
+    {
+      name = "dmm";
+      description = "dense-matrix x dense-matrix multiply (paper: 600x600)";
+      fiber = Dmm.main;
+      check = (fun ~scale v -> close v (Dmm.expected ~scale));
+    };
+    {
+      name = "raytracer";
+      description = "simple ray tracer, no acceleration structures (paper: 512x512)";
+      fiber = Raytracer.main;
+      check = (fun ~scale v -> close v (Raytracer.expected ~scale));
+    };
+    {
+      name = "quicksort";
+      description = "parallel quicksort over an integer sequence (paper: 10M)";
+      fiber = Quicksort.main;
+      check = (fun ~scale v -> close v (Quicksort.expected ~scale));
+    };
+    {
+      name = "smvm";
+      description = "sparse-matrix x dense-vector multiply (paper: 1,091,362 nnz)";
+      fiber = Smvm.main;
+      check = (fun ~scale v -> close v (Smvm.expected ~scale));
+    };
+    {
+      name = "barnes-hut";
+      description = "Barnes-Hut N-body over a Plummer distribution (paper: 400k x 20)";
+      fiber = Barnes_hut.main;
+      check = (fun ~scale v -> Barnes_hut.plausible ~scale v);
+    };
+    {
+      name = "nqueens";
+      description = "N-queens by parallel backtracking (suite extra)";
+      fiber = Extras.nqueens_main;
+      check = (fun ~scale v -> close v (Extras.nqueens_expected ~scale));
+    };
+    {
+      name = "mandelbrot";
+      description = "Mandelbrot escape-time grid (suite extra)";
+      fiber = Extras.mandelbrot_main;
+      check = (fun ~scale v -> close v (Extras.mandelbrot_expected ~scale));
+    };
+    {
+      name = "treeadd";
+      description = "parallel tree build and sum (suite extra)";
+      fiber = Extras.treeadd_main;
+      check = (fun ~scale v -> close v (Extras.treeadd_expected ~scale));
+    };
+    {
+      name = "synthetic";
+      description = "synthetic GC stressor: churn + rolling live set + messages";
+      fiber = Synthetic.main;
+      check = (fun ~scale v -> close v (Synthetic.expected ~scale));
+    };
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+let names = List.map (fun s -> s.name) all
+
+let run spec rt ~scale =
+  let c = Sched.ctx rt in
+  let d = Pml.Pval.register c in
+  let boxed = Sched.run rt ~main:(fun m -> spec.fiber rt d m ~scale) in
+  let v = Pml.Pval.unbox_float c (Ctx.mutator c 0) boxed in
+  if not (spec.check ~scale v) then
+    failwith
+      (Printf.sprintf "%s: checksum %.9g failed validation (scale %g)"
+         spec.name v scale);
+  v

@@ -1,0 +1,22 @@
+(** The benchmark registry: a uniform way to run any of the paper's
+    benchmarks on a configured simulated machine. *)
+
+open Manticore_gc
+open Runtime
+
+type spec = {
+  name : string;
+  description : string;
+  fiber : Sched.t -> Pml.Pval.descs -> Ctx.mutator -> scale:float -> Heap.Value.t;
+      (** the benchmark's main fiber; returns a boxed float checksum *)
+  check : scale:float -> float -> bool;  (** validate the checksum *)
+}
+
+val all : spec list
+val find : string -> spec option
+val names : string list
+
+val run : spec -> Sched.t -> scale:float -> float
+(** Register the PML descriptors, run the fiber under {!Sched.run}, and
+    return the unboxed checksum.  Raises [Failure] if the checksum fails
+    the spec's validation. *)

@@ -1,0 +1,71 @@
+open Heap
+open Manticore_gc
+open Runtime
+
+let rows_of_scale scale = max 64 (int_of_float (4096. *. scale))
+let vec_of_scale scale = max 64 (int_of_float (4096. *. scale))
+
+(* Row r has 4..16 non-zeros at deterministic positions. *)
+let nnz_of_row r = 4 + (((r * 2654435761) lsr 7) mod 13)
+let col_of r k vec_n = ((r * 193) + (k * k * 7919) + (k * 31)) mod vec_n
+let mval r k = float_of_int (((r + (3 * k)) mod 17) - 8) /. 4.
+let vval i = float_of_int ((i * 37 mod 29) - 14) /. 7.
+
+let main rt d (m : Ctx.mutator) ~scale =
+  let c = Sched.ctx rt in
+  let rows = rows_of_scale scale in
+  let vec_n = vec_of_scale scale in
+  (* The shared dense vector, built by the main vproc. *)
+  let vec = Pml.Pval.farr_tabulate c m d ~n:vec_n ~f:vval in
+  Roots.protect m.Ctx.roots vec (fun cvec ->
+      (* The matrix, in parallel: row r = (index vector, value payload). *)
+      let matrix =
+        Pml.Par.tabulate rt m d ~env:[||] ~n:rows ~grain:8 ~f:(fun m _ r ->
+            let k = nnz_of_row r in
+            let idx =
+              Pml.Pval.arr_tabulate c m d ~n:k ~f:(fun i ->
+                  Value.of_int (col_of r i vec_n))
+            in
+            Roots.protect m.Ctx.roots idx (fun cidx ->
+                let vals =
+                  Pml.Pval.farr_tabulate c m d ~n:k ~f:(fun i -> mval r i)
+                in
+                Pml.Pval.tuple c m [| Roots.get cidx; vals |]))
+      in
+      Roots.protect m.Ctx.roots matrix (fun cmat ->
+          let y =
+            Pml.Par.tabulate_f rt m d
+              ~env:[| Roots.get cmat; Roots.get cvec |]
+              ~n:rows ~grain:8
+              ~f:(fun m env r ->
+                let mat = env.(0) and vec = env.(1) in
+                let row = Pml.Pval.arr_get c m mat r in
+                let idx = Pml.Pval.field c m row 0 in
+                let vals = Pml.Pval.field c m row 1 in
+                let k = Pml.Pval.arr_length c m idx in
+                let s = ref 0. in
+                for i = 0 to k - 1 do
+                  let j = Value.to_int (Pml.Pval.arr_get c m idx i) in
+                  s :=
+                    !s
+                    +. (Pml.Pval.farr_get c m vals i
+                       *. Pml.Pval.farr_get c m vec j)
+                done;
+                Ctx.charge_work c m ~cycles:(float_of_int (3 * k));
+                !s)
+          in
+          Roots.protect m.Ctx.roots y (fun cy ->
+              let total = Wutil.sum_farr rt m (Roots.get cy) in
+              Pml.Pval.box_float c m total)))
+
+let expected ~scale =
+  let rows = rows_of_scale scale in
+  let vec_n = vec_of_scale scale in
+  let total = ref 0. in
+  for r = 0 to rows - 1 do
+    let k = nnz_of_row r in
+    for i = 0 to k - 1 do
+      total := !total +. (mval r i *. vval (col_of r i vec_n))
+    done
+  done;
+  !total

@@ -1,0 +1,72 @@
+open Heap
+open Manticore_gc
+open Runtime
+
+let pairs_of_scale scale = max 1 (int_of_float (4. *. scale))
+let rounds_of_scale scale = max 8 (int_of_float (64. *. scale))
+let churn = 40 (* list cells allocated (and mostly dropped) per round *)
+
+let main rt _d (m : Ctx.mutator) ~scale =
+  let c = Sched.ctx rt in
+  let pairs = pairs_of_scale scale in
+  let rounds = rounds_of_scale scale in
+  let chans = List.init pairs (fun _ -> Sched.new_channel rt m) in
+  (* Producers: churn allocation, keep a rolling live list, send a
+     checksum list every round. *)
+  let producers =
+    List.mapi
+      (fun k ch ->
+        Sched.spawn rt m ~env:[||] (fun m _ ->
+            let live = Roots.add m.Ctx.roots Pml.Pval.nil in
+            for r = 1 to rounds do
+              Sched.tick rt m;
+              (* Garbage churn. *)
+              for i = 1 to churn do
+                ignore (Pml.Pval.cons c m (Value.of_int i) Pml.Pval.nil)
+              done;
+              (* Rolling live window: cons one, drop the window every 16
+                 rounds so data ages into the old generation and dies. *)
+              Roots.set live
+                (Pml.Pval.cons c m (Value.of_int r) (Roots.get live));
+              if r mod 16 = 0 then Roots.set live Pml.Pval.nil;
+              (* Message: a fresh two-cell list; the send promotes it. *)
+              let msg = Pml.Pval.list_of_ints c m [ k + 1; r ] in
+              Sched.send rt m ch msg
+            done;
+            Roots.remove m.Ctx.roots live;
+            Value.unit))
+      chans
+  in
+  (* Consumers: receive and accumulate. *)
+  let consumers =
+    List.map
+      (fun ch ->
+        Sched.spawn rt m ~env:[||] (fun m _ ->
+            let total = ref 0 in
+            for _ = 1 to rounds do
+              let msg = Sched.recv rt m ch in
+              List.iter
+                (fun x -> total := !total + x)
+                (Pml.Pval.ints_of_list c m msg)
+            done;
+            Value.of_int !total))
+      chans
+  in
+  List.iter (fun f -> ignore (Sched.await rt m f)) producers;
+  let grand =
+    List.fold_left
+      (fun acc f -> acc + Value.to_int (Sched.await rt m f))
+      0 consumers
+  in
+  Pml.Pval.box_float c m (float_of_int grand)
+
+let expected ~scale =
+  let pairs = pairs_of_scale scale in
+  let rounds = rounds_of_scale scale in
+  (* Each pair k contributes sum over r of ((k+1) + r). *)
+  let per_pair k = (rounds * (k + 1)) + (rounds * (rounds + 1) / 2) in
+  let total = ref 0 in
+  for k = 0 to pairs - 1 do
+    total := !total + per_pair k
+  done;
+  float_of_int !total

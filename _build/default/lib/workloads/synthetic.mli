@@ -1,0 +1,16 @@
+(** The synthetic benchmark (paper §4.1 mentions one alongside the five
+    ported programs).  A tunable GC stressor: parallel fibers churn
+    short-lived lists over a rolling live window and periodically
+    exchange messages over CML channels, exercising every collector
+    (minor, major via live-set pressure, promotion via messages, global
+    via chunk budget). *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+val main : Sched.t -> Pml.Pval.descs -> Ctx.mutator -> scale:float -> Value.t
+(** Returns the boxed sum of all values received over the channels, which
+    has a closed form checked by {!expected}. *)
+
+val expected : scale:float -> float

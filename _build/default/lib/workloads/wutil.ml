@@ -1,0 +1,33 @@
+open Manticore_gc
+open Runtime
+
+let sum_rows rt (m : Ctx.mutator) arr =
+  let c = Sched.ctx rt in
+  let n = Pml.Pval.arr_length c m arr in
+  if n = 0 then 0.
+  else
+    Pml.Par.reduce_f rt m ~env:[| arr |] ~lo:0 ~hi:n ~grain:4
+      ~leaf:(fun m env lo hi ->
+        let arr = env.(0) in
+        let s = ref 0. in
+        for i = lo to hi - 1 do
+          let row = Pml.Pval.arr_get c m arr i in
+          s := Pml.Pval.farr_fold c m row ~init:!s ~f:( +. )
+        done;
+        !s)
+      ( +. )
+
+let sum_farr rt (m : Ctx.mutator) arr =
+  let c = Sched.ctx rt in
+  let n = Pml.Pval.farr_length c m arr in
+  if n = 0 then 0.
+  else
+    Pml.Par.reduce_f rt m ~env:[| arr |] ~lo:0 ~hi:n ~grain:512
+      ~leaf:(fun m env lo hi ->
+        let arr = env.(0) in
+        let s = ref 0. in
+        for i = lo to hi - 1 do
+          s := !s +. Pml.Pval.farr_get c m arr i
+        done;
+        !s)
+      ( +. )

@@ -1,0 +1,13 @@
+(** Small helpers shared by the benchmarks. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+val sum_rows : Sched.t -> Ctx.mutator -> Value.t -> float
+(** Parallel sum over an array of float-array rows (the final reduction
+    of DMM and the raytracer — parallel so that verification does not
+    serialize the benchmark tail). *)
+
+val sum_farr : Sched.t -> Ctx.mutator -> Value.t -> float
+(** Parallel sum of a float array. *)

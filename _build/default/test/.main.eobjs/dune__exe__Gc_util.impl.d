@@ -1,0 +1,1 @@
+test/gc_util.ml: Alcotest Alloc Array Ctx Descriptor Format Forward Global_gc Header Heap List Local_heap Manticore_gc Numa Obj_repr Params Proxy Roots Sim_mem String Value

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Alcotest Alloc Ctx Gc_stats Gc_util Global_gc Heap Manticore_gc Numa Option Params Printf Promote Roots Runtime Sched Sim_mem Store String Value Workloads

@@ -1,0 +1,1 @@
+test/test_cache_contention.ml: Alcotest Array Cache Contention Float Numa Printf QCheck QCheck_alcotest

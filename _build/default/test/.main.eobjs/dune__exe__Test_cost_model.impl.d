@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Array Cache Cost_model Gen List Machines Numa Printf QCheck QCheck_alcotest

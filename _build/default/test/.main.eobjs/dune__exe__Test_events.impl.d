@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest Alloc Gc_util Heap List Manticore_gc Runtime Sched Test_sched Value

@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Harness List Numa Page_policy Printf Sim_mem String

@@ -1,0 +1,1 @@
+test/test_global_gc.ml: Alcotest Alloc Ctx Gc_stats Gc_util Global_gc Global_heap Heap List Manticore_gc Obj_repr Promote Proxy QCheck QCheck_alcotest Result Roots Sim_mem Store Value

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Ctx Gc_trace Gc_util Global_gc Harness List Manticore_gc Minor_gc Numa Option Printf Promote Roots String Workloads

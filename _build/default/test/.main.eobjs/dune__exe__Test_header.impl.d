@@ -1,0 +1,1 @@
+test/test_header.ml: Alcotest Header Heap Int64 QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_heap_units.ml: Addr Alcotest Descriptor Gc_stats Header Heap List Manticore_gc Obj_repr Page_alloc Page_policy Params Proxy QCheck QCheck_alcotest Result Roots Sim_mem Store String Value

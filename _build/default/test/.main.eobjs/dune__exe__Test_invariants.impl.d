@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Ctx Gc_util Header Heap Invariants List Manticore_gc Memory Minor_gc Mut Obj_repr Pml Promote Roots Sim_mem Store String Value

@@ -1,0 +1,1 @@
+test/test_large_objects.ml: Alcotest Alloc Array Census Ctx Gc_util Global_gc Global_heap Heap Manticore_gc Printf Promote Roots Value

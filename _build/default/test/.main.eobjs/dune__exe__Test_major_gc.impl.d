@@ -1,0 +1,1 @@
+test/test_major_gc.ml: Alcotest Alloc Ctx Gc_stats Gc_util Global_heap Heap List Local_heap Major_gc Manticore_gc Minor_gc Proxy QCheck QCheck_alcotest Result Roots Value

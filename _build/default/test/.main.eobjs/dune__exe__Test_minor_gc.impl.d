@@ -1,0 +1,1 @@
+test/test_minor_gc.ml: Alcotest Alloc Ctx Gc_stats Gc_util Heap List Local_heap Manticore_gc Minor_gc Proxy QCheck QCheck_alcotest Result Roots Value

@@ -1,0 +1,1 @@
+test/test_mut.ml: Alcotest Alloc Array Ctx Gc_util Gen Global_gc Global_heap Heap List Local_heap Major_gc Manticore_gc Minor_gc Mut Promote QCheck QCheck_alcotest Random Remember Result Roots Value

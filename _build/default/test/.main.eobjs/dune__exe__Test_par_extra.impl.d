@@ -1,0 +1,1 @@
+test/test_par_extra.ml: Alcotest Array Ctx Float Gc_util Gen Heap List Manticore_gc Pml QCheck QCheck_alcotest Roots Runtime Sched Test_sched Value

@@ -1,0 +1,1 @@
+test/test_pml.ml: Alcotest Array Ctx Gc_util Heap List Manticore_gc Pml Printf Roots Runtime Sched Test_sched Value

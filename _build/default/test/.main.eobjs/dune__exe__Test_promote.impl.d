@@ -1,0 +1,1 @@
+test/test_promote.ml: Alcotest Alloc Ctx Gc_stats Gc_util Global_heap Header Heap Major_gc Manticore_gc Minor_gc Obj_repr Promote QCheck QCheck_alcotest Result Roots Value

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Alloc Array Ctx Gc_stats Gc_util Global_heap Heap List Manticore_gc Numa Params Printf Roots Runtime Sched Sim_mem Value

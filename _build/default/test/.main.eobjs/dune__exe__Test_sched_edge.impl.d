@@ -1,0 +1,1 @@
+test/test_sched_edge.ml: Alcotest Ctx Heap List Manticore_gc Runtime Sched Test_sched Value

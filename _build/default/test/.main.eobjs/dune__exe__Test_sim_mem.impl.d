@@ -1,0 +1,1 @@
+test/test_sim_mem.ml: Alcotest Array Chunk List Memory Page_alloc Page_policy QCheck QCheck_alcotest Result Sim_mem

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array List Machines Numa QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_torture.ml: Alcotest Census Ctx Gc_stats Gc_util Heap List Manticore_gc Mut Numa Option Params Pml Promote Roots Runtime Sched Sim_mem Value Workloads

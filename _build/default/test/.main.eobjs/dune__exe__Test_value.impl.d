@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Header Heap List QCheck QCheck_alcotest Value

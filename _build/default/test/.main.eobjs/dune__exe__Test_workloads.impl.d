@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Ctx Float Gc_stats Manticore_gc Numa Option Params Printf Runtime Sched Sim_mem String Workloads

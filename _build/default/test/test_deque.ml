@@ -1,0 +1,77 @@
+open Runtime
+(* The vproc work deque: owner LIFO, thief FIFO. *)
+
+let test_push_pop_lifo () =
+  let d = Deque.create () in
+  List.iter (Deque.push d) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "pop newest" (Some 3) (Deque.pop d);
+  Alcotest.(check (option int)) "then 2" (Some 2) (Deque.pop d);
+  Alcotest.(check (option int)) "then 1" (Some 1) (Deque.pop d);
+  Alcotest.(check (option int)) "empty" None (Deque.pop d)
+
+let test_steal_fifo () =
+  let d = Deque.create () in
+  List.iter (Deque.push d) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "steal oldest" (Some 1) (Deque.steal d);
+  Alcotest.(check (option int)) "owner still gets newest" (Some 3) (Deque.pop d);
+  Alcotest.(check (option int)) "steal next" (Some 2) (Deque.steal d)
+
+let test_growth () =
+  let d = Deque.create () in
+  for i = 1 to 1000 do
+    Deque.push d i
+  done;
+  Alcotest.(check int) "length" 1000 (Deque.length d);
+  Alcotest.(check (option int)) "front" (Some 1) (Deque.peek_front d);
+  for i = 1000 downto 1 do
+    Alcotest.(check (option int)) "pop order" (Some i) (Deque.pop d)
+  done
+
+let test_remove_middle () =
+  let d = Deque.create () in
+  List.iter (Deque.push d) [ 10; 20; 30; 40 ];
+  Alcotest.(check (option int)) "remove 30" (Some 30) (Deque.remove d (fun x -> x = 30));
+  Alcotest.(check (list int)) "rest in order" [ 10; 20; 40 ] (Deque.to_list d);
+  Alcotest.(check (option int)) "missing" None (Deque.remove d (fun x -> x = 30))
+
+let test_wraparound () =
+  let d = Deque.create () in
+  (* Force front to rotate. *)
+  for i = 1 to 6 do
+    Deque.push d i
+  done;
+  for _ = 1 to 4 do
+    ignore (Deque.steal d)
+  done;
+  for i = 7 to 12 do
+    Deque.push d i
+  done;
+  Alcotest.(check (list int)) "order across wrap" [ 5; 6; 7; 8; 9; 10; 11; 12 ]
+    (Deque.to_list d)
+
+let prop_steal_pop_partition =
+  QCheck.Test.make ~name:"steals + pops return each element once" ~count:200
+    QCheck.(pair (list small_nat) (list bool))
+    (fun (xs, ops) ->
+      let d = Deque.create () in
+      List.iter (Deque.push d) xs;
+      let taken = ref [] in
+      List.iter
+        (fun steal ->
+          match if steal then Deque.steal d else Deque.pop d with
+          | Some x -> taken := x :: !taken
+          | None -> ())
+        ops;
+      let rest = Deque.to_list d in
+      List.sort compare (rest @ !taken) = List.sort compare xs)
+
+let suite =
+  ( "deque",
+    [
+      Alcotest.test_case "LIFO pops" `Quick test_push_pop_lifo;
+      Alcotest.test_case "FIFO steals" `Quick test_steal_fifo;
+      Alcotest.test_case "growth" `Quick test_growth;
+      Alcotest.test_case "remove specific item" `Quick test_remove_middle;
+      Alcotest.test_case "ring wraparound" `Quick test_wraparound;
+      QCheck_alcotest.to_alcotest prop_steal_pop_partition;
+    ] )

@@ -1,0 +1,160 @@
+(* Parallel CML events: sync, choice commit semantics, select. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+let mk_rt ?(n_vprocs = 4) () = Test_sched.mk_rt ~n_vprocs ()
+
+let test_sync_single_recv () =
+  let rt = mk_rt () in
+  let c = Sched.ctx rt in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let ch = Sched.new_channel rt m in
+        let _ =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              Sched.send rt m' ch (Value.of_int 41);
+              Value.unit)
+        in
+        let i, v = Sched.sync rt m [ Sched.Recv_evt ch ] in
+        ignore c;
+        Value.of_int (Value.to_int v + i + 1))
+  in
+  Alcotest.(check int) "got message" 42 (Value.to_int r)
+
+let test_sync_send_event () =
+  let rt = mk_rt () in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let ch = Sched.new_channel rt m in
+        let consumer =
+          Sched.spawn rt m ~env:[||] (fun m' _ -> Sched.recv rt m' ch)
+        in
+        let i, _ = Sched.sync rt m [ Sched.Send_evt (ch, Value.of_int 7) ] in
+        let got = Sched.await rt m consumer in
+        Value.of_int ((i * 100) + Value.to_int got))
+  in
+  Alcotest.(check int) "send committed, arm 0" 7 (Value.to_int r)
+
+let test_choice_takes_ready_arm () =
+  let rt = mk_rt () in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let a = Sched.new_channel rt m in
+        let b = Sched.new_channel rt m in
+        let _ =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              (* Only channel b ever gets a message. *)
+              Sched.send rt m' b (Value.of_int 5);
+              Value.unit)
+        in
+        let i, v = Sched.select rt m [ a; b ] in
+        Value.of_int ((i * 100) + Value.to_int v))
+  in
+  Alcotest.(check int) "arm 1 won with value 5" 105 (Value.to_int r)
+
+let test_choice_commits_exactly_once () =
+  (* Two producers race to the same choice; the choice takes exactly one
+     message, and the other message must remain consumable. *)
+  let rt = mk_rt () in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let a = Sched.new_channel rt m in
+        let b = Sched.new_channel rt m in
+        let pa =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              Sched.send rt m' a (Value.of_int 1);
+              Value.unit)
+        in
+        let pb =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              Sched.send rt m' b (Value.of_int 2);
+              Value.unit)
+        in
+        let _, v1 = Sched.select rt m [ a; b ] in
+        let _, v2 = Sched.select rt m [ a; b ] in
+        ignore (Sched.await rt m pa);
+        ignore (Sched.await rt m pb);
+        Value.of_int (Value.to_int v1 + Value.to_int v2))
+  in
+  Alcotest.(check int) "both messages arrived once each" 3 (Value.to_int r)
+
+let test_choice_send_or_recv () =
+  (* A relay: offers to either receive upstream or send downstream. *)
+  let rt = mk_rt () in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let up = Sched.new_channel rt m in
+        let down = Sched.new_channel rt m in
+        let _producer =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              Sched.send rt m' up (Value.of_int 9);
+              Value.unit)
+        in
+        let relay =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              (* First sync: upstream is ready -> receives 9.  Second
+                 sync: only the send arm can commit. *)
+              let _, v =
+                Sched.sync rt m'
+                  [ Sched.Recv_evt up; Sched.Send_evt (down, Value.of_int 0) ]
+              in
+              let i2, _ =
+                Sched.sync rt m'
+                  [ Sched.Recv_evt up; Sched.Send_evt (down, v) ]
+              in
+              Value.of_int i2)
+        in
+        let got = Sched.recv rt m down in
+        let relay_arm = Sched.await rt m relay in
+        Value.of_int ((Value.to_int relay_arm * 100) + Value.to_int got))
+  in
+  Alcotest.(check int) "relay forwarded on its send arm" 109 (Value.to_int r)
+
+let test_sync_messages_survive_gc () =
+  (* Park a choice with send arms, churn until collections run, then let
+     a late consumer take the message: the parked message must have been
+     kept alive and valid. *)
+  let rt = mk_rt ~n_vprocs:2 () in
+  let c = Sched.ctx rt in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let ch = Sched.new_channel rt m in
+        let chooser =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              let msg = Gc_util.build_list c m' [ 6; 7; 8 ] in
+              let _ = Sched.sync rt m' [ Sched.Send_evt (ch, msg) ] in
+              Value.unit)
+        in
+        (* Allocation pressure on the main vproc. *)
+        for i = 1 to 600 do
+          Sched.tick rt m;
+          ignore (Alloc.alloc_vector c m [| Value.of_int i; Value.of_int i |])
+        done;
+        let msg = Sched.recv rt m ch in
+        ignore (Sched.await rt m chooser);
+        Value.of_int (List.fold_left ( + ) 0 (Gc_util.read_list c m msg)))
+  in
+  Alcotest.(check int) "message intact" 21 (Value.to_int r);
+  Gc_util.assert_invariants (Sched.ctx rt)
+
+let test_sync_empty_rejected () =
+  let rt = mk_rt () in
+  Alcotest.check_raises "empty" (Invalid_argument "Sched.sync: empty choice")
+    (fun () ->
+      ignore (Sched.run rt ~main:(fun m -> ignore (Sched.sync rt m []); Value.unit)))
+
+let suite =
+  ( "events",
+    [
+      Alcotest.test_case "sync single recv" `Quick test_sync_single_recv;
+      Alcotest.test_case "sync send event" `Quick test_sync_send_event;
+      Alcotest.test_case "choice takes the ready arm" `Quick test_choice_takes_ready_arm;
+      Alcotest.test_case "choice commits exactly once" `Quick
+        test_choice_commits_exactly_once;
+      Alcotest.test_case "mixed send/recv choice" `Quick test_choice_send_or_recv;
+      Alcotest.test_case "parked messages survive collections" `Quick
+        test_sync_messages_survive_gc;
+      Alcotest.test_case "empty choice rejected" `Quick test_sync_empty_rejected;
+    ] )

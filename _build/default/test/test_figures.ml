@@ -1,0 +1,87 @@
+(* End-to-end figure machinery: mini sweeps reproduce the headline
+   orderings, and the renderers produce well-formed artifacts. *)
+
+open Sim_mem
+
+let mini_sweep ~policy ~workloads =
+  Harness.Figures.sweep ~machine:Numa.Machines.amd48 ~policy ~threads:[ 1; 8 ]
+    ~workloads ()
+
+let speedup_at_8 results name =
+  let r = List.find (fun x -> x.Harness.Figures.workload = name) results in
+  let t n = List.assoc n (List.map (fun (n, o) -> (n, o.Harness.Run_config.elapsed_ns)) r.Harness.Figures.points) in
+  t 1 /. t 8
+
+let test_mini_sweep_speedups () =
+  let results =
+    mini_sweep ~policy:Page_policy.Local
+      ~workloads:[ ("raytracer", 0.5); ("quicksort", 0.1) ]
+  in
+  let rt = speedup_at_8 results "raytracer" in
+  let qs = speedup_at_8 results "quicksort" in
+  Alcotest.(check bool) (Printf.sprintf "raytracer x8 speedup %.1f > 4" rt) true (rt > 4.);
+  Alcotest.(check bool) (Printf.sprintf "quicksort x8 speedup %.1f > 3" qs) true (qs > 3.)
+
+let test_single_node_hurts_smvm () =
+  let local =
+    mini_sweep ~policy:Page_policy.Local ~workloads:[ ("smvm", 1.0) ]
+  in
+  let single =
+    mini_sweep ~policy:(Page_policy.Single_node 0) ~workloads:[ ("smvm", 1.0) ]
+  in
+  let sl = speedup_at_8 local "smvm" and ss = speedup_at_8 single "smvm" in
+  Alcotest.(check bool)
+    (Printf.sprintf "local %.1f beats socket-0 %.1f at 8 threads" sl ss)
+    true (sl > ss)
+
+let test_table1_renders_and_orders () =
+  let s = Harness.Figures.table1 ~fast:true () in
+  Alcotest.(check bool) "mentions both machines" true
+    (String.length s > 0
+    && String.split_on_char '\n' s
+       |> List.exists (fun l -> String.length l >= 5 && String.sub l 0 5 = "amd48"))
+
+let test_csv_well_formed () =
+  let results =
+    mini_sweep ~policy:Page_policy.Local ~workloads:[ ("treeadd", 0.5) ]
+  in
+  let csv = Harness.Csv.of_sweep results in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  let cols = String.split_on_char ',' (List.nth lines 1) in
+  Alcotest.(check int) "9 columns" 9 (List.length cols);
+  Alcotest.(check string) "benchmark col" "treeadd" (List.nth cols 0)
+
+let test_svg_well_formed () =
+  let svg =
+    Harness.Svg_plot.render ~title:"t" ~xlabel:"x" ~ylabel:"y" ~ideal:true
+      [
+        { Harness.Ascii_plot.label = "a"; points = [ (1, 1.); (8, 7.5) ] };
+        { Harness.Ascii_plot.label = "b"; points = [ (1, 1.); (8, 3.) ] };
+      ]
+  in
+  Alcotest.(check bool) "svg document" true
+    (String.length svg > 100
+    && String.sub svg 0 4 = "<svg"
+    && String.sub (String.trim svg) (String.length (String.trim svg) - 6) 6
+       = "</svg>");
+  let count needle =
+    let n = ref 0 in
+    let nn = String.length needle in
+    for i = 0 to String.length svg - nn do
+      if String.sub svg i nn = needle then incr n
+    done;
+    !n
+  in
+  Alcotest.(check int) "two polylines" 2 (count "<polyline");
+  Alcotest.(check int) "four markers" 4 (count "<circle")
+
+let suite =
+  ( "figures",
+    [
+      Alcotest.test_case "mini sweep speedups" `Slow test_mini_sweep_speedups;
+      Alcotest.test_case "single-node hurts smvm" `Slow test_single_node_hurts_smvm;
+      Alcotest.test_case "table 1 renders" `Quick test_table1_renders_and_orders;
+      Alcotest.test_case "csv export well-formed" `Quick test_csv_well_formed;
+      Alcotest.test_case "svg export well-formed" `Quick test_svg_well_formed;
+    ] )

@@ -1,0 +1,107 @@
+(* Harness components: tables, plots, the bandwidth probe, run configs,
+   and the collector trace. *)
+
+open Manticore_gc
+
+let test_table_render () =
+  let s =
+    Harness.Table.render ~header:[ "a"; "bb" ]
+      ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check string) "header" "a    bb" (List.nth lines 0);
+  Alcotest.(check string) "rule" "---  --" (List.nth lines 1);
+  Alcotest.(check string) "row" "333  4 " (List.nth lines 3)
+
+let test_table_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Table.render: ragged row")
+    (fun () ->
+      ignore (Harness.Table.render ~header:[ "a" ] ~rows:[ [ "1"; "2" ] ]))
+
+let test_plot_render () =
+  let s =
+    Harness.Ascii_plot.render ~title:"t" ~xlabel:"x" ~ylabel:"y" ~ideal:true
+      [ { Harness.Ascii_plot.label = "serie"; points = [ (1, 1.); (8, 6.) ] } ]
+  in
+  Alcotest.(check bool) "title present" true (String.length s > 0);
+  Alcotest.(check bool) "legend lists series" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "          D serie"))
+
+let test_membw_local_beats_remote_amd () =
+  let m = Numa.Machines.amd48 in
+  let local =
+    Harness.Membw.measure m ~streamers:6 ~src_node:0 ~dst_node:0
+      ~mb_per_streamer:2
+  in
+  let remote =
+    Harness.Membw.measure m ~streamers:6 ~src_node:0 ~dst_node:2
+      ~mb_per_streamer:2
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "local %.1f > remote %.1f" local remote)
+    true (local > 2. *. remote)
+
+let test_membw_capped_at_rated () =
+  let m = Numa.Machines.amd48 in
+  let local =
+    Harness.Membw.measure m ~streamers:6 ~src_node:0 ~dst_node:0
+      ~mb_per_streamer:4
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f within rated 21.3" local)
+    true
+    (local <= 21.3 *. 1.15 && local > 21.3 /. 2.)
+
+let test_run_config_executes () =
+  let spec = Option.get (Workloads.Registry.find "synthetic") in
+  let cfg =
+    { (Harness.Run_config.default ~machine:Numa.Machines.tiny4 ~n_vprocs:2) with
+      Harness.Run_config.scale = 0.25; trace = true }
+  in
+  let o = Harness.Run_config.execute spec cfg in
+  Alcotest.(check bool) "positive time" true (o.Harness.Run_config.elapsed_ns > 0.);
+  Alcotest.(check bool) "timeline rendered" true
+    (Option.is_some o.Harness.Run_config.timeline)
+
+let test_gc_trace_records () =
+  let ctx = Gc_util.mk_ctx () in
+  Gc_trace.enable ctx.Ctx.trace;
+  let m = Ctx.mutator ctx 0 in
+  let v = Gc_util.build_list ctx m [ 1; 2 ] in
+  let c = Roots.add m.Ctx.roots v in
+  Minor_gc.run ctx m;
+  ignore (Promote.value ctx m (Roots.get c));
+  Global_gc.run ctx;
+  let kinds =
+    List.map (fun e -> e.Gc_trace.kind) (Gc_trace.events ctx.Ctx.trace)
+  in
+  Alcotest.(check bool) "minor recorded" true (List.mem Gc_trace.Minor kinds);
+  Alcotest.(check bool) "promotion recorded" true
+    (List.mem Gc_trace.Promotion kinds);
+  Alcotest.(check bool) "global recorded" true (List.mem Gc_trace.Global kinds);
+  let tl = Gc_trace.render_timeline ctx.Ctx.trace ~n_vprocs:2 in
+  Alcotest.(check bool) "timeline has lanes" true
+    (String.split_on_char '\n' tl |> List.length > 3)
+
+let test_gc_trace_disabled_by_default () =
+  let ctx = Gc_util.mk_ctx () in
+  let m = Ctx.mutator ctx 0 in
+  ignore (Gc_util.build_list ctx m [ 1 ]);
+  Minor_gc.run ctx m;
+  Alcotest.(check int) "no events" 0 (List.length (Gc_trace.events ctx.Ctx.trace))
+
+let suite =
+  ( "harness",
+    [
+      Alcotest.test_case "table render" `Quick test_table_render;
+      Alcotest.test_case "table rejects ragged rows" `Quick test_table_ragged;
+      Alcotest.test_case "plot render" `Quick test_plot_render;
+      Alcotest.test_case "membw: AMD local >> remote" `Quick
+        test_membw_local_beats_remote_amd;
+      Alcotest.test_case "membw: delivery near rated" `Quick
+        test_membw_capped_at_rated;
+      Alcotest.test_case "run config executes" `Quick test_run_config_executes;
+      Alcotest.test_case "gc trace records all kinds" `Quick test_gc_trace_records;
+      Alcotest.test_case "gc trace off by default" `Quick
+        test_gc_trace_disabled_by_default;
+    ] )

@@ -1,0 +1,110 @@
+(* The large-object space: objects bigger than a global chunk live in
+   dedicated page runs, marked (not copied) by the global collector and
+   swept when dead. *)
+
+open Heap
+open Manticore_gc
+
+let mk () = Gc_util.mk_ctx () (* chunk_bytes = 4 KB in the test params *)
+
+let big_words = 1024 (* 8 KB body: twice the chunk size *)
+
+let test_large_alloc_roundtrip () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let v = Alloc.alloc_raw ctx m ~words:big_words in
+  Alcotest.(check bool) "is large" true
+    (Global_heap.is_large ctx.Ctx.global (Value.to_ptr v));
+  Alloc.init_float ctx m v 0 1.5;
+  Alloc.init_float ctx m v (big_words - 1) 2.5;
+  Alcotest.(check (float 0.)) "first" 1.5 (Ctx.get_float ctx m (Value.to_ptr v) 0);
+  Alcotest.(check (float 0.)) "last" 2.5
+    (Ctx.get_float ctx m (Value.to_ptr v) (big_words - 1));
+  Gc_util.assert_invariants ctx
+
+let test_large_vector_with_pointers () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  (* A vector bigger than a chunk whose fields are local pointers: the
+     allocation must promote them (I2). *)
+  let lst = Gc_util.build_list ctx m [ 3; 4 ] in
+  let fields = Array.make 600 (Value.of_int 0) in
+  fields.(0) <- lst;
+  let v = Alloc.alloc_vector ctx m fields in
+  Alcotest.(check bool) "vector is large" true
+    (Global_heap.is_large ctx.Ctx.global (Value.to_ptr v));
+  let f0 = Ctx.get_field ctx m (Value.to_ptr v) 0 in
+  Alcotest.(check bool) "field promoted" true
+    (Global_heap.contains ctx.Ctx.global (Value.to_ptr f0));
+  Alcotest.(check (list int)) "field readable" [ 3; 4 ]
+    (Gc_util.read_list ctx m f0);
+  Gc_util.assert_invariants ctx
+
+let test_large_survives_global_gc_in_place () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let v = Alloc.alloc_raw ctx m ~words:big_words in
+  Alloc.init_float ctx m v 7 9.25;
+  let cell = Roots.add m.Ctx.roots v in
+  Global_gc.run ctx;
+  (* Marked, not moved. *)
+  Alcotest.(check bool) "same address" true (Value.equal v (Roots.get cell));
+  Alcotest.(check (float 0.)) "payload intact" 9.25
+    (Ctx.get_float ctx m (Value.to_ptr v) 7);
+  Gc_util.assert_invariants ctx
+
+let test_large_swept_when_dead () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let before = Global_heap.in_use_bytes ctx.Ctx.global in
+  ignore (Alloc.alloc_raw ctx m ~words:big_words);
+  let mid = Global_heap.in_use_bytes ctx.Ctx.global in
+  Alcotest.(check bool) "accounted" true (mid > before);
+  Global_gc.run ctx;
+  let after = Global_heap.in_use_bytes ctx.Ctx.global in
+  Alcotest.(check bool)
+    (Printf.sprintf "reclaimed (%d -> %d -> %d)" before mid after)
+    true
+    (after < mid);
+  Gc_util.assert_invariants ctx
+
+let test_large_fields_scanned_once () =
+  (* A live large vector pointing at ordinary global data: the global
+     collection must keep (and forward) the target. *)
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let target = Promote.value ctx m (Gc_util.build_list ctx m [ 5; 6 ]) in
+  let fields = Array.make 600 (Value.of_int 0) in
+  fields.(1) <- target;
+  let v = Alloc.alloc_vector ctx m fields in
+  let cell = Roots.add m.Ctx.roots v in
+  Global_gc.run ctx;
+  let v' = Roots.get cell in
+  let t' = Ctx.get_field ctx m (Value.to_ptr v') 1 in
+  Alcotest.(check bool) "target moved to to-space" false (Value.equal target t');
+  Alcotest.(check (list int)) "target alive through the large object" [ 5; 6 ]
+    (Gc_util.read_list ctx m t');
+  Gc_util.assert_invariants ctx
+
+let test_census_counts_large () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let v = Alloc.alloc_raw ctx m ~words:big_words in
+  ignore (Roots.add m.Ctx.roots v);
+  let census = Ctx.census ctx in
+  Alcotest.(check bool) "global bytes include the large object" true
+    (census.Census.global_bytes >= (big_words + 1) * 8)
+
+let suite =
+  ( "large-objects",
+    [
+      Alcotest.test_case "alloc and access" `Quick test_large_alloc_roundtrip;
+      Alcotest.test_case "large vectors promote their fields" `Quick
+        test_large_vector_with_pointers;
+      Alcotest.test_case "survives global GC in place" `Quick
+        test_large_survives_global_gc_in_place;
+      Alcotest.test_case "swept when dead" `Quick test_large_swept_when_dead;
+      Alcotest.test_case "fields keep targets alive" `Quick
+        test_large_fields_scanned_once;
+      Alcotest.test_case "census sees large objects" `Quick test_census_counts_large;
+    ] )

@@ -1,0 +1,189 @@
+(* The mutation extension (paper §5's future work): mutable references,
+   the write barrier, remembered sets, and their interaction with every
+   collector. *)
+
+open Heap
+open Manticore_gc
+
+let mk () = Gc_util.mk_ctx ()
+
+(* Age a value out of the nursery and the young partition. *)
+let age ctx m =
+  Minor_gc.run ctx m;
+  Minor_gc.run ctx m
+
+let test_ref_basics () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let r = Mut.alloc_ref ctx m (Value.of_int 7) in
+  Alcotest.(check bool) "is_ref" true (Mut.is_ref ctx m r);
+  Alcotest.(check int) "get" 7 (Value.to_int (Mut.get ctx m r));
+  Mut.set ctx m r (Value.of_int 42);
+  Alcotest.(check int) "after set" 42 (Value.to_int (Mut.get ctx m r));
+  Gc_util.assert_invariants ctx
+
+let test_old_to_nursery_barrier () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let r = Mut.alloc_ref ctx m (Value.of_int 0) in
+  let cr = Roots.add m.Ctx.roots r in
+  age ctx m;
+  Alcotest.(check bool) "ref is old" true
+    (Local_heap.in_old m.Ctx.lh (Value.to_ptr (Roots.get cr)));
+  (* Store a *nursery* list into the old ref: the barrier must remember
+     the slot, or the next minor collection loses the list. *)
+  let lst = Gc_util.build_list ctx m [ 1; 2; 3 ] in
+  Mut.set ctx m (Roots.get cr) lst;
+  Alcotest.(check bool) "slot remembered" true
+    (Remember.cardinal m.Ctx.remembered > 0);
+  Gc_util.assert_invariants ctx;
+  Minor_gc.run ctx m;
+  Alcotest.(check int) "remembered set cleared" 0
+    (Remember.cardinal m.Ctx.remembered);
+  Alcotest.(check (list int)) "mutated target survived the minor" [ 1; 2; 3 ]
+    (Gc_util.read_list ctx m (Mut.get ctx m (Roots.get cr)));
+  Gc_util.assert_invariants ctx
+
+let test_nursery_ref_needs_no_barrier () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let r = Mut.alloc_ref ctx m (Value.of_int 0) in
+  let cr = Roots.add m.Ctx.roots r in
+  (* Both the ref and the target are nursery objects: ordinary liveness
+     covers them, no remembering required. *)
+  let lst = Gc_util.build_list ctx m [ 9 ] in
+  Mut.set ctx m (Roots.get cr) lst;
+  Alcotest.(check int) "nothing remembered" 0 (Remember.cardinal m.Ctx.remembered);
+  Minor_gc.run ctx m;
+  Alcotest.(check (list int)) "still survives" [ 9 ]
+    (Gc_util.read_list ctx m (Mut.get ctx m (Roots.get cr)))
+
+let test_global_ref_promotes_stored_value () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let r = Promote.value ctx m (Mut.alloc_ref ctx m (Value.of_int 0)) in
+  let cr = Roots.add m.Ctx.roots r in
+  (* Storing a local value into a global ref must promote it (I2). *)
+  let lst = Gc_util.build_list ctx m [ 5; 6 ] in
+  Mut.set ctx m (Roots.get cr) lst;
+  let stored = Mut.get ctx m (Roots.get cr) in
+  Alcotest.(check bool) "stored value is global" true
+    (Global_heap.contains ctx.Ctx.global (Value.to_ptr stored));
+  Alcotest.(check (list int)) "readable" [ 5; 6 ]
+    (Gc_util.read_list ctx m stored);
+  Gc_util.assert_invariants ctx
+
+let test_major_evacuates_young_target () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let r = Mut.alloc_ref ctx m (Value.of_int 0) in
+  let cr = Roots.add m.Ctx.roots r in
+  age ctx m (* ref now old *);
+  (* A young value (one minor old). *)
+  let lst = Gc_util.build_list ctx m [ 4 ] in
+  let cl = Roots.add m.Ctx.roots lst in
+  Minor_gc.run ctx m;
+  Alcotest.(check bool) "target is young" true
+    (Local_heap.in_young m.Ctx.lh (Value.to_ptr (Roots.get cl)));
+  Mut.set ctx m (Roots.get cr) (Roots.get cl);
+  Roots.remove m.Ctx.roots cl;
+  (* Major moves the ref to the global heap; its young target must come
+     along (a global object may not point at local young data). *)
+  Major_gc.run ctx m;
+  let r' = Roots.get cr in
+  Alcotest.(check bool) "ref now global" true
+    (Global_heap.contains ctx.Ctx.global (Value.to_ptr r'));
+  let target = Mut.get ctx m r' in
+  Alcotest.(check bool) "young target evacuated too" true
+    (Global_heap.contains ctx.Ctx.global (Value.to_ptr target));
+  Alcotest.(check (list int)) "readable" [ 4 ] (Gc_util.read_list ctx m target);
+  Gc_util.assert_invariants ctx
+
+let test_mutation_through_global_gc () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let r = Promote.value ctx m (Mut.alloc_ref ctx m (Value.of_int 0)) in
+  let cr = Roots.add m.Ctx.roots r in
+  Mut.set ctx m (Roots.get cr)
+    (Gc_util.build_list ctx m [ 1; 2 ] |> fun l -> Promote.value ctx m l);
+  Global_gc.run ctx;
+  Alcotest.(check (list int)) "value follows the collection" [ 1; 2 ]
+    (Gc_util.read_list ctx m (Mut.get ctx m (Roots.get cr)));
+  Mut.set ctx m (Roots.get cr) (Value.of_int 99);
+  Global_gc.run ctx;
+  Alcotest.(check int) "immediate after second collection" 99
+    (Value.to_int (Mut.get ctx m (Roots.get cr)));
+  Gc_util.assert_invariants ctx
+
+let test_set_pointer_field_on_vector () =
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let vec = Alloc.alloc_vector ctx m [| Value.of_int 1; Value.of_int 2 |] in
+  let cv = Roots.add m.Ctx.roots vec in
+  age ctx m;
+  let lst = Gc_util.build_list ctx m [ 8 ] in
+  Mut.set_pointer_field ctx m (Roots.get cv) 1 lst;
+  Minor_gc.run ctx m;
+  Alcotest.(check (list int)) "mutated slot survives" [ 8 ]
+    (Gc_util.read_list ctx m
+       (Ctx.get_field ctx m (Value.to_ptr (Roots.get cv)) 1));
+  Gc_util.assert_invariants ctx
+
+(* Model-based property test: a bank of refs mutated and collected at
+   random must always agree with a plain OCaml model. *)
+let prop_random_mutation =
+  QCheck.Test.make ~name:"random mutation vs model" ~count:40
+    QCheck.(pair (int_range 0 1000) (list_of_size (Gen.return 60) (int_bound 5)))
+    (fun (seed, ops) ->
+      let ctx = mk () in
+      let m = Ctx.mutator ctx 0 in
+      let st = Random.State.make [| seed |] in
+      let n_refs = 4 in
+      let model = Array.make n_refs [] in
+      let refs =
+        Array.init n_refs (fun _ ->
+            Roots.add m.Ctx.roots (Mut.alloc_ref ctx m (Value.of_int 0)))
+      in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          let i = Random.State.int st n_refs in
+          match op with
+          | 0 | 1 ->
+              (* mutate: store a fresh list *)
+              let xs = List.init (1 + Random.State.int st 4) (fun k -> k + i) in
+              model.(i) <- xs;
+              Mut.set ctx m (Roots.get refs.(i)) (Gc_util.build_list ctx m xs)
+          | 2 -> Minor_gc.run ctx m
+          | 3 -> Major_gc.run ctx m
+          | 4 ->
+              Roots.set refs.(i)
+                (Promote.value ctx m (Roots.get refs.(i)))
+          | _ -> Global_gc.run ctx)
+        ops;
+      Array.iteri
+        (fun i cr ->
+          let v = Mut.get ctx m (Roots.get cr) in
+          let got = if Value.is_int v then [] else Gc_util.read_list ctx m v in
+          if got <> model.(i) then ok := false)
+        refs;
+      !ok && Result.is_ok (Ctx.check_invariants ctx))
+
+let suite =
+  ( "mutation",
+    [
+      Alcotest.test_case "ref basics" `Quick test_ref_basics;
+      Alcotest.test_case "old->nursery write barrier" `Quick
+        test_old_to_nursery_barrier;
+      Alcotest.test_case "nursery ref needs no barrier" `Quick
+        test_nursery_ref_needs_no_barrier;
+      Alcotest.test_case "global ref promotes stored value" `Quick
+        test_global_ref_promotes_stored_value;
+      Alcotest.test_case "major evacuates mutated young target" `Quick
+        test_major_evacuates_young_target;
+      Alcotest.test_case "mutation across global collections" `Quick
+        test_mutation_through_global_gc;
+      Alcotest.test_case "set_pointer_field on vectors" `Quick
+        test_set_pointer_field_on_vector;
+      QCheck_alcotest.to_alcotest prop_random_mutation;
+    ] )

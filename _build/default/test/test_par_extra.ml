@@ -1,0 +1,141 @@
+(* The NESL-style combinators added beyond the core: parallel scan and
+   filter, plus model-based rope properties. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+let with_rt ?(n_vprocs = 4) f =
+  let rt = Test_sched.mk_rt ~n_vprocs () in
+  let c = Sched.ctx rt in
+  let d = Pml.Pval.register c in
+  let r = Sched.run rt ~main:(fun m -> f rt c d m) in
+  Gc_util.assert_invariants c;
+  r
+
+let test_scan_matches_sequential () =
+  ignore
+    (with_rt (fun rt c d m ->
+         let n = 3000 in
+         let a =
+           Pml.Par.tabulate_f rt m d ~env:[||] ~n ~grain:256 ~f:(fun _ _ i ->
+               float_of_int ((i mod 7) + 1))
+         in
+         Roots.protect m.Ctx.roots a (fun ca ->
+             let scanned, total = Pml.Par.scan_f rt m d (Roots.get ca) in
+             Roots.protect m.Ctx.roots scanned (fun cs ->
+                 (* Oracle. *)
+                 let acc = ref 0. in
+                 for i = 0 to n - 1 do
+                   let got = Pml.Pval.farr_get c m (Roots.get cs) i in
+                   if Float.abs (got -. !acc) > 1e-9 then
+                     Alcotest.failf "scan[%d] = %f, want %f" i got !acc;
+                   acc := !acc +. float_of_int ((i mod 7) + 1)
+                 done;
+                 Alcotest.(check (float 1e-6)) "total" !acc total;
+                 Alcotest.(check int) "length preserved" n
+                   (Pml.Pval.farr_length c m (Roots.get cs));
+                 Value.unit))))
+
+let test_scan_empty_and_small () =
+  ignore
+    (with_rt (fun rt c d m ->
+         let empty, t0 = Pml.Par.scan_f rt m d (Value.of_int 0) in
+         Alcotest.(check bool) "empty stays empty" true (Value.is_int empty);
+         Alcotest.(check (float 0.)) "zero total" 0. t0;
+         let a = Pml.Pval.farr_tabulate c m d ~n:3 ~f:(fun i -> float_of_int i) in
+         let s, total = Pml.Par.scan_f rt m d a in
+         Alcotest.(check (float 1e-9)) "total" 3. total;
+         Alcotest.(check (float 1e-9)) "s0" 0. (Pml.Pval.farr_get c m s 0);
+         Alcotest.(check (float 1e-9)) "s2" 1. (Pml.Pval.farr_get c m s 2);
+         Value.unit))
+
+let test_filter_matches_sequential () =
+  ignore
+    (with_rt (fun rt c d m ->
+         let n = 4000 in
+         let xs = Array.init n (fun i -> (i * 37) mod 101) in
+         let a = Pml.Pval.arr_of_int_array c m d xs in
+         Roots.protect m.Ctx.roots a (fun ca ->
+             let evens =
+               Pml.Par.filter rt m d (Roots.get ca) ~pred:(fun x -> x mod 2 = 0)
+             in
+             let want = Array.of_list (List.filter (fun x -> x mod 2 = 0) (Array.to_list xs)) in
+             Roots.protect m.Ctx.roots evens (fun ce ->
+                 Alcotest.(check (array int)) "filtered"
+                   want
+                   (Pml.Pval.arr_to_int_array c m (Roots.get ce));
+                 Value.unit))))
+
+let test_filter_extremes () =
+  ignore
+    (with_rt (fun rt c d m ->
+         let a = Pml.Pval.arr_of_int_array c m d (Array.init 100 (fun i -> i)) in
+         Roots.protect m.Ctx.roots a (fun ca ->
+             let none =
+               Pml.Par.filter rt m d (Roots.get ca) ~pred:(fun _ -> false)
+             in
+             Alcotest.(check int) "none" 0 (Pml.Pval.arr_length c m none);
+             let all =
+               Pml.Par.filter rt m d (Roots.get ca) ~pred:(fun _ -> true)
+             in
+             Alcotest.(check int) "all" 100 (Pml.Pval.arr_length c m all);
+             Value.unit)))
+
+let prop_join_get_model =
+  QCheck.Test.make ~name:"rope joins match list concat" ~count:60
+    QCheck.(pair (list_of_size (Gen.int_range 0 40) (int_bound 500))
+              (list_of_size (Gen.int_range 0 40) (int_bound 500)))
+    (fun (xs, ys) ->
+      let ctx = Gc_util.mk_ctx () in
+      let m = Manticore_gc.Ctx.mutator ctx 0 in
+      let d = Pml.Pval.register ctx in
+      let a = Pml.Pval.arr_of_int_array ctx m d (Array.of_list xs) in
+      Roots.protect m.Manticore_gc.Ctx.roots a (fun ca ->
+          let b = Pml.Pval.arr_of_int_array ctx m d (Array.of_list ys) in
+          Roots.protect m.Manticore_gc.Ctx.roots b (fun cb ->
+              let j =
+                Pml.Pval.arr_join ctx m d (Roots.get ca) (Roots.get cb)
+              in
+              let got = Array.to_list (Pml.Pval.arr_to_int_array ctx m j) in
+              if got = xs @ ys then Value.of_int 1 else Value.of_int 0)
+          |> fun v -> v)
+      |> fun v -> Value.to_int v = 1)
+
+let prop_scan_random =
+  QCheck.Test.make ~name:"scan matches oracle on random sizes" ~count:20
+    QCheck.(int_range 1 2000)
+    (fun n ->
+      let out = ref true in
+      ignore
+        (with_rt (fun rt c d m ->
+             let a =
+               Pml.Par.tabulate_f rt m d ~env:[||] ~n ~grain:128
+                 ~f:(fun _ _ i -> float_of_int (i land 15))
+             in
+             Roots.protect m.Ctx.roots a (fun ca ->
+                 let s, total = Pml.Par.scan_f rt m d (Roots.get ca) in
+                 Roots.protect m.Ctx.roots s (fun cs ->
+                     let acc = ref 0. in
+                     for i = 0 to n - 1 do
+                       if
+                         Float.abs
+                           (Pml.Pval.farr_get c m (Roots.get cs) i -. !acc)
+                         > 1e-9
+                       then out := false;
+                       acc := !acc +. float_of_int (i land 15)
+                     done;
+                     if Float.abs (total -. !acc) > 1e-6 then out := false;
+                     Value.unit))));
+      !out)
+
+let suite =
+  ( "par-extra",
+    [
+      Alcotest.test_case "scan matches oracle" `Quick test_scan_matches_sequential;
+      Alcotest.test_case "scan edge sizes" `Quick test_scan_empty_and_small;
+      Alcotest.test_case "filter matches oracle" `Quick test_filter_matches_sequential;
+      Alcotest.test_case "filter extremes" `Quick test_filter_extremes;
+      QCheck_alcotest.to_alcotest prop_join_get_model;
+      QCheck_alcotest.to_alcotest prop_scan_random;
+    ] )

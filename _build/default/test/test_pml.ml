@@ -1,0 +1,162 @@
+(* The PML surface layer: heap data structures and parallel combinators. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+let with_rt ?(n_vprocs = 4) f =
+  let rt = Test_sched.mk_rt ~n_vprocs () in
+  let c = Sched.ctx rt in
+  let d = Pml.Pval.register c in
+  let r = Sched.run rt ~main:(fun m -> f rt c d m) in
+  Gc_util.assert_invariants c;
+  r
+
+let test_lists () =
+  let r =
+    with_rt (fun _rt c _d m ->
+        let xs = Pml.Pval.list_of_ints c m [ 1; 2; 3 ] in
+        Roots.protect m.Ctx.roots xs (fun cxs ->
+            let ys = Pml.Pval.list_of_ints c m [ 4; 5 ] in
+            let zs = Pml.Pval.list_append c m (Roots.get cxs) ys in
+            Alcotest.(check (list int)) "append" [ 1; 2; 3; 4; 5 ]
+              (Pml.Pval.ints_of_list c m zs);
+            Alcotest.(check int) "length" 5 (Pml.Pval.list_length c m zs);
+            Value.unit))
+  in
+  ignore r
+
+let test_arr_tabulate_get () =
+  ignore
+    (with_rt (fun _rt c d m ->
+         let a = Pml.Pval.arr_tabulate c m d ~n:1000 ~f:(fun i -> Value.of_int (i * 3)) in
+         Alcotest.(check int) "length" 1000 (Pml.Pval.arr_length c m a);
+         Alcotest.(check int) "get 0" 0 (Value.to_int (Pml.Pval.arr_get c m a 0));
+         Alcotest.(check int) "get 999" 2997 (Value.to_int (Pml.Pval.arr_get c m a 999));
+         Alcotest.(check int) "get 500" 1500 (Value.to_int (Pml.Pval.arr_get c m a 500));
+         Value.unit))
+
+let test_arr_roundtrip () =
+  ignore
+    (with_rt (fun _rt c d m ->
+         let xs = Array.init 700 (fun i -> (i * 7) mod 13) in
+         let a = Pml.Pval.arr_of_int_array c m d xs in
+         Alcotest.(check (array int)) "roundtrip" xs (Pml.Pval.arr_to_int_array c m a);
+         Value.unit))
+
+let test_farr () =
+  ignore
+    (with_rt (fun _rt c d m ->
+         let a =
+           Pml.Pval.farr_tabulate c m d ~n:600 ~f:(fun i -> float_of_int i /. 4.)
+         in
+         Alcotest.(check int) "length" 600 (Pml.Pval.farr_length c m a);
+         Alcotest.(check (float 1e-12)) "get" 37.5 (Pml.Pval.farr_get c m a 150);
+         let sum = Pml.Pval.farr_fold c m a ~init:0. ~f:( +. ) in
+         Alcotest.(check (float 1e-6)) "fold" (599. *. 600. /. 8.) sum;
+         Value.unit))
+
+let test_par_tabulate_matches_sequential () =
+  ignore
+    (with_rt (fun rt c d m ->
+         let n = 2000 in
+         let a =
+           Pml.Par.tabulate rt m d ~env:[||] ~n ~grain:64 ~f:(fun _m _env i ->
+               Value.of_int (i * i))
+         in
+         Alcotest.(check int) "length" n (Pml.Pval.arr_length c m a);
+         List.iter
+           (fun i ->
+             Alcotest.(check int)
+               (Printf.sprintf "elt %d" i)
+               (i * i)
+               (Value.to_int (Pml.Pval.arr_get c m a i)))
+           [ 0; 1; 63; 64; 1000; 1999 ];
+         Value.unit))
+
+let test_par_tabulate_f () =
+  ignore
+    (with_rt (fun rt c d m ->
+         let n = 3000 in
+         let a =
+           Pml.Par.tabulate_f rt m d ~env:[||] ~n ~grain:128 ~f:(fun _m _env i ->
+               sqrt (float_of_int i))
+         in
+         Alcotest.(check int) "length" n (Pml.Pval.farr_length c m a);
+         Alcotest.(check (float 1e-9)) "elt" (sqrt 2024.) (Pml.Pval.farr_get c m a 2024);
+         Value.unit))
+
+let test_par_reduce () =
+  ignore
+    (with_rt (fun rt c d m ->
+         let n = 5000 in
+         let a =
+           Pml.Par.tabulate_f rt m d ~env:[||] ~n ~grain:256 ~f:(fun _m _env i ->
+               float_of_int i)
+         in
+         Roots.protect m.Ctx.roots a (fun ca ->
+             let total =
+               Pml.Par.reduce_f rt m
+                 ~env:[| Roots.get ca |]
+                 ~lo:0 ~hi:n ~grain:256
+                 ~leaf:(fun m env lo hi ->
+                   let arr = env.(0) in
+                   let s = ref 0. in
+                   for i = lo to hi - 1 do
+                     s := !s +. Pml.Pval.farr_get c m arr i
+                   done;
+                   !s)
+                 ( +. )
+             in
+             Alcotest.(check (float 1e-3)) "sum" (float_of_int (n * (n - 1) / 2)) total;
+             Value.unit)))
+
+let test_par2 () =
+  ignore
+    (with_rt (fun rt c _d m ->
+         let a, b =
+           Pml.Par.par2 rt m ~env_a:[||] ~env_b:[||]
+             (fun m _ -> Gc_util.build_list c m [ 1; 2 ])
+             (fun m _ -> Gc_util.build_list c m [ 3; 4; 5 ])
+         in
+         Alcotest.(check (list int)) "a" [ 1; 2 ] (Gc_util.read_list c m a);
+         Roots.protect m.Ctx.roots b (fun cb ->
+             Alcotest.(check (list int)) "b" [ 3; 4; 5 ]
+               (Gc_util.read_list c m (Roots.get cb));
+             Value.unit)))
+
+let test_parallel_under_memory_pressure () =
+  (* Small heaps + deep parallelism: collections of every kind while the
+     combinators run. *)
+  ignore
+    (with_rt ~n_vprocs:8 (fun rt c d m ->
+         let n = 4000 in
+         let a =
+           Pml.Par.tabulate rt m d ~env:[||] ~n ~grain:50 ~f:(fun m _ i ->
+               (* Allocate a small list per element to stress the nursery. *)
+               let l = Gc_util.build_list c m [ i; i + 1; i + 2 ] in
+               Value.of_int (List.fold_left ( + ) 0 (Gc_util.read_list c m l)))
+         in
+         let ok = ref true in
+         List.iter
+           (fun i ->
+             if Value.to_int (Pml.Pval.arr_get c m a i) <> (3 * i) + 3 then
+               ok := false)
+           [ 0; 17; 999; 2500; 3999 ];
+         Alcotest.(check bool) "all elements correct" true !ok;
+         Value.unit))
+
+let suite =
+  ( "pml",
+    [
+      Alcotest.test_case "lists" `Quick test_lists;
+      Alcotest.test_case "array tabulate/get" `Quick test_arr_tabulate_get;
+      Alcotest.test_case "array roundtrip" `Quick test_arr_roundtrip;
+      Alcotest.test_case "float arrays" `Quick test_farr;
+      Alcotest.test_case "parallel tabulate" `Quick test_par_tabulate_matches_sequential;
+      Alcotest.test_case "parallel float tabulate" `Quick test_par_tabulate_f;
+      Alcotest.test_case "parallel reduce" `Quick test_par_reduce;
+      Alcotest.test_case "par2" `Quick test_par2;
+      Alcotest.test_case "combinators under memory pressure" `Quick
+        test_parallel_under_memory_pressure;
+    ] )

@@ -1,0 +1,139 @@
+(* Promotion (§3.1): copying an object graph into the global heap so it
+   can be shared, leaving forwarding words behind. *)
+
+open Heap
+open Manticore_gc
+
+let test_promote_immediate () =
+  let ctx = Gc_util.mk_ctx () in
+  let m = Ctx.mutator ctx 0 in
+  let v = Value.of_int 17 in
+  Alcotest.(check bool) "unchanged" true (Value.equal v (Promote.value ctx m v))
+
+let test_promote_list () =
+  let ctx = Gc_util.mk_ctx () in
+  let m = Ctx.mutator ctx 0 in
+  let v = Gc_util.build_list ctx m [ 1; 2; 3 ] in
+  let before = Gc_util.snapshot ctx v in
+  let g = Promote.value ctx m v in
+  Alcotest.(check bool) "result is global" true
+    (Global_heap.contains ctx.Ctx.global (Value.to_ptr g));
+  Alcotest.check Gc_util.snap "structure preserved" before (Gc_util.snapshot ctx g);
+  (* Transitivity: every cons cell left the local heap. *)
+  let rec all_global v =
+    Value.is_int v
+    || (Global_heap.contains ctx.Ctx.global (Value.to_ptr v)
+       && all_global (Obj_repr.get_field ctx.Ctx.store (Value.to_ptr v) 1))
+  in
+  Alcotest.(check bool) "deep promotion" true (all_global g);
+  Gc_util.assert_invariants ctx
+
+let test_promote_leaves_forwarding () =
+  let ctx = Gc_util.mk_ctx () in
+  let m = Ctx.mutator ctx 0 in
+  let v = Gc_util.build_list ctx m [ 4 ] in
+  let g = Promote.value ctx m v in
+  let h = Obj_repr.header ctx.Ctx.store (Value.to_ptr v) in
+  Alcotest.(check bool) "forwarding word" true (Header.is_forward h);
+  Alcotest.(check int) "points to global copy" (Value.to_ptr g)
+    (Header.forward_addr h);
+  (* A held stale reference resolves through the forwarding word. *)
+  let resolved = Ctx.resolve ctx m v in
+  Alcotest.(check bool) "resolve" true (Value.equal resolved g)
+
+let test_promote_idempotent () =
+  let ctx = Gc_util.mk_ctx () in
+  let m = Ctx.mutator ctx 0 in
+  let v = Gc_util.build_list ctx m [ 5 ] in
+  let g1 = Promote.value ctx m v in
+  let g2 = Promote.value ctx m g1 in
+  Alcotest.(check bool) "second promotion is identity" true (Value.equal g1 g2);
+  (* Promoting the stale local pointer again lands on the same copy. *)
+  let g3 = Promote.value ctx m v in
+  Alcotest.(check bool) "forwarded, not re-copied" true (Value.equal g1 g3)
+
+let test_promote_shared_tail () =
+  let ctx = Gc_util.mk_ctx () in
+  let m = Ctx.mutator ctx 0 in
+  let tail = Gc_util.build_list ctx m [ 8; 9 ] in
+  let a = Alloc.alloc_vector ctx m [| Value.of_int 1; tail |] in
+  let ca = Roots.add m.Ctx.roots a in
+  let b = Alloc.alloc_vector ctx m [| Value.of_int 2;
+      Ctx.get_field ctx m (Value.to_ptr (Roots.get ca)) 1 |] in
+  let ga = Promote.value ctx m (Roots.get ca) in
+  let gb = Promote.value ctx m b in
+  let tail_of v = Obj_repr.get_field ctx.Ctx.store (Value.to_ptr v) 1 in
+  Alcotest.(check bool) "sharing preserved across promotions" true
+    (Value.equal (tail_of ga) (tail_of gb));
+  Gc_util.assert_invariants ctx
+
+let test_promoted_survives_local_gcs () =
+  let ctx = Gc_util.mk_ctx () in
+  let m = Ctx.mutator ctx 0 in
+  let v = Gc_util.build_list ctx m [ 1; 2 ] in
+  let g = Promote.value ctx m v in
+  let cell = Roots.add m.Ctx.roots g in
+  Minor_gc.run ctx m;
+  Major_gc.run ctx m;
+  (* Global data is untouched by local collections. *)
+  Alcotest.(check bool) "same address" true (Value.equal g (Roots.get cell));
+  Alcotest.(check (list int)) "readable" [ 1; 2 ]
+    (Gc_util.read_list ctx m (Roots.get cell));
+  Gc_util.assert_invariants ctx
+
+let test_promote_mixed_local_global () =
+  (* A local vector referencing an already-global value: promotion copies
+     the local spine only and keeps the global reference as is. *)
+  let ctx = Gc_util.mk_ctx () in
+  let m = Ctx.mutator ctx 0 in
+  let g0 = Promote.value ctx m (Gc_util.build_list ctx m [ 7 ]) in
+  let v = Alloc.alloc_vector ctx m [| Value.of_int 0; g0 |] in
+  let promoted_before = m.Ctx.stats.Gc_stats.promoted_bytes in
+  let g = Promote.value ctx m v in
+  Alcotest.(check int) "only the spine copied" 24
+    (m.Ctx.stats.Gc_stats.promoted_bytes - promoted_before);
+  Alcotest.(check bool) "global field untouched" true
+    (Value.equal g0 (Obj_repr.get_field ctx.Ctx.store (Value.to_ptr g) 1));
+  Gc_util.assert_invariants ctx
+
+let test_promotion_then_minor_walks_forwarding () =
+  (* After a promotion, the nursery contains forwarding words; an
+     unrelated minor collection must cope with them. *)
+  let ctx = Gc_util.mk_ctx () in
+  let m = Ctx.mutator ctx 0 in
+  ignore (Promote.value ctx m (Gc_util.build_list ctx m [ 1; 2; 3 ]));
+  let live = Gc_util.build_list ctx m [ 4 ] in
+  let cell = Roots.add m.Ctx.roots live in
+  Minor_gc.run ctx m;
+  Major_gc.run ctx m;
+  Alcotest.(check (list int)) "live fine" [ 4 ]
+    (Gc_util.read_list ctx m (Roots.get cell));
+  Gc_util.assert_invariants ctx
+
+let prop_promote_preserves_random_trees =
+  QCheck.Test.make ~name:"promotion preserves random trees" ~count:40
+    QCheck.(pair (int_range 0 6) (int_range 1 1000))
+    (fun (depth, seed) ->
+      let ctx = Gc_util.mk_ctx () in
+      let m = Ctx.mutator ctx 0 in
+      let v = Gc_util.build_tree ctx m depth seed in
+      let before = Gc_util.snapshot ctx v in
+      let g = Promote.value ctx m v in
+      Gc_util.snapshot ctx g = before
+      && Result.is_ok (Ctx.check_invariants ctx))
+
+let suite =
+  ( "promote",
+    [
+      Alcotest.test_case "immediate unchanged" `Quick test_promote_immediate;
+      Alcotest.test_case "promotes a list deeply" `Quick test_promote_list;
+      Alcotest.test_case "leaves forwarding words" `Quick test_promote_leaves_forwarding;
+      Alcotest.test_case "idempotent" `Quick test_promote_idempotent;
+      Alcotest.test_case "sharing preserved" `Quick test_promote_shared_tail;
+      Alcotest.test_case "survives local collections" `Quick
+        test_promoted_survives_local_gcs;
+      Alcotest.test_case "local/global boundary" `Quick test_promote_mixed_local_global;
+      Alcotest.test_case "forwarding words tolerated by later GCs" `Quick
+        test_promotion_then_minor_walks_forwarding;
+      QCheck_alcotest.to_alcotest prop_promote_preserves_random_trees;
+    ] )

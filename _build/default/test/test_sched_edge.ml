@@ -1,0 +1,163 @@
+(* Scheduler edge cases: deadlock detection, nested parallelism, many
+   fibers, channel stress, future reuse. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+let mk_rt ?(n_vprocs = 4) () = Test_sched.mk_rt ~n_vprocs ()
+
+let test_deadlock_detected () =
+  let rt = mk_rt () in
+  Alcotest.check_raises "deadlock"
+    (Failure "Sched.run: deadlock — fibers blocked with no runnable work")
+    (fun () ->
+      ignore
+        (Sched.run rt ~main:(fun m ->
+             (* Receive on a channel nobody ever sends on. *)
+             let ch = Sched.new_channel rt m in
+             Sched.recv rt m ch)))
+
+let test_await_same_future_twice () =
+  let rt = mk_rt () in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let fut = Sched.spawn rt m ~env:[||] (fun _ _ -> Value.of_int 5) in
+        let a = Value.to_int (Sched.await rt m fut) in
+        let b = Value.to_int (Sched.await rt m fut) in
+        Value.of_int (a + b))
+  in
+  Alcotest.(check int) "cached result" 10 (Value.to_int r)
+
+let test_two_fibers_await_one_future () =
+  let rt = mk_rt () in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let producer =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              Ctx.charge_work (Sched.ctx rt) m' ~cycles:2_000_000.;
+              Sched.yield rt m';
+              Value.of_int 21)
+        in
+        (* A second consumer blocks on the same future. *)
+        let consumer =
+          Sched.spawn rt m ~env:[||] (fun m' _ -> Sched.await rt m' producer)
+        in
+        let a = Value.to_int (Sched.await rt m producer) in
+        let b = Value.to_int (Sched.await rt m consumer) in
+        Value.of_int (a + b))
+  in
+  Alcotest.(check int) "both waiters woken" 42 (Value.to_int r)
+
+let test_deep_nesting () =
+  let rt = mk_rt () in
+  let rec nest m depth =
+    if depth = 0 then Value.of_int 1
+    else begin
+      let fut =
+        Sched.spawn rt m ~env:[||] (fun m' _ -> nest m' (depth - 1))
+      in
+      Value.of_int (2 * Value.to_int (Sched.await rt m fut))
+    end
+  in
+  let r = Sched.run rt ~main:(fun m -> nest m 14) in
+  Alcotest.(check int) "2^14" 16384 (Value.to_int r)
+
+let test_many_small_fibers () =
+  let rt = mk_rt ~n_vprocs:8 () in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let futs =
+          List.init 500 (fun i ->
+              Sched.spawn rt m ~env:[||] (fun _ _ -> Value.of_int i))
+        in
+        Value.of_int
+          (List.fold_left
+             (fun acc f -> acc + Value.to_int (Sched.await rt m f))
+             0 futs))
+  in
+  Alcotest.(check int) "sum 0..499" (499 * 500 / 2) (Value.to_int r)
+
+let test_channel_many_to_one () =
+  let rt = mk_rt ~n_vprocs:6 () in
+  let n_senders = 5 and per = 20 in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let ch = Sched.new_channel rt m in
+        let senders =
+          List.init n_senders (fun w ->
+              Sched.spawn rt m ~env:[||] (fun m' _ ->
+                  for i = 1 to per do
+                    Sched.send rt m' ch (Value.of_int ((w * 1000) + i))
+                  done;
+                  Value.unit))
+        in
+        let total = ref 0 in
+        for _ = 1 to n_senders * per do
+          total := !total + Value.to_int (Sched.recv rt m ch)
+        done;
+        List.iter (fun f -> ignore (Sched.await rt m f)) senders;
+        Value.of_int !total)
+  in
+  let expect =
+    List.init n_senders (fun w ->
+        List.init per (fun i -> (w * 1000) + i + 1) |> List.fold_left ( + ) 0)
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "all messages exactly once" expect (Value.to_int r)
+
+let test_channel_one_to_many () =
+  let rt = mk_rt ~n_vprocs:6 () in
+  let n_receivers = 4 and per = 10 in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let ch = Sched.new_channel rt m in
+        let receivers =
+          List.init n_receivers (fun _ ->
+              Sched.spawn rt m ~env:[||] (fun m' _ ->
+                  let s = ref 0 in
+                  for _ = 1 to per do
+                    s := !s + Value.to_int (Sched.recv rt m' ch)
+                  done;
+                  Value.of_int !s))
+        in
+        for i = 1 to n_receivers * per do
+          Sched.send rt m ch (Value.of_int i)
+        done;
+        Value.of_int
+          (List.fold_left
+             (fun acc f -> acc + Value.to_int (Sched.await rt m f))
+             0 receivers))
+  in
+  let n = n_receivers * per in
+  Alcotest.(check int) "conserved" (n * (n + 1) / 2) (Value.to_int r)
+
+let test_exception_does_not_poison_scheduler () =
+  let rt = mk_rt () in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let bad = Sched.spawn rt m ~env:[||] (fun _ _ -> failwith "pop") in
+        let good = Sched.spawn rt m ~env:[||] (fun _ _ -> Value.of_int 3) in
+        let ok =
+          match Sched.await rt m bad with
+          | _ -> 0
+          | exception Failure _ -> 1
+        in
+        Value.of_int (ok + Value.to_int (Sched.await rt m good)))
+  in
+  Alcotest.(check int) "failure isolated" 4 (Value.to_int r)
+
+let suite =
+  ( "sched-edge",
+    [
+      Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+      Alcotest.test_case "await twice" `Quick test_await_same_future_twice;
+      Alcotest.test_case "two waiters, one future" `Quick
+        test_two_fibers_await_one_future;
+      Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+      Alcotest.test_case "500 fibers" `Quick test_many_small_fibers;
+      Alcotest.test_case "channels: many-to-one" `Quick test_channel_many_to_one;
+      Alcotest.test_case "channels: one-to-many" `Quick test_channel_one_to_many;
+      Alcotest.test_case "exception isolation" `Quick
+        test_exception_does_not_poison_scheduler;
+    ] )

@@ -1,0 +1,110 @@
+(* Machine topology: Appendix A shapes, Table 1 bandwidth classes, and
+   the sparse vproc assignment of §2.2. *)
+
+open Numa
+
+let test_amd_shape () =
+  let t = Machines.amd48 in
+  Alcotest.(check int) "nodes" 8 (Topology.n_nodes t);
+  Alcotest.(check int) "cores" 48 (Topology.n_cores t);
+  Alcotest.(check int) "node of core 0" 0 (Topology.node_of_core t 0);
+  Alcotest.(check int) "node of core 47" 7 (Topology.node_of_core t 47);
+  Alcotest.(check int) "package of node 1" 0 (Topology.package_of_node t 1);
+  Alcotest.(check int) "package of node 2" 1 (Topology.package_of_node t 2)
+
+let test_intel_shape () =
+  let t = Machines.intel32 in
+  Alcotest.(check int) "nodes" 4 (Topology.n_nodes t);
+  Alcotest.(check int) "cores" 32 (Topology.n_cores t)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_table1_amd () =
+  (* Table 1, AMD column. *)
+  let t = Machines.amd48 in
+  feq "local" 21.3 t.Topology.bw.(0).(0);
+  feq "same package" 19.2 t.Topology.bw.(0).(1);
+  feq "cross package" 6.4 t.Topology.bw.(0).(2);
+  feq "cross package far" 6.4 t.Topology.bw.(0).(7)
+
+let test_table1_intel () =
+  (* Table 1, Intel column: remote bandwidth *exceeds* local. *)
+  let t = Machines.intel32 in
+  feq "local" 17.1 t.Topology.bw.(0).(0);
+  feq "remote" 25.6 t.Topology.bw.(0).(3);
+  Alcotest.(check bool) "QPI faster than local risers" true
+    (t.Topology.bw.(0).(3) > t.Topology.bw.(0).(0))
+
+let test_distance_class () =
+  let t = Machines.amd48 in
+  Alcotest.(check bool) "local" true (Topology.distance_class t 3 3 = `Local);
+  Alcotest.(check bool) "same package" true
+    (Topology.distance_class t 2 3 = `Same_package);
+  Alcotest.(check bool) "cross" true
+    (Topology.distance_class t 0 2 = `Cross_package)
+
+let test_sparse_assignment_spreads () =
+  let t = Machines.amd48 in
+  (* 8 vprocs on 8 nodes: one per node. *)
+  let cores = Topology.sparse_core_assignment t 8 in
+  let nodes = Array.map (Topology.node_of_core t) cores in
+  Array.iteri (fun i n -> Alcotest.(check int) "node" i n) nodes;
+  (* 16 vprocs: exactly two per node. *)
+  let cores = Topology.sparse_core_assignment t 16 in
+  let count = Array.make 8 0 in
+  Array.iter
+    (fun c ->
+      let n = Topology.node_of_core t c in
+      count.(n) <- count.(n) + 1)
+    cores;
+  Array.iter (fun k -> Alcotest.(check int) "two per node" 2 k) count
+
+let test_sparse_assignment_full () =
+  let t = Machines.amd48 in
+  let cores = Topology.sparse_core_assignment t 48 in
+  let sorted = Array.copy cores in
+  Array.sort compare sorted;
+  Array.iteri (fun i c -> Alcotest.(check int) "all cores used" i c) sorted
+
+let test_sparse_assignment_range () =
+  let t = Machines.tiny4 in
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Topology.sparse_core_assignment: vproc count out of range")
+    (fun () -> ignore (Topology.sparse_core_assignment t 0));
+  Alcotest.check_raises "too many"
+    (Invalid_argument "Topology.sparse_core_assignment: vproc count out of range")
+    (fun () -> ignore (Topology.sparse_core_assignment t 5))
+
+let prop_assignment_no_duplicates =
+  QCheck.Test.make ~name:"sparse assignment never reuses a core" ~count:100
+    QCheck.(int_range 1 48)
+    (fun n ->
+      let cores = Array.to_list (Topology.sparse_core_assignment Machines.amd48 n) in
+      List.length (List.sort_uniq compare cores) = n)
+
+let test_by_name () =
+  Alcotest.(check bool) "amd48" true (Machines.by_name "amd48" = Some Machines.amd48);
+  Alcotest.(check bool) "amd24" true (Machines.by_name "amd24" = Some Machines.amd24);
+  Alcotest.(check bool) "unknown" true (Machines.by_name "nope" = None)
+
+let test_amd24_shape () =
+  let t = Machines.amd24 in
+  Alcotest.(check int) "nodes" 4 (Topology.n_nodes t);
+  Alcotest.(check int) "cores" 24 (Topology.n_cores t);
+  Alcotest.(check bool) "two sockets" true (t.Topology.n_packages = 2)
+
+let suite =
+  ( "topology",
+    [
+      Alcotest.test_case "amd shape" `Quick test_amd_shape;
+      Alcotest.test_case "intel shape" `Quick test_intel_shape;
+      Alcotest.test_case "table 1 amd" `Quick test_table1_amd;
+      Alcotest.test_case "table 1 intel" `Quick test_table1_intel;
+      Alcotest.test_case "distance class" `Quick test_distance_class;
+      Alcotest.test_case "sparse assignment spreads" `Quick test_sparse_assignment_spreads;
+      Alcotest.test_case "sparse assignment full" `Quick test_sparse_assignment_full;
+      Alcotest.test_case "sparse assignment range" `Quick test_sparse_assignment_range;
+      Alcotest.test_case "machine lookup" `Quick test_by_name;
+      Alcotest.test_case "amd24 shape" `Quick test_amd24_shape;
+      QCheck_alcotest.to_alcotest prop_assignment_no_duplicates;
+    ] )

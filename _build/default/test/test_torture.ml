@@ -1,0 +1,175 @@
+(* Soak tests: randomized programs over the full runtime — spawning,
+   stealing, channels, mutation and every collector interleaved — with
+   the structural invariants checked at the end, plus determinism of the
+   whole virtual-time simulation. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+let params =
+  {
+    Params.default with
+    Params.capacity_bytes = 64 * 1024 * 1024;
+    local_heap_bytes = 16 * 1024;
+    chunk_bytes = 4 * 1024;
+    nursery_min_bytes = 2 * 1024;
+    global_budget_per_vproc = 8 * 1024; (* tight: frequent global GCs *)
+  }
+
+let mk_rt ?(seed = 1) ?(n_vprocs = 6) () =
+  let ctx =
+    Ctx.create ~params ~machine:Numa.Machines.amd48 ~n_vprocs
+      ~policy:Sim_mem.Page_policy.Local ()
+  in
+  (ctx, Sched.create ~seed ctx)
+
+(* A worker that churns lists, keeps a mutable rolling set, exchanges
+   messages, and returns a checksum with a closed form. *)
+let worker rt c ch (w : int) rounds (m : Ctx.mutator) =
+  let acc = Roots.add m.Ctx.roots (Mut.alloc_ref c m (Value.of_int 0)) in
+  let total = ref 0 in
+  for i = 1 to rounds do
+    Sched.tick rt m;
+    (* churn *)
+    ignore (Pml.Pval.cons c m (Value.of_int i) Pml.Pval.nil);
+    (* rolling mutable state *)
+    let old = Mut.get c m (Roots.get acc) in
+    let keep =
+      Pml.Pval.cons c m (Value.of_int i)
+        (if i mod 8 = 0 then Pml.Pval.nil
+         else if Value.is_int old && Value.to_int old = 0 then Pml.Pval.nil
+         else old)
+    in
+    Mut.set c m (Roots.get acc) keep;
+    (* occasional rendezvous with the partner *)
+    if i mod 4 = w mod 4 then begin
+      let msg = Pml.Pval.list_of_ints c m [ w; i ] in
+      Sched.send rt m ch msg
+    end;
+    total := !total + i
+  done;
+  Roots.remove m.Ctx.roots acc;
+  !total
+
+let run_soak ~seed ~n_vprocs ~rounds =
+  let ctx, rt = mk_rt ~seed ~n_vprocs () in
+  let c = ctx in
+  let grand =
+    Sched.run rt ~main:(fun m ->
+        let ch = Sched.new_channel rt m in
+        let n_workers = n_vprocs in
+        let expected_msgs =
+          (* worker w sends when i mod 4 = w mod 4, i in 1..rounds *)
+          let count w =
+            let r = w mod 4 in
+            if r = 0 then rounds / 4
+            else if r <= rounds then ((rounds - r) / 4) + 1
+            else 0
+          in
+          List.init n_workers count |> List.fold_left ( + ) 0
+        in
+        let consumer =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              let got = ref 0 in
+              for _ = 1 to expected_msgs do
+                let msg = Sched.recv rt m' ch in
+                got := !got + List.length (Pml.Pval.ints_of_list c m' msg)
+              done;
+              Value.of_int !got)
+        in
+        let workers =
+          List.init n_workers (fun w ->
+              Sched.spawn rt m ~env:[||] (fun m' _ ->
+                  Value.of_int (worker rt c ch w rounds m')))
+        in
+        let sum =
+          List.fold_left
+            (fun acc f -> acc + Value.to_int (Sched.await rt m f))
+            0 workers
+        in
+        let msg_items = Value.to_int (Sched.await rt m consumer) in
+        Value.of_int ((sum * 1000) + msg_items))
+  in
+  (Value.to_int grand, Sched.elapsed_ns rt, ctx)
+
+let test_soak_correct () =
+  let n_vprocs = 6 and rounds = 400 in
+  let v, _, ctx = run_soak ~seed:7 ~n_vprocs ~rounds in
+  let per_worker = rounds * (rounds + 1) / 2 in
+  let expected_msgs =
+    let count w =
+      let r = w mod 4 in
+      if r = 0 then rounds / 4 else ((rounds - r) / 4) + 1
+    in
+    List.init n_vprocs count |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "checksum"
+    ((n_vprocs * per_worker * 1000) + (2 * expected_msgs))
+    v;
+  Gc_util.assert_invariants ctx;
+  (* The tight budget must have exercised the global collector. *)
+  Alcotest.(check bool) "globals ran" true
+    (ctx.Ctx.stats.Gc_stats.global_count > 0)
+
+let test_determinism_same_seed () =
+  let v1, t1, _ = run_soak ~seed:42 ~n_vprocs:4 ~rounds:80 in
+  let v2, t2, _ = run_soak ~seed:42 ~n_vprocs:4 ~rounds:80 in
+  Alcotest.(check int) "same results" v1 v2;
+  Alcotest.(check (float 0.)) "bit-identical virtual time" t1 t2
+
+let test_seed_changes_schedule () =
+  (* Steal-victim randomness shifts the makespan of a steal-heavy run. *)
+  let elapsed seed =
+    let ctx =
+      Ctx.create ~params ~machine:Numa.Machines.amd48 ~n_vprocs:8
+        ~policy:Sim_mem.Page_policy.Local ()
+    in
+    let rt = Sched.create ~seed ctx in
+    let spec = Option.get (Workloads.Registry.find "quicksort") in
+    ignore (Workloads.Registry.run spec rt ~scale:0.05);
+    Sched.elapsed_ns rt
+  in
+  let t1 = elapsed 1 and t2 = elapsed 2 and t3 = elapsed 3 in
+  Alcotest.(check bool) "some schedule differs" true (t1 <> t2 || t2 <> t3)
+
+let test_steal_policies_agree_on_results () =
+  let run policy =
+    let ctx =
+      Ctx.create ~params ~machine:Numa.Machines.amd48 ~n_vprocs:8
+        ~policy:Sim_mem.Page_policy.Local ()
+    in
+    let rt = Sched.create ~steal_policy:policy ctx in
+    let spec = Option.get (Workloads.Registry.find "quicksort") in
+    Workloads.Registry.run spec rt ~scale:0.05
+  in
+  Alcotest.(check (float 1e-9)) "same checksum under both policies"
+    (run Sched.Random_victim) (run Sched.Near_first)
+
+let test_census_consistent () =
+  let ctx, rt = mk_rt () in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         let v = Gc_util.build_list ctx m [ 1; 2; 3 ] in
+         ignore (Promote.value ctx m v);
+         ignore (Roots.add m.Ctx.roots (Gc_util.build_list ctx m [ 4 ]));
+         Value.unit));
+  let census = Ctx.census ctx in
+  Alcotest.(check bool) "some global bytes" true (census.Census.global_bytes > 0);
+  let row_sum rows = List.fold_left (fun a (r : Census.row) -> a + r.Census.bytes) 0 rows in
+  Alcotest.(check int) "local rows sum" census.Census.local_bytes
+    (row_sum census.Census.local_rows);
+  Alcotest.(check int) "global rows sum" census.Census.global_bytes
+    (row_sum census.Census.global_rows)
+
+let suite =
+  ( "torture",
+    [
+      Alcotest.test_case "soak: everything at once" `Quick test_soak_correct;
+      Alcotest.test_case "determinism: same seed, same universe" `Quick
+        test_determinism_same_seed;
+      Alcotest.test_case "seeds change schedules" `Quick test_seed_changes_schedule;
+      Alcotest.test_case "steal policies agree on results" `Quick
+        test_steal_policies_agree_on_results;
+      Alcotest.test_case "census self-consistent" `Quick test_census_consistent;
+    ] )
