@@ -240,7 +240,29 @@ let benchmark () =
   in
   Analyze.merge ols instances results
 
-let () =
+(* --- --metrics-json: instrumented runs + telemetry export --------- *)
+
+let metrics_main path =
+  print_endline "Collector telemetry (instrumented runs, amd48 x16):";
+  let runs =
+    Harness.Figures.metrics_runs ~fast:true
+      ~progress:(fun s -> Printf.printf "  [run] %s\n%!" s) ()
+  in
+  let merged = Metrics.create ~n_vprocs:0 in
+  List.iter
+    (fun (_, (o : Harness.Run_config.outcome)) ->
+      Metrics.merge ~into:merged o.Harness.Run_config.metrics)
+    runs;
+  let snap = Metrics.snapshot merged in
+  let oc = open_out path in
+  output_string oc (Metrics.snapshot_to_json snap);
+  output_char oc '\n';
+  close_out oc;
+  print_newline ();
+  Format.printf "%a@." Metrics.pp_summary snap;
+  Printf.printf "wrote %s\n" path
+
+let bechamel_main () =
   print_endline "Host-side cost of the simulator (bechamel, monotonic clock):";
   let results = benchmark () in
   let table = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
@@ -262,3 +284,11 @@ let () =
   print_endline (Harness.Figures.fig6 ~fast:true ());
   print_endline (Harness.Figures.fig7 ~fast:true ());
   print_endline (Harness.Figures.gc_report ~fast:true ())
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> bechamel_main ()
+  | [| _; "--metrics-json"; path |] -> metrics_main path
+  | _ ->
+      prerr_endline "usage: main.exe [--metrics-json FILE]";
+      exit 2

@@ -23,6 +23,17 @@ let svg_arg =
     & info [ "svg" ] ~docv:"FILE"
         ~doc:"Also render the figure as an SVG chart (fig4-fig7 only).")
 
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Also write the experiment's collector telemetry (per-vproc \
+           pause/byte distributions, steal and chunk counters) as JSON. \
+           Figures export their own sweep's telemetry; other experiments \
+           export the canonical instrumented runs.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-run progress.")
 
@@ -40,6 +51,8 @@ let experiments =
      fun ~fast ~progress -> Harness.Figures.fig7 ~fast ~progress ());
     ("gc", "Collector statistics per benchmark",
      fun ~fast ~progress:_ -> Harness.Figures.gc_report ~fast ());
+    ("pauses", "Pause-time percentiles per collection kind",
+     fun ~fast ~progress -> Harness.Figures.pause_report ~fast ~progress ());
     ("ablations", "Design-decision ablation study",
      fun ~fast ~progress:_ -> Harness.Figures.ablations ~fast ());
     ("baseline", "Split-heap vs unified stop-the-world collector",
@@ -70,8 +83,28 @@ let fig_title = function
   | `Fig6 -> "Figure 6: AMD speedups (interleaved allocation)"
   | `Fig7 -> "Figure 7: AMD speedups (socket-zero allocation)"
 
+let write_metrics_json ~path ~name ~fast =
+  let module M = Manticore_gc.Metrics in
+  let recorder =
+    match fig_of_name name with
+    | Some fig ->
+        Harness.Figures.sweep_metrics (Harness.Figures.fig_results fig ~fast ())
+    | None ->
+        let merged = M.create ~n_vprocs:0 in
+        List.iter
+          (fun (_, (o : Harness.Run_config.outcome)) ->
+            M.merge ~into:merged o.Harness.Run_config.metrics)
+          (Harness.Figures.metrics_runs ~fast ());
+        merged
+  in
+  let oc = open_out path in
+  output_string oc (M.snapshot_to_json (M.snapshot recorder));
+  output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s\n" path
+
 let cmd_of_experiment (name, doc, f) =
-  let run fast verbose csv svg =
+  let run fast verbose csv svg metrics_json =
     print_string (f ~fast ~progress:(progress verbose));
     print_newline ();
     (match (csv, fig_of_name name) with
@@ -81,7 +114,7 @@ let cmd_of_experiment (name, doc, f) =
         Printf.eprintf "wrote %s\n" path
     | Some _, None -> prerr_endline "--csv is only available for fig4..fig7"
     | None, _ -> ());
-    match (svg, fig_of_name name) with
+    (match (svg, fig_of_name name) with
     | Some path, Some fig ->
         let series = Harness.Figures.fig_series fig ~fast () in
         Harness.Csv.write ~path
@@ -89,10 +122,14 @@ let cmd_of_experiment (name, doc, f) =
              ~ylabel:"Speedup" ~ideal:true series);
         Printf.eprintf "wrote %s\n" path
     | Some _, None -> prerr_endline "--svg is only available for fig4..fig7"
-    | None, _ -> ()
+    | None, _ -> ());
+    match metrics_json with
+    | Some path -> write_metrics_json ~path ~name ~fast
+    | None -> ()
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ fast_arg $ verbose_arg $ csv_arg $ svg_arg)
+    Term.(
+      const run $ fast_arg $ verbose_arg $ csv_arg $ svg_arg $ metrics_json_arg)
 
 let all_cmd =
   let run fast verbose =

@@ -3,7 +3,15 @@
 
 open Cmdliner
 
-let run name machine_name threads policy_str scale cache_scale bw_scale trace census seed verbose =
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  if s = "" || s.[String.length s - 1] <> '\n' then output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s\n" path
+
+let run name machine_name threads policy_str scale cache_scale bw_scale trace
+    trace_json metrics_json census seed verbose =
   let spec =
     match Workloads.Registry.find name with
     | Some s -> s
@@ -34,7 +42,7 @@ let run name machine_name threads policy_str scale cache_scale bw_scale trace ce
       scale;
       cache_scale;
       bw_scale;
-      trace;
+      trace = trace || trace_json <> None;
       census;
       seed;
     }
@@ -56,8 +64,19 @@ let run name machine_name threads policy_str scale cache_scale bw_scale trace ce
     Format.printf "  @[<v2>collector:@,%a@,global collections: %d@]@."
       Manticore_gc.Gc_stats.pp g o.Harness.Run_config.globals
   end;
-  Option.iter print_string o.Harness.Run_config.timeline;
-  Option.iter print_string o.Harness.Run_config.census_report
+  if verbose then print_string (Harness.Run_config.metrics_block o);
+  (if trace then Option.iter print_string o.Harness.Run_config.timeline);
+  Option.iter print_string o.Harness.Run_config.census_report;
+  Option.iter
+    (fun path ->
+      write_file path (Option.get o.Harness.Run_config.chrome_trace))
+    trace_json;
+  Option.iter
+    (fun path ->
+      write_file path
+        (Manticore_gc.Metrics.snapshot_to_json
+           (Manticore_gc.Metrics.snapshot o.Harness.Run_config.metrics)))
+    metrics_json
 
 let name_arg =
   Arg.(
@@ -95,6 +114,24 @@ let trace_arg =
     value & flag
     & info [ "trace" ] ~doc:"Render the collector event timeline.")
 
+let trace_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the collector trace as Chrome trace-event JSON (implies \
+           recording); load it in about:tracing or Perfetto.")
+
+let metrics_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's collector telemetry snapshot (per-vproc pause/byte \
+           distributions, steal and chunk counters) as JSON.")
+
 let census_arg =
   Arg.(
     value & flag & info [ "census" ] ~doc:"Render a post-run heap census.")
@@ -113,4 +150,5 @@ let () =
           Term.(
             const run $ name_arg $ machine_arg $ threads_arg $ policy_arg
             $ scale_arg $ cache_scale_arg $ bw_scale_arg $ trace_arg
-            $ census_arg $ seed_arg $ verbose_arg)))
+            $ trace_json_arg $ metrics_json_arg $ census_arg $ seed_arg
+            $ verbose_arg)))

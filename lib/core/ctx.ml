@@ -25,6 +25,7 @@ type t = {
   mutable safe_point_hook : t -> mutator -> unit;
   stats : Gc_stats.t;
   trace : Gc_trace.t;
+  metrics : Metrics.t;
 }
 
 let create ?(params = Params.default) ?(cap_scale = 1.) ~machine ~n_vprocs
@@ -85,6 +86,7 @@ let create ?(params = Params.default) ?(cap_scale = 1.) ~machine ~n_vprocs
            Global_gc.install_sync_hook)");
     stats = Gc_stats.create ();
     trace = Gc_trace.create ();
+    metrics = Metrics.create ~n_vprocs;
   }
 
 let mutator t i = t.muts.(i)

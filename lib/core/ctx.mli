@@ -50,6 +50,9 @@ type t = {
           correct when no other mutator is running concurrently. *)
   stats : Gc_stats.t;  (** aggregate of completed phases (global GCs) *)
   trace : Gc_trace.t;  (** collector event trace (disabled by default) *)
+  metrics : Metrics.t;
+      (** per-vproc pause/copied-byte distributions and steal/chunk
+          counters (always on; see {!Metrics}) *)
 }
 
 val create :

@@ -41,6 +41,7 @@ let global_dest ctx m ~on_copy =
         | `New_chunk (_, provenance) ->
             m.Ctx.stats.Gc_stats.chunk_acquires <-
               m.Ctx.stats.Gc_stats.chunk_acquires + 1;
+            Metrics.record_chunk_acquire ctx.Ctx.metrics ~vproc:m.Ctx.id;
             let cycles =
               match provenance with
               | `Reused -> ctx.Ctx.params.Params.chunk_local_sync_cycles

@@ -64,12 +64,15 @@ let total arr =
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v>minor: %d collections, %d B copied@,\
-     major: %d collections, %d B copied@,\
-     promotions: %d, %d B@,\
-     global: %d collections, %d B copied@,\
-     allocated: %d B nursery, %d B global; %d chunk acquires@,\
-     gc time: %.3f ms (simulated)@]"
-    t.minor_count t.minor_copied_bytes t.major_count t.major_copied_bytes
-    t.promote_count t.promoted_bytes t.global_count t.global_copied_bytes
-    t.alloc_bytes t.global_alloc_bytes t.chunk_acquires (t.gc_ns /. 1e6)
+    "@[<v>minor: %s collections, %a copied@,\
+     major: %s collections, %a copied@,\
+     promotions: %s, %a@,\
+     global: %s collections, %a copied@,\
+     allocated: %a nursery, %a global; %s chunk acquires@,\
+     gc time: %a (simulated)@]"
+    (Units.grouped t.minor_count) Units.pp_bytes t.minor_copied_bytes
+    (Units.grouped t.major_count) Units.pp_bytes t.major_copied_bytes
+    (Units.grouped t.promote_count) Units.pp_bytes t.promoted_bytes
+    (Units.grouped t.global_count) Units.pp_bytes t.global_copied_bytes
+    Units.pp_bytes t.alloc_bytes Units.pp_bytes t.global_alloc_bytes
+    (Units.grouped t.chunk_acquires) Units.pp_ns t.gc_ns

@@ -33,10 +33,16 @@ let render_timeline ?(width = 72) t ~n_vprocs =
   match events t with
   | [] -> "(no collector events recorded)\n"
   | evs ->
-      let t_end =
-        List.fold_left (fun acc e -> Float.max acc e.t_end_ns) 0. evs
+      (* Anchor the axis at the earliest recorded start, not at 0: a
+         trace enabled mid-run would otherwise squash every event into
+         the right edge of each lane. *)
+      let t_begin =
+        List.fold_left (fun acc e -> Float.min acc e.t_start_ns) infinity evs
       in
-      let t_end = Float.max t_end 1. in
+      let t_end =
+        List.fold_left (fun acc e -> Float.max acc e.t_end_ns) t_begin evs
+      in
+      let span = Float.max (t_end -. t_begin) 1. in
       let lanes = Array.make_matrix n_vprocs width ' ' in
       let occupant = Array.make_matrix n_vprocs width (-1) in
       List.iter
@@ -44,7 +50,7 @@ let render_timeline ?(width = 72) t ~n_vprocs =
           if e.vproc >= 0 && e.vproc < n_vprocs then begin
             let col ns =
               min (width - 1)
-                (int_of_float (float_of_int width *. ns /. t_end))
+                (int_of_float (float_of_int width *. (ns -. t_begin) /. span))
             in
             for ccol = col e.t_start_ns to col e.t_end_ns do
               if rank e.kind >= occupant.(e.vproc).(ccol) then begin
@@ -56,13 +62,46 @@ let render_timeline ?(width = 72) t ~n_vprocs =
         evs;
       let buf = Buffer.create 2048 in
       Buffer.add_string buf
-        (Printf.sprintf "collector timeline (0 .. %.3f ms):\n" (t_end /. 1e6));
+        (Printf.sprintf "collector timeline (%.3f .. %.3f ms):\n"
+           (t_begin /. 1e6) (t_end /. 1e6));
       Array.iteri
         (fun v lane ->
           Buffer.add_string buf (Printf.sprintf "  v%02d |%s|\n" v (String.init width (Array.get lane))))
         lanes;
       Buffer.add_string buf "  legend: . minor   M major   p promotion   G global\n";
       Buffer.contents buf
+
+(* Chrome trace-event JSON (the `about:tracing` / Perfetto format):
+   complete ("X") events with microsecond timestamps, one thread lane
+   per vproc.  Self-contained string building — the Metrics JSON module
+   depends on this one, so it cannot be used here. *)
+let to_chrome_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b s
+  in
+  let vprocs = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if not (Hashtbl.mem vprocs e.vproc) then begin
+        Hashtbl.add vprocs e.vproc ();
+        emit
+          (Printf.sprintf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"vproc %d\"}}"
+             e.vproc e.vproc)
+      end;
+      emit
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"gc\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"bytes\":%d}}"
+           (kind_to_string e.kind) (e.t_start_ns /. 1e3)
+           (Float.max 0. ((e.t_end_ns -. e.t_start_ns) /. 1e3))
+           e.vproc e.bytes))
+    (events t);
+  Buffer.add_string b "]}";
+  Buffer.contents b
 
 let summary t =
   let tally = Hashtbl.create 4 in

@@ -39,7 +39,17 @@ val kind_to_string : kind -> string
 
 val render_timeline : ?width:int -> t -> n_vprocs:int -> string
 (** ASCII lanes, one per vproc: ['.'] minor, ['M'] major, ['p'] promotion
-    and ['G'] global collection, bucketed over the trace's time span. *)
+    and ['G'] global collection, bucketed over the trace's time span.
+    The axis is anchored at the earliest recorded start — a trace
+    enabled mid-run begins at its first event, with the real start/end
+    labelled in the header. *)
+
+val to_chrome_json : t -> string
+(** The trace as Chrome trace-event JSON: one complete ("X") event per
+    collection with microsecond timestamps and one thread lane per
+    vproc.  Load the output in [about:tracing] or
+    {{:https://ui.perfetto.dev}Perfetto} for a zoomable profile view of
+    any run. *)
 
 val summary : t -> string
 (** Event counts and bytes by kind. *)

@@ -206,7 +206,11 @@ let run ctx =
           t_start_ns = t_start;
           t_end_ns = m.Ctx.now_ns;
           bytes = !copied / Array.length muts;
-        })
+        };
+      Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id
+        ~kind:Gc_trace.Global
+        ~ns:(m.Ctx.now_ns -. t_start)
+        ~bytes:(!copied / Array.length muts))
     muts;
   ctx.Ctx.stats.Gc_stats.global_count <- ctx.Ctx.stats.Gc_stats.global_count + 1;
   ctx.Ctx.stats.Gc_stats.global_copied_bytes <-

@@ -1,0 +1,617 @@
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  (* Shortest decimal that parses back to the same double. *)
+  let num_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else begin
+      let s = Printf.sprintf "%.15g" f in
+      if float_of_string s = f then s else Printf.sprintf "%.17g" f
+    end
+
+  let escape_into b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let to_string j =
+    let b = Buffer.create 1024 in
+    let rec go = function
+      | Null -> Buffer.add_string b "null"
+      | Bool true -> Buffer.add_string b "true"
+      | Bool false -> Buffer.add_string b "false"
+      | Num f -> Buffer.add_string b (num_to_string f)
+      | Str s ->
+          Buffer.add_char b '"';
+          escape_into b s;
+          Buffer.add_char b '"'
+      | Arr xs ->
+          Buffer.add_char b '[';
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_char b ',';
+              go x)
+            xs;
+          Buffer.add_char b ']'
+      | Obj kvs ->
+          Buffer.add_char b '{';
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_char b '"';
+              escape_into b k;
+              Buffer.add_string b "\":";
+              go v)
+            kvs;
+          Buffer.add_char b '}'
+    in
+    go j;
+    Buffer.contents b
+
+  exception Fail of int * string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Fail (!pos, msg)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" lit)
+    in
+    let utf8_into b code =
+      if code < 0x80 then Buffer.add_char b (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+      end
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else begin
+          match s.[!pos] with
+          | '"' -> incr pos
+          | '\\' ->
+              incr pos;
+              if !pos >= n then fail "unterminated escape";
+              (match s.[!pos] with
+              | '"' -> Buffer.add_char b '"'; incr pos
+              | '\\' -> Buffer.add_char b '\\'; incr pos
+              | '/' -> Buffer.add_char b '/'; incr pos
+              | 'b' -> Buffer.add_char b '\b'; incr pos
+              | 'f' -> Buffer.add_char b '\012'; incr pos
+              | 'n' -> Buffer.add_char b '\n'; incr pos
+              | 'r' -> Buffer.add_char b '\r'; incr pos
+              | 't' -> Buffer.add_char b '\t'; incr pos
+              | 'u' ->
+                  if !pos + 4 >= n then fail "bad \\u escape";
+                  let hex = String.sub s (!pos + 1) 4 in
+                  (match int_of_string_opt ("0x" ^ hex) with
+                  | Some code ->
+                      utf8_into b code;
+                      pos := !pos + 5
+                  | None -> fail "bad \\u escape")
+              | _ -> fail "bad escape");
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              incr pos;
+              go ()
+        end
+      in
+      go ();
+      Buffer.contents b
+    in
+    let parse_number () =
+      let start = !pos in
+      if peek () = Some '-' then incr pos;
+      let is_num_char c =
+        match c with
+        | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        incr pos
+      done;
+      if !pos = start then fail "expected a value";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elements (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (elements [])
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing garbage";
+      v
+    with
+    | v -> Ok v
+    | exception Fail (p, msg) ->
+        Error (Printf.sprintf "JSON parse error at offset %d: %s" p msg)
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Log-bucketed histograms                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Bucket 0 holds values below 1; bucket i >= 1 covers
+   [2^((i-1)/4), 2^(i/4)) — ~19% relative resolution up to 2^63. *)
+let n_buckets = 256
+let buckets_per_octave = 4.
+
+let bucket_of v =
+  if v < 1. then 0
+  else begin
+    let i =
+      1 + int_of_float (buckets_per_octave *. (Float.log v /. Float.log 2.))
+    in
+    if i >= n_buckets then n_buckets - 1 else i
+  end
+
+let representative i =
+  if i = 0 then 0.5
+  else Float.exp2 ((float_of_int i -. 0.5) /. buckets_per_octave)
+
+type hist = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let hist_create () =
+  { counts = Array.make n_buckets 0; n = 0; sum = 0.; vmin = 0.; vmax = 0. }
+
+let hist_add h v =
+  let v = Float.max v 0. in
+  let b = bucket_of v in
+  h.counts.(b) <- h.counts.(b) + 1;
+  h.sum <- h.sum +. v;
+  if h.n = 0 then begin
+    h.vmin <- v;
+    h.vmax <- v
+  end
+  else begin
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+  end;
+  h.n <- h.n + 1
+
+let hist_merge ~into h =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) h.counts;
+  if h.n > 0 then begin
+    if into.n = 0 then begin
+      into.vmin <- h.vmin;
+      into.vmax <- h.vmax
+    end
+    else begin
+      if h.vmin < into.vmin then into.vmin <- h.vmin;
+      if h.vmax > into.vmax then into.vmax <- h.vmax
+    end
+  end;
+  into.sum <- into.sum +. h.sum;
+  into.n <- into.n + h.n
+
+let hist_percentile h p =
+  if h.n = 0 then 0.
+  else begin
+    let target = Stdlib.max 1 (int_of_float (Float.ceil (p *. float_of_int h.n))) in
+    let rec go i cum =
+      if i >= n_buckets then h.vmax
+      else begin
+        let cum = cum + h.counts.(i) in
+        if cum >= target then Float.min h.vmax (Float.max h.vmin (representative i))
+        else go (i + 1) cum
+      end
+    in
+    go 0 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let n_kinds = 4
+
+let kind_index = function
+  | Gc_trace.Minor -> 0
+  | Gc_trace.Major -> 1
+  | Gc_trace.Promotion -> 2
+  | Gc_trace.Global -> 3
+
+type vrec = {
+  pause : hist array; (* indexed by kind_index *)
+  bytes : hist array;
+  mutable v_chunk_acquires : int;
+  mutable v_steal_attempts : int;
+  mutable v_steal_successes : int;
+}
+
+let vrec_create () =
+  {
+    pause = Array.init n_kinds (fun _ -> hist_create ());
+    bytes = Array.init n_kinds (fun _ -> hist_create ());
+    v_chunk_acquires = 0;
+    v_steal_attempts = 0;
+    v_steal_successes = 0;
+  }
+
+type t = { mutable vrecs : vrec array }
+
+let create ~n_vprocs = { vrecs = Array.init n_vprocs (fun _ -> vrec_create ()) }
+
+let ensure t vproc =
+  if vproc >= Array.length t.vrecs then begin
+    let bigger = Array.init (vproc + 1) (fun _ -> vrec_create ()) in
+    Array.blit t.vrecs 0 bigger 0 (Array.length t.vrecs);
+    t.vrecs <- bigger
+  end
+
+let record_pause t ~vproc ~kind ~ns ~bytes =
+  if vproc >= 0 then begin
+    ensure t vproc;
+    let r = t.vrecs.(vproc) in
+    let k = kind_index kind in
+    hist_add r.pause.(k) ns;
+    hist_add r.bytes.(k) (float_of_int bytes)
+  end
+
+let record_chunk_acquire t ~vproc =
+  if vproc >= 0 then begin
+    ensure t vproc;
+    t.vrecs.(vproc).v_chunk_acquires <- t.vrecs.(vproc).v_chunk_acquires + 1
+  end
+
+let record_steal t ~vproc ~success =
+  if vproc >= 0 then begin
+    ensure t vproc;
+    let r = t.vrecs.(vproc) in
+    r.v_steal_attempts <- r.v_steal_attempts + 1;
+    if success then r.v_steal_successes <- r.v_steal_successes + 1
+  end
+
+let vrec_merge ~into r =
+  for k = 0 to n_kinds - 1 do
+    hist_merge ~into:into.pause.(k) r.pause.(k);
+    hist_merge ~into:into.bytes.(k) r.bytes.(k)
+  done;
+  into.v_chunk_acquires <- into.v_chunk_acquires + r.v_chunk_acquires;
+  into.v_steal_attempts <- into.v_steal_attempts + r.v_steal_attempts;
+  into.v_steal_successes <- into.v_steal_successes + r.v_steal_successes
+
+let merge ~into t =
+  Array.iteri
+    (fun v r ->
+      ensure into v;
+      vrec_merge ~into:into.vrecs.(v) r)
+    t.vrecs
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type dist = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type kind_stats = { pause_ns : dist; copied_bytes : dist }
+
+type vproc_stats = {
+  vproc : int;
+  minor : kind_stats;
+  major : kind_stats;
+  promotion : kind_stats;
+  global : kind_stats;
+  chunk_acquires : int;
+  steal_attempts : int;
+  steal_successes : int;
+}
+
+type snapshot = { vprocs : vproc_stats list }
+
+let dist_of_hist h =
+  {
+    count = h.n;
+    sum = h.sum;
+    min = h.vmin;
+    max = h.vmax;
+    p50 = hist_percentile h 0.50;
+    p90 = hist_percentile h 0.90;
+    p99 = hist_percentile h 0.99;
+  }
+
+let kind_stats_of r k =
+  { pause_ns = dist_of_hist r.pause.(k); copied_bytes = dist_of_hist r.bytes.(k) }
+
+let vproc_stats_of ~vproc r =
+  {
+    vproc;
+    minor = kind_stats_of r 0;
+    major = kind_stats_of r 1;
+    promotion = kind_stats_of r 2;
+    global = kind_stats_of r 3;
+    chunk_acquires = r.v_chunk_acquires;
+    steal_attempts = r.v_steal_attempts;
+    steal_successes = r.v_steal_successes;
+  }
+
+let snapshot t =
+  { vprocs = Array.to_list (Array.mapi (fun v r -> vproc_stats_of ~vproc:v r) t.vrecs) }
+
+let aggregate t =
+  let acc = vrec_create () in
+  Array.iter (fun r -> vrec_merge ~into:acc r) t.vrecs;
+  vproc_stats_of ~vproc:(-1) acc
+
+let kind_stats vs = function
+  | Gc_trace.Minor -> vs.minor
+  | Gc_trace.Major -> vs.major
+  | Gc_trace.Promotion -> vs.promotion
+  | Gc_trace.Global -> vs.global
+
+(* ------------------------------------------------------------------ *)
+(* JSON serialization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_dist d =
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int d.count));
+      ("sum", Json.Num d.sum);
+      ("min", Json.Num d.min);
+      ("max", Json.Num d.max);
+      ("p50", Json.Num d.p50);
+      ("p90", Json.Num d.p90);
+      ("p99", Json.Num d.p99);
+    ]
+
+let json_of_kind ks =
+  Json.Obj
+    [
+      ("pause_ns", json_of_dist ks.pause_ns);
+      ("copied_bytes", json_of_dist ks.copied_bytes);
+    ]
+
+let json_of_vproc vs =
+  Json.Obj
+    [
+      ("vproc", Json.Num (float_of_int vs.vproc));
+      ("minor", json_of_kind vs.minor);
+      ("major", json_of_kind vs.major);
+      ("promotion", json_of_kind vs.promotion);
+      ("global", json_of_kind vs.global);
+      ("chunk_acquires", Json.Num (float_of_int vs.chunk_acquires));
+      ("steal_attempts", Json.Num (float_of_int vs.steal_attempts));
+      ("steal_successes", Json.Num (float_of_int vs.steal_successes));
+    ]
+
+let snapshot_to_json s =
+  Json.to_string
+    (Json.Obj [ ("vprocs", Json.Arr (List.map json_of_vproc s.vprocs)) ])
+
+exception Shape of string
+
+let field k j =
+  match Json.member k j with
+  | Some v -> v
+  | None -> raise (Shape ("missing field " ^ k))
+
+let num_field k j =
+  match field k j with
+  | Json.Num f -> f
+  | _ -> raise (Shape ("field " ^ k ^ " is not a number"))
+
+let int_field k j = int_of_float (num_field k j)
+
+let dist_of_json j =
+  {
+    count = int_field "count" j;
+    sum = num_field "sum" j;
+    min = num_field "min" j;
+    max = num_field "max" j;
+    p50 = num_field "p50" j;
+    p90 = num_field "p90" j;
+    p99 = num_field "p99" j;
+  }
+
+let kind_of_json j =
+  {
+    pause_ns = dist_of_json (field "pause_ns" j);
+    copied_bytes = dist_of_json (field "copied_bytes" j);
+  }
+
+let vproc_of_json j =
+  {
+    vproc = int_field "vproc" j;
+    minor = kind_of_json (field "minor" j);
+    major = kind_of_json (field "major" j);
+    promotion = kind_of_json (field "promotion" j);
+    global = kind_of_json (field "global" j);
+    chunk_acquires = int_field "chunk_acquires" j;
+    steal_attempts = int_field "steal_attempts" j;
+    steal_successes = int_field "steal_successes" j;
+  }
+
+let snapshot_of_json s =
+  match Json.parse s with
+  | Error m -> Error m
+  | Ok j -> (
+      match
+        match field "vprocs" j with
+        | Json.Arr vs -> { vprocs = List.map vproc_of_json vs }
+        | _ -> raise (Shape "vprocs is not an array")
+      with
+      | s -> Ok s
+      | exception Shape m -> Error ("metrics snapshot: " ^ m))
+
+(* ------------------------------------------------------------------ *)
+(* CSV + human-readable report                                         *)
+(* ------------------------------------------------------------------ *)
+
+let kind_names = [| "minor"; "major"; "promotion"; "global" |]
+
+let snapshot_to_csv s =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes\n";
+  List.iter
+    (fun vs ->
+      Array.iteri
+        (fun i name ->
+          let ks =
+            match i with
+            | 0 -> vs.minor
+            | 1 -> vs.major
+            | 2 -> vs.promotion
+            | _ -> vs.global
+          in
+          let p = ks.pause_ns and by = ks.copied_bytes in
+          Buffer.add_string b
+            (Printf.sprintf "%d,%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%d,%d,%d\n"
+               vs.vproc name p.count p.sum p.min p.max p.p50 p.p90 p.p99 by.sum
+               by.p50 by.p99 vs.chunk_acquires vs.steal_attempts
+               vs.steal_successes))
+        kind_names)
+    s.vprocs;
+  Buffer.contents b
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>per-vproc collector pauses:@,";
+  Format.fprintf ppf "  %-6s %-10s %7s  %10s %10s %10s %10s  %10s@," "vproc"
+    "kind" "count" "p50" "p90" "p99" "max" "copied";
+  List.iter
+    (fun vs ->
+      Array.iteri
+        (fun i name ->
+          let ks =
+            match i with
+            | 0 -> vs.minor
+            | 1 -> vs.major
+            | 2 -> vs.promotion
+            | _ -> vs.global
+          in
+          let p = ks.pause_ns in
+          if p.count > 0 then
+            Format.fprintf ppf "  %-6s %-10s %7d  %10s %10s %10s %10s  %10s@,"
+              (if vs.vproc < 0 then "all" else Printf.sprintf "v%02d" vs.vproc)
+              name p.count (Units.ns_to_string p.p50) (Units.ns_to_string p.p90)
+              (Units.ns_to_string p.p99) (Units.ns_to_string p.max)
+              (Units.bytes_to_string (int_of_float ks.copied_bytes.sum)))
+        kind_names;
+      if vs.steal_attempts > 0 || vs.chunk_acquires > 0 then
+        Format.fprintf ppf "  %-6s steals %d/%d, chunk acquires %d@,"
+          (if vs.vproc < 0 then "all" else Printf.sprintf "v%02d" vs.vproc)
+          vs.steal_successes vs.steal_attempts vs.chunk_acquires)
+    s.vprocs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,115 @@
+(** Per-vproc collector telemetry: pause-time and copied-byte
+    distributions for each collection kind, plus chunk-acquire and
+    work-stealing counters.
+
+    {!Gc_stats} keeps flat totals and {!Gc_trace} keeps an (optional)
+    event log; this module keeps the *distributions* the paper's
+    evaluation is built on — per-vproc minor/major/promotion/global
+    pause percentiles and copied-byte rates — cheaply enough to stay on
+    for every run (a recording is a handful of float operations into
+    log-scaled histogram buckets).
+
+    A finished run is summarized into a {!snapshot}, a plain value that
+    serializes to JSON (round-trippable via {!snapshot_of_json}) and
+    CSV for offline analysis. *)
+
+(** {2 Minimal JSON}
+
+    The repository deliberately has no JSON dependency; this submodule
+    is the small value type + printer + parser the telemetry (and its
+    tests, and the Chrome-trace validator) need. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact (single-line) rendering.  Numbers print with enough digits
+      to round-trip any finite double. *)
+
+  val parse : string -> (t, string) result
+  (** Recursive-descent parser for the full value grammar (objects,
+      arrays, strings with escapes, numbers, booleans, null).  Rejects
+      trailing garbage. *)
+
+  val member : string -> t -> t option
+  (** [member k (Obj _)] looks up key [k]; [None] otherwise. *)
+end
+
+(** {2 Recording} *)
+
+type t
+
+val create : n_vprocs:int -> t
+
+val record_pause :
+  t -> vproc:int -> kind:Gc_trace.kind -> ns:float -> bytes:int -> unit
+(** One finished collection phase on [vproc]: its duration and the bytes
+    it copied/promoted.  Out-of-range vprocs are ignored. *)
+
+val record_chunk_acquire : t -> vproc:int -> unit
+val record_steal : t -> vproc:int -> success:bool -> unit
+(** A steal attempt by thief [vproc]; [success] if it yielded an item. *)
+
+val merge : into:t -> t -> unit
+(** Accumulate another recorder (e.g. a different run of the same
+    experiment) bucket-by-bucket.  [into] grows if the source has more
+    vprocs. *)
+
+(** {2 Snapshots} *)
+
+type dist = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** Summary of one distribution.  Percentiles are bucket-resolved (log
+    buckets, ~19% relative width) and clamped to the observed
+    [min]/[max]; all fields are [0] when [count = 0]. *)
+
+type kind_stats = { pause_ns : dist; copied_bytes : dist }
+
+type vproc_stats = {
+  vproc : int;
+  minor : kind_stats;
+  major : kind_stats;
+  promotion : kind_stats;
+  global : kind_stats;
+  chunk_acquires : int;
+  steal_attempts : int;
+  steal_successes : int;
+}
+
+type snapshot = { vprocs : vproc_stats list }
+
+val snapshot : t -> snapshot
+
+val aggregate : t -> vproc_stats
+(** All vprocs' histograms merged into one row (reported as vproc [-1]):
+    whole-machine percentiles, not an average of per-vproc ones. *)
+
+val kind_stats : vproc_stats -> Gc_trace.kind -> kind_stats
+
+(** {2 Serialization} *)
+
+val snapshot_to_json : snapshot -> string
+val snapshot_of_json : string -> (snapshot, string) result
+(** Inverse of {!snapshot_to_json}: [snapshot_of_json (snapshot_to_json s)
+    = Ok s] for any snapshot (floats are printed round-trippably). *)
+
+val snapshot_to_csv : snapshot -> string
+(** One row per vproc x kind:
+    [vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,
+    bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,
+    steal_successes]. *)
+
+val pp_summary : Format.formatter -> snapshot -> unit
+(** Human-readable per-vproc percentile table (uses {!Units}). *)

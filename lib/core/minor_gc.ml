@@ -53,4 +53,6 @@ let run ctx (m : Ctx.mutator) =
       t_end_ns = m.Ctx.now_ns;
       bytes = !copied;
     };
+  Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id ~kind:Gc_trace.Minor
+    ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!copied;
   m.Ctx.in_gc <- was_in_gc

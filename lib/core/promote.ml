@@ -34,6 +34,8 @@ let value ctx (m : Ctx.mutator) v =
         t_end_ns = m.Ctx.now_ns;
         bytes = !promoted;
       };
+    Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id
+      ~kind:Gc_trace.Promotion ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!promoted;
     m.Ctx.in_gc <- was_in_gc;
     Value.of_ptr dst
   end

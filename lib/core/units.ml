@@ -1,0 +1,31 @@
+let bytes_to_string b =
+  let fb = float_of_int (abs b) in
+  let sign = if b < 0 then "-" else "" in
+  if fb < 1024. then Printf.sprintf "%d B" b
+  else if fb < 1024. *. 1024. then Printf.sprintf "%s%.1f KiB" sign (fb /. 1024.)
+  else if fb < 1024. *. 1024. *. 1024. then
+    Printf.sprintf "%s%.1f MiB" sign (fb /. (1024. *. 1024.))
+  else Printf.sprintf "%s%.2f GiB" sign (fb /. (1024. *. 1024. *. 1024.))
+
+let pp_bytes ppf b = Format.pp_print_string ppf (bytes_to_string b)
+
+let ns_to_string ns =
+  let a = Float.abs ns in
+  if a < 1e3 then Printf.sprintf "%.0f ns" ns
+  else if a < 1e6 then Printf.sprintf "%.1f us" (ns /. 1e3)
+  else if a < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else Printf.sprintf "%.2f s" (ns /. 1e9)
+
+let pp_ns ppf ns = Format.pp_print_string ppf (ns_to_string ns)
+
+let grouped n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Human-scaled formatting of byte counts and simulated durations.
+
+    One shared formatter used by {!Gc_stats.pp}, {!Metrics} and the
+    harness reports, so every surface prints "3.2 MiB" and "14.7 ms"
+    the same way. *)
+
+val bytes_to_string : int -> string
+(** ["512 B"], ["4.0 KiB"], ["3.2 MiB"], ["1.5 GiB"] — binary prefixes,
+    one decimal place past KiB. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Formatter-friendly {!bytes_to_string}. *)
+
+val ns_to_string : float -> string
+(** ["850 ns"], ["12.4 us"], ["3.1 ms"], ["2.25 s"] — picks the largest
+    unit that keeps the mantissa below 1000. *)
+
+val pp_ns : Format.formatter -> float -> unit
+(** Formatter-friendly {!ns_to_string}. *)
+
+val grouped : int -> string
+(** Decimal digit grouping: [grouped 12934567 = "12,934,567"]. *)

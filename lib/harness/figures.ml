@@ -227,6 +227,92 @@ let gc_report ?(fast = false) () =
   "Collector statistics (AMD machine, 16 vprocs, local placement)\n"
   ^ Table.render ~header ~rows
 
+(* --- Pause-distribution telemetry ------------------------------------ *)
+
+let sweep_metrics results =
+  let acc = Manticore_gc.Metrics.create ~n_vprocs:0 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (_, (o : Run_config.outcome)) ->
+          Manticore_gc.Metrics.merge ~into:acc o.Run_config.metrics)
+        r.points)
+    results;
+  acc
+
+let metrics_runs ?(fast = false) ?(progress = fun _ -> ()) () =
+  (* Even tighter heap sizing than the ablation study's, so every
+     collector phase — majors and globals included — fires repeatedly
+     even at the fast scales and the percentiles mean something.  The
+     global budget sits just above the floor Params.check allows (one
+     chunk per vproc). *)
+  let base_cfg = Run_config.default ~machine:Numa.Machines.amd48 ~n_vprocs:16 in
+  let base_cfg =
+    { base_cfg with
+      Run_config.params =
+        { base_cfg.Run_config.params with
+          Manticore_gc.Params.local_heap_bytes = 32 * 1024;
+          nursery_min_bytes = 8 * 1024;
+          global_budget_per_vproc = 20 * 1024 } }
+  in
+  let benches =
+    if fast then [ ("quicksort", 0.15); ("smvm", 0.5); ("barnes-hut", 0.15) ]
+    else [ ("quicksort", 0.5); ("smvm", 1.5); ("barnes-hut", 0.5) ]
+  in
+  List.map
+    (fun (bench, scale) ->
+      progress (Printf.sprintf "amd48 %s x16 (metrics)" bench);
+      let spec = Option.get (Workloads.Registry.find bench) in
+      (bench, Run_config.execute spec { base_cfg with Run_config.scale }))
+    benches
+
+let pause_report ?(fast = false) ?progress () =
+  let module M = Manticore_gc.Metrics in
+  let runs = metrics_runs ~fast ?progress () in
+  let header =
+    [ "benchmark"; "kind"; "count"; "p50"; "p90"; "p99"; "max"; "copied" ]
+  in
+  let rows =
+    List.concat_map
+      (fun (bench, (o : Run_config.outcome)) ->
+        let all = M.aggregate o.Run_config.metrics in
+        List.filter_map
+          (fun (kind, name) ->
+            let ks = M.kind_stats all kind in
+            let p = ks.M.pause_ns in
+            if p.M.count = 0 then None
+            else
+              Some
+                [
+                  bench;
+                  name;
+                  string_of_int p.M.count;
+                  Manticore_gc.Units.ns_to_string p.M.p50;
+                  Manticore_gc.Units.ns_to_string p.M.p90;
+                  Manticore_gc.Units.ns_to_string p.M.p99;
+                  Manticore_gc.Units.ns_to_string p.M.max;
+                  Manticore_gc.Units.bytes_to_string
+                    (int_of_float ks.M.copied_bytes.M.sum);
+                ])
+          [
+            (Manticore_gc.Gc_trace.Minor, "minor");
+            (Manticore_gc.Gc_trace.Major, "major");
+            (Manticore_gc.Gc_trace.Promotion, "promotion");
+            (Manticore_gc.Gc_trace.Global, "global");
+          ])
+      runs
+  in
+  let merged = M.create ~n_vprocs:0 in
+  List.iter
+    (fun (_, (o : Run_config.outcome)) ->
+      M.merge ~into:merged o.Run_config.metrics)
+    runs;
+  "Pause-time distributions (AMD machine, 16 vprocs, tight heaps):\n"
+  ^ Table.render ~header ~rows
+  ^ "\n"
+  ^ Format.asprintf "%a" M.pp_summary
+      { M.vprocs = [ M.aggregate merged ] }
+
 (* --- Ablation study of DESIGN.md's design decisions ----------------- *)
 
 let ablations ?(fast = false) () =

@@ -75,6 +75,22 @@ val footnote3 : ?fast:bool -> unit -> string
 (** The paper's footnote 3 reconstructed: single-node vs local page
     placement on a two-socket machine. *)
 
+val sweep_metrics : sweep_result list -> Manticore_gc.Metrics.t
+(** Every run's telemetry of a sweep merged into one recorder, suitable
+    for {!Manticore_gc.Metrics.snapshot} / JSON export. *)
+
+val metrics_runs :
+  ?fast:bool -> ?progress:(string -> unit) -> unit ->
+  (string * Run_config.outcome) list
+(** Instrumented runs on the AMD machine (16 vprocs, ablation-tight heap
+    sizing so majors and globals fire repeatedly) used by the pause
+    report and the [--metrics-json] exporters. *)
+
+val pause_report : ?fast:bool -> ?progress:(string -> unit) -> unit -> string
+(** Per-benchmark pause-time percentiles for all four collection kinds,
+    plus the merged per-vproc summary — the telemetry counterpart of
+    {!gc_report}. *)
+
 val ablations : ?fast:bool -> unit -> string
 (** The ablation study of DESIGN.md §5: chunk node-affinity, young-data
     exclusion, and lazy promotion each disabled in isolation, measured

@@ -48,7 +48,9 @@ type outcome = {
   gc : Gc_stats.t;
   sched : Runtime.Sched.stats;
   globals : int;
+  metrics : Metrics.t;
   timeline : string option;
+  chrome_trace : string option;
   census_report : string option;
 }
 
@@ -77,15 +79,21 @@ let execute spec t =
     gc;
     sched = Runtime.Sched.stats rt;
     globals = ctx.Ctx.stats.Gc_stats.global_count;
+    metrics = ctx.Ctx.metrics;
     timeline =
       (if t.trace then
          Some
            (Gc_trace.render_timeline ctx.Ctx.trace ~n_vprocs:t.n_vprocs
            ^ Gc_trace.summary ctx.Ctx.trace)
        else None);
+    chrome_trace =
+      (if t.trace then Some (Gc_trace.to_chrome_json ctx.Ctx.trace) else None);
     census_report =
       (if t.census then Some (Heap.Census.render (Ctx.census ctx)) else None);
   }
+
+let metrics_block o =
+  Format.asprintf "%a" Metrics.pp_summary (Metrics.snapshot o.metrics)
 
 let pp ppf t =
   Format.fprintf ppf "%s x%d %a scale=%g"

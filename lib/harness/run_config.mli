@@ -34,12 +34,22 @@ type outcome = {
   gc : Gc_stats.t;  (** aggregated over vprocs, plus global-GC counts *)
   sched : Runtime.Sched.stats;
   globals : int;
+  metrics : Metrics.t;
+      (** the run's per-vproc pause/byte distributions and steal/chunk
+          counters; snapshot with {!Manticore_gc.Metrics.snapshot} or
+          merge across runs with {!Manticore_gc.Metrics.merge} *)
   timeline : string option;  (** rendered when [trace] was set *)
+  chrome_trace : string option;
+      (** Chrome trace-event JSON ({!Manticore_gc.Gc_trace.to_chrome_json})
+          when [trace] was set; load it in [about:tracing] or Perfetto *)
   census_report : string option;  (** rendered when [census] was set *)
 }
 
 val execute : Workloads.Registry.spec -> t -> outcome
 (** Build the context and scheduler, run the benchmark, validate its
     checksum, and collect statistics. *)
+
+val metrics_block : outcome -> string
+(** The run's per-vproc pause-percentile table, rendered. *)
 
 val pp : Format.formatter -> t -> unit

@@ -185,15 +185,24 @@ let check_object ctx ~where addr =
 
 let walk_region ctx ~where ~lo ~hi =
   let addr = ref lo in
+  (* Track parse failures of *this* region, not the global error list:
+     gating the overrun report on [ctx.errs = []] silently swallowed it
+     whenever any earlier region (or another vproc's heap) had already
+     reported anything. *)
+  let abandoned = ref false in
   while !addr < hi do
     match check_object ctx ~where !addr with
     | sz when sz > 0 -> addr := !addr + sz
-    | _ -> addr := hi (* unparseable: the violation is already recorded *)
+    | _ ->
+        (* Unparseable: the violation is already recorded. *)
+        abandoned := true;
+        addr := hi
     | exception Invalid_argument m ->
         err ctx "region [%#x,%#x): unparseable object at %#x (%s)" lo hi !addr m;
+        abandoned := true;
         addr := hi
   done;
-  if !addr <> hi && ctx.errs = [] then
+  if !addr <> hi && not !abandoned then
     err ctx "region [%#x,%#x): last object overruns by %d bytes" lo hi (!addr - hi)
 
 let check ?(remembered = fun _ -> false) store ~locals ~global =

@@ -485,7 +485,10 @@ let resolve_queued t (m : Ctx.mutator) (item : work_item) =
     (match item.fut.fstate with
     | Queued _ -> ()
     | _ -> failwith "Sched.resolve_queued: work item executed twice");
-    if item.env_owner <> m.Ctx.id then t.st.steals <- t.st.steals + 1
+    if item.env_owner <> m.Ctx.id then begin
+      t.st.steals <- t.st.steals + 1;
+      Metrics.record_steal t.c.Ctx.metrics ~vproc:m.Ctx.id ~success:true
+    end
     else t.st.inline_runs <- t.st.inline_runs + 1;
     item.fut.fstate <- Running;
     claim_env t me item;
@@ -710,10 +713,12 @@ let run_move t = function
           start_fiber t v item)
   | Run_steal (thief, victim) -> (
       match Deque.steal victim.deque with
-      | None -> ()
+      | None ->
+          Metrics.record_steal t.c.Ctx.metrics ~vproc:thief.v_id ~success:false
       | Some item ->
           item.on_queue <- None;
           t.st.steals <- t.st.steals + 1;
+          Metrics.record_steal t.c.Ctx.metrics ~vproc:thief.v_id ~success:true;
           thief.mut.Ctx.now_ns <-
             Float.max thief.mut.Ctx.now_ns item.pushed_ns;
           t.turn_start_ns <- thief.mut.Ctx.now_ns;

@@ -49,6 +49,61 @@ let test_wraparound () =
   Alcotest.(check (list int)) "order across wrap" [ 5; 6; 7; 8; 9; 10; 11; 12 ]
     (Deque.to_list d)
 
+let test_remove_wraparound () =
+  (* Regression: remove when the element's ring index wraps past the
+     buffer end (initial capacity 8), and when the shift that closes
+     the hole crosses the seam. *)
+  let d = Deque.create () in
+  for i = 1 to 8 do
+    Deque.push d i
+  done;
+  for _ = 1 to 5 do
+    ignore (Deque.steal d)
+  done;
+  (* front = 5, n = 3; these five wrap into slots 0..4. *)
+  for i = 9 to 13 do
+    Deque.push d i
+  done;
+  Alcotest.(check (list int)) "full across the seam"
+    [ 6; 7; 8; 9; 10; 11; 12; 13 ] (Deque.to_list d);
+  Alcotest.(check (option int)) "remove a wrapped element" (Some 12)
+    (Deque.remove d (fun x -> x = 12));
+  Alcotest.(check (list int)) "order kept" [ 6; 7; 8; 9; 10; 11; 13 ]
+    (Deque.to_list d);
+  Alcotest.(check (option int)) "remove before the seam" (Some 7)
+    (Deque.remove d (fun x -> x = 7));
+  Alcotest.(check (list int)) "shift crossed the seam"
+    [ 6; 8; 9; 10; 11; 13 ] (Deque.to_list d);
+  Alcotest.(check (option int)) "pop newest" (Some 13) (Deque.pop d);
+  Alcotest.(check (option int)) "steal oldest" (Some 6) (Deque.steal d);
+  Alcotest.(check int) "length" 4 (Deque.length d)
+
+let prop_remove_equals_filter =
+  QCheck.Test.make ~name:"remove = take first match, keep order" ~count:300
+    QCheck.(triple (list small_nat) small_nat small_nat)
+    (fun (xs, steals, target) ->
+      let d = Deque.create () in
+      List.iter (Deque.push d) xs;
+      let stolen = ref [] in
+      for _ = 1 to steals mod 8 do
+        match Deque.steal d with
+        | Some x -> stolen := x :: !stolen
+        | None -> ()
+      done;
+      let model = Deque.to_list d in
+      let removed = Deque.remove d (fun x -> x = target) in
+      let expected_rest =
+        if List.mem target model then
+          let rec drop_first = function
+            | [] -> []
+            | x :: tl -> if x = target then tl else x :: drop_first tl
+          in
+          drop_first model
+        else model
+      in
+      removed = (if List.mem target model then Some target else None)
+      && Deque.to_list d = expected_rest)
+
 let prop_steal_pop_partition =
   QCheck.Test.make ~name:"steals + pops return each element once" ~count:200
     QCheck.(pair (list small_nat) (list bool))
@@ -73,5 +128,7 @@ let suite =
       Alcotest.test_case "growth" `Quick test_growth;
       Alcotest.test_case "remove specific item" `Quick test_remove_middle;
       Alcotest.test_case "ring wraparound" `Quick test_wraparound;
+      Alcotest.test_case "remove across the seam" `Quick test_remove_wraparound;
+      QCheck_alcotest.to_alcotest prop_remove_equals_filter;
       QCheck_alcotest.to_alcotest prop_steal_pop_partition;
     ] )

@@ -145,6 +145,44 @@ let test_sync_empty_rejected () =
     (fun () ->
       ignore (Sched.run rt ~main:(fun m -> ignore (Sched.sync rt m []); Value.unit)))
 
+(* --- Collector-trace event timeline ------------------------------- *)
+
+let test_timeline_anchor_mid_run () =
+  (* Regression: a trace enabled mid-run starts at a large timestamp.
+     The axis used to be anchored at 0, squashing every event into the
+     right edge of its lane; it must anchor at the first event, with
+     the real span in the header. *)
+  let tr = Gc_trace.create () in
+  Gc_trace.enable tr;
+  let base = 5e9 in
+  Gc_trace.record tr
+    { Gc_trace.vproc = 0; kind = Gc_trace.Minor; t_start_ns = base;
+      t_end_ns = base +. 1e6; bytes = 64 };
+  Gc_trace.record tr
+    { Gc_trace.vproc = 0; kind = Gc_trace.Global; t_start_ns = base +. 9e6;
+      t_end_ns = base +. 10e6; bytes = 128 };
+  let tl = Gc_trace.render_timeline ~width:40 tr ~n_vprocs:1 in
+  let lines = String.split_on_char '\n' tl in
+  Alcotest.(check string) "header shows the real span"
+    "collector timeline (5000.000 .. 5010.000 ms):" (List.nth lines 0);
+  let lane = List.nth lines 1 in
+  let bar = String.index lane '|' in
+  Alcotest.(check bool) "first event at the left edge" true
+    (String.index lane '.' - bar - 1 < 4);
+  Alcotest.(check bool) "last event at the right edge" true
+    (String.index lane 'G' - bar - 1 >= 35)
+
+let test_timeline_identical_timestamps () =
+  (* A one-instant trace must not divide by a zero span. *)
+  let tr = Gc_trace.create () in
+  Gc_trace.enable tr;
+  Gc_trace.record tr
+    { Gc_trace.vproc = 0; kind = Gc_trace.Minor; t_start_ns = 7e6;
+      t_end_ns = 7e6; bytes = 0 };
+  let tl = Gc_trace.render_timeline ~width:40 tr ~n_vprocs:1 in
+  Alcotest.(check bool) "renders a lane" true
+    (String.contains tl '|' && String.contains tl '.')
+
 let suite =
   ( "events",
     [
@@ -157,4 +195,8 @@ let suite =
       Alcotest.test_case "parked messages survive collections" `Quick
         test_sync_messages_survive_gc;
       Alcotest.test_case "empty choice rejected" `Quick test_sync_empty_rejected;
+      Alcotest.test_case "timeline anchored at first event" `Quick
+        test_timeline_anchor_mid_run;
+      Alcotest.test_case "timeline survives a zero span" `Quick
+        test_timeline_identical_timestamps;
     ] )

@@ -107,6 +107,28 @@ let test_detects_bad_descriptor_size () =
   Alcotest.(check bool) "descriptor mismatch reported" true
     (has_violation ctx "does not match descriptor")
 
+let test_overrun_reported_despite_earlier_errors () =
+  (* Regression: the overrun report was gated on the *global* error list
+     being empty, so any earlier violation — even in another vproc's
+     heap — silently swallowed it.  Corrupt vproc 0 (walked first) and
+     make vproc 1's last nursery object claim a length that runs past
+     the allocation frontier: both must be reported. *)
+  let ctx = mk () in
+  let m0 = Ctx.mutator ctx 0 and m1 = Ctx.mutator ctx 1 in
+  let a = Gc_util.build_list ctx m0 [ 1 ] in
+  ignore (Roots.add m0.Ctx.roots a);
+  Memory.set ctx.Ctx.store.Store.mem
+    (Obj_repr.field_addr (Value.to_ptr a) 1)
+    (Value.to_word (Value.of_ptr 0x7f0000));
+  let b = Alloc.alloc_vector ctx m1 [| Value.of_int 5 |] in
+  ignore (Roots.add m1.Ctx.roots b);
+  Memory.set ctx.Ctx.store.Store.mem (Value.to_ptr b)
+    (Header.encode ~id:Header.raw_id ~length_words:64);
+  Alcotest.(check bool) "earlier error reported" true
+    (has_violation ctx "no valid object");
+  Alcotest.(check bool) "overrun still reported" true
+    (has_violation ctx "overruns")
+
 let test_summary_counts () =
   let ctx = mk () in
   let m = Ctx.mutator ctx 0 in
@@ -136,5 +158,7 @@ let suite =
         test_detects_dangling_pointer;
       Alcotest.test_case "detects descriptor mismatch" `Quick
         test_detects_bad_descriptor_size;
+      Alcotest.test_case "overrun reported despite earlier errors" `Quick
+        test_overrun_reported_despite_earlier_errors;
       Alcotest.test_case "summary counts" `Quick test_summary_counts;
     ] )

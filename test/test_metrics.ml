@@ -1,0 +1,257 @@
+(* Collector telemetry: histogram percentiles, snapshots, the JSON
+   round-trip, CSV export, and the Chrome trace-event exporter. *)
+
+open Manticore_gc
+module J = Metrics.Json
+
+let test_json_value_roundtrip () =
+  let doc =
+    {|{"a":[1,2.5,-3e-2],"b":{"s":"he\"ll\\o\nworld é"},"t":true,"f":false,"n":null,"e":[],"eo":{}}|}
+  in
+  match J.parse doc with
+  | Error m -> Alcotest.fail m
+  | Ok v -> (
+      match J.parse (J.to_string v) with
+      | Error m -> Alcotest.fail ("reparse: " ^ m)
+      | Ok v2 -> Alcotest.(check bool) "print/parse fixpoint" true (v = v2))
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; {|{"a":}|}; "tru"; "1 2"; {|"unterminated|}; {|{"a":1,}|} ]
+
+let mk_recorder () =
+  let t = Metrics.create ~n_vprocs:2 in
+  for i = 1 to 100 do
+    Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor
+      ~ns:(float_of_int (i * 1000))
+      ~bytes:(i * 64)
+  done;
+  Metrics.record_pause t ~vproc:1 ~kind:Gc_trace.Global ~ns:5e6 ~bytes:4096;
+  Metrics.record_pause t ~vproc:1 ~kind:Gc_trace.Major ~ns:2e5 ~bytes:100;
+  Metrics.record_pause t ~vproc:1 ~kind:Gc_trace.Promotion ~ns:300. ~bytes:32;
+  Metrics.record_chunk_acquire t ~vproc:0;
+  Metrics.record_steal t ~vproc:1 ~success:true;
+  Metrics.record_steal t ~vproc:1 ~success:false;
+  t
+
+let test_percentiles () =
+  (* 100 minor pauses of 1..100 us on vproc 0: the log buckets resolve
+     percentiles to ~19%, and min/max are exact. *)
+  let s = Metrics.snapshot (mk_recorder ()) in
+  let v0 = List.nth s.Metrics.vprocs 0 in
+  let p = v0.Metrics.minor.Metrics.pause_ns in
+  Alcotest.(check int) "count" 100 p.Metrics.count;
+  Alcotest.(check (float 0.001)) "min exact" 1_000. p.Metrics.min;
+  Alcotest.(check (float 0.001)) "max exact" 100_000. p.Metrics.max;
+  Alcotest.(check (float 0.001)) "sum exact" 5_050_000. p.Metrics.sum;
+  Alcotest.(check bool) "p50 near 50 us" true
+    (p.Metrics.p50 > 40_000. && p.Metrics.p50 < 62_000.);
+  Alcotest.(check bool) "p90 near 90 us" true
+    (p.Metrics.p90 > 70_000. && p.Metrics.p90 <= 100_000.);
+  Alcotest.(check bool) "percentiles monotonic" true
+    (p.Metrics.p50 <= p.Metrics.p90
+    && p.Metrics.p90 <= p.Metrics.p99
+    && p.Metrics.p99 <= p.Metrics.max);
+  let v1 = List.nth s.Metrics.vprocs 1 in
+  Alcotest.(check int) "one global on v1" 1
+    v1.Metrics.global.Metrics.pause_ns.Metrics.count;
+  Alcotest.(check (float 0.001)) "single-sample p99 = the sample" 5e6
+    v1.Metrics.global.Metrics.pause_ns.Metrics.p99;
+  Alcotest.(check int) "steal counters" 2 v1.Metrics.steal_attempts;
+  Alcotest.(check int) "steal successes" 1 v1.Metrics.steal_successes;
+  Alcotest.(check int) "chunk acquires" 1 v0.Metrics.chunk_acquires
+
+let test_snapshot_json_roundtrip () =
+  let s = Metrics.snapshot (mk_recorder ()) in
+  match Metrics.snapshot_of_json (Metrics.snapshot_to_json s) with
+  | Error m -> Alcotest.fail m
+  | Ok s2 -> Alcotest.(check bool) "round-trips exactly" true (s = s2)
+
+let test_snapshot_json_shape_errors () =
+  List.iter
+    (fun doc ->
+      match Metrics.snapshot_of_json doc with
+      | Ok _ -> Alcotest.failf "accepted %S" doc
+      | Error _ -> ())
+    [ "[]"; "{}"; {|{"vprocs":3}|}; {|{"vprocs":[{"vproc":0}]}|}; "nonsense" ]
+
+let test_csv () =
+  let s = Metrics.snapshot (mk_recorder ()) in
+  let lines = String.split_on_char '\n' (Metrics.snapshot_to_csv s) in
+  Alcotest.(check string) "header"
+    "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes"
+    (List.nth lines 0);
+  (* 2 vprocs x 4 kinds + header + trailing newline. *)
+  Alcotest.(check int) "row count" 10 (List.length lines);
+  Alcotest.(check bool) "v0 minor row present" true
+    (List.exists
+       (fun l -> String.length l > 8 && String.sub l 0 8 = "0,minor,")
+       lines)
+
+let test_merge () =
+  let a = Metrics.create ~n_vprocs:2 in
+  let b = Metrics.create ~n_vprocs:4 in
+  for _ = 1 to 10 do
+    Metrics.record_pause a ~vproc:0 ~kind:Gc_trace.Minor ~ns:1e3 ~bytes:8
+  done;
+  for _ = 1 to 5 do
+    Metrics.record_pause b ~vproc:0 ~kind:Gc_trace.Minor ~ns:1e6 ~bytes:8
+  done;
+  Metrics.record_pause b ~vproc:3 ~kind:Gc_trace.Major ~ns:2e6 ~bytes:64;
+  Metrics.record_steal a ~vproc:1 ~success:true;
+  Metrics.record_steal b ~vproc:1 ~success:false;
+  Metrics.merge ~into:a b;
+  let s = Metrics.snapshot a in
+  Alcotest.(check int) "grew to the source's vprocs" 4
+    (List.length s.Metrics.vprocs);
+  let v0 = List.nth s.Metrics.vprocs 0 in
+  let p = v0.Metrics.minor.Metrics.pause_ns in
+  Alcotest.(check int) "counts add" 15 p.Metrics.count;
+  Alcotest.(check (float 0.001)) "min spans both" 1e3 p.Metrics.min;
+  Alcotest.(check (float 0.001)) "max spans both" 1e6 p.Metrics.max;
+  let v1 = List.nth s.Metrics.vprocs 1 in
+  Alcotest.(check int) "steal attempts add" 2 v1.Metrics.steal_attempts;
+  Alcotest.(check int) "major landed on v3" 1
+    (List.nth s.Metrics.vprocs 3).Metrics.major.Metrics.pause_ns.Metrics.count
+
+let test_aggregate () =
+  let agg = Metrics.aggregate (mk_recorder ()) in
+  Alcotest.(check int) "reported as vproc -1" (-1) agg.Metrics.vproc;
+  Alcotest.(check int) "minors from v0" 100
+    (Metrics.kind_stats agg Gc_trace.Minor).Metrics.pause_ns.Metrics.count;
+  Alcotest.(check int) "global from v1" 1
+    (Metrics.kind_stats agg Gc_trace.Global).Metrics.pause_ns.Metrics.count
+
+let test_out_of_range_vproc_ignored () =
+  let t = Metrics.create ~n_vprocs:1 in
+  Metrics.record_pause t ~vproc:(-3) ~kind:Gc_trace.Minor ~ns:1e3 ~bytes:8;
+  Metrics.record_steal t ~vproc:(-1) ~success:true;
+  Metrics.record_chunk_acquire t ~vproc:(-2);
+  let s = Metrics.snapshot t in
+  Alcotest.(check int) "still one vproc" 1 (List.length s.Metrics.vprocs);
+  let v0 = List.hd s.Metrics.vprocs in
+  Alcotest.(check int) "nothing recorded" 0
+    v0.Metrics.minor.Metrics.pause_ns.Metrics.count
+
+let mk_trace () =
+  let tr = Gc_trace.create () in
+  Gc_trace.enable tr;
+  Gc_trace.record tr
+    { Gc_trace.vproc = 0; kind = Gc_trace.Minor; t_start_ns = 1_000.;
+      t_end_ns = 3_000.; bytes = 64 };
+  Gc_trace.record tr
+    { Gc_trace.vproc = 1; kind = Gc_trace.Global; t_start_ns = 5_000.;
+      t_end_ns = 9_000.; bytes = 256 };
+  Gc_trace.record tr
+    { Gc_trace.vproc = 0; kind = Gc_trace.Promotion; t_start_ns = 10_000.;
+      t_end_ns = 10_500.; bytes = 32 };
+  tr
+
+let test_chrome_json_well_formed () =
+  let tr = mk_trace () in
+  match J.parse (Gc_trace.to_chrome_json tr) with
+  | Error m -> Alcotest.fail m
+  | Ok j ->
+      Alcotest.(check bool) "displayTimeUnit" true
+        (J.member "displayTimeUnit" j = Some (J.Str "ms"));
+      let evs =
+        match J.member "traceEvents" j with
+        | Some (J.Arr evs) -> evs
+        | _ -> Alcotest.fail "traceEvents missing or not an array"
+      in
+      let ph e =
+        match J.member "ph" e with Some (J.Str s) -> s | _ -> "?"
+      in
+      let xs = List.filter (fun e -> ph e = "X") evs in
+      let ms = List.filter (fun e -> ph e = "M") evs in
+      Alcotest.(check int) "one X event per collection" 3 (List.length xs);
+      Alcotest.(check int) "one thread_name per vproc" 2 (List.length ms);
+      List.iter
+        (fun e ->
+          (match J.member "ts" e with
+          | Some (J.Num ts) ->
+              Alcotest.(check bool) "ts in microseconds" true (ts >= 1.)
+          | _ -> Alcotest.fail "X event without numeric ts");
+          (match J.member "dur" e with
+          | Some (J.Num d) ->
+              Alcotest.(check bool) "dur non-negative" true (d >= 0.)
+          | _ -> Alcotest.fail "X event without numeric dur");
+          match J.member "name" e with
+          | Some (J.Str n) ->
+              Alcotest.(check bool) "name is a collection kind" true
+                (List.mem n [ "minor"; "major"; "promotion"; "global" ])
+          | _ -> Alcotest.fail "X event without name")
+        xs
+
+let test_chrome_json_empty_trace () =
+  let tr = Gc_trace.create () in
+  match J.parse (Gc_trace.to_chrome_json tr) with
+  | Error m -> Alcotest.fail m
+  | Ok j -> (
+      match J.member "traceEvents" j with
+      | Some (J.Arr []) -> ()
+      | _ -> Alcotest.fail "expected an empty traceEvents array")
+
+let test_units_shared_formatter () =
+  Alcotest.(check string) "bytes" "512 B" (Units.bytes_to_string 512);
+  Alcotest.(check string) "KiB" "2.0 KiB" (Units.bytes_to_string 2048);
+  Alcotest.(check string) "MiB" "1.5 MiB"
+    (Units.bytes_to_string (3 * 512 * 1024));
+  Alcotest.(check string) "ns" "999 ns" (Units.ns_to_string 999.);
+  Alcotest.(check string) "us" "1.5 us" (Units.ns_to_string 1_500.);
+  Alcotest.(check string) "ms" "2.50 ms" (Units.ns_to_string 2_500_000.);
+  Alcotest.(check string) "grouping" "12,934,567" (Units.grouped 12_934_567);
+  Alcotest.(check string) "negative grouping" "-1,000" (Units.grouped (-1000))
+
+let test_instrumented_run_records () =
+  (* A real scheduler run must populate the context's recorder without
+     any opt-in: at least minors, and steal attempts once work moves. *)
+  let spec = Option.get (Workloads.Registry.find "synthetic") in
+  let base =
+    Harness.Run_config.default ~machine:Numa.Machines.tiny4 ~n_vprocs:2
+  in
+  let cfg =
+    { base with
+      Harness.Run_config.scale = 0.25;
+      params =
+        (* Tight enough that the small workload still minor-collects. *)
+        { base.Harness.Run_config.params with
+          Params.local_heap_bytes = 32 * 1024;
+          nursery_min_bytes = 4 * 1024 } }
+  in
+  let o = Harness.Run_config.execute spec cfg in
+  let agg = Metrics.aggregate o.Harness.Run_config.metrics in
+  Alcotest.(check bool) "minor pauses recorded" true
+    ((Metrics.kind_stats agg Gc_trace.Minor).Metrics.pause_ns.Metrics.count > 0);
+  Alcotest.(check bool) "summary renders" true
+    (String.length (Harness.Run_config.metrics_block o) > 0)
+
+let suite =
+  ( "metrics",
+    [
+      Alcotest.test_case "json value round-trip" `Quick test_json_value_roundtrip;
+      Alcotest.test_case "json rejects malformed input" `Quick
+        test_json_rejects_garbage;
+      Alcotest.test_case "histogram percentiles" `Quick test_percentiles;
+      Alcotest.test_case "snapshot JSON round-trip" `Quick
+        test_snapshot_json_roundtrip;
+      Alcotest.test_case "snapshot JSON shape errors" `Quick
+        test_snapshot_json_shape_errors;
+      Alcotest.test_case "CSV export" `Quick test_csv;
+      Alcotest.test_case "merge accumulates and grows" `Quick test_merge;
+      Alcotest.test_case "aggregate across vprocs" `Quick test_aggregate;
+      Alcotest.test_case "out-of-range vprocs ignored" `Quick
+        test_out_of_range_vproc_ignored;
+      Alcotest.test_case "chrome trace JSON well-formed" `Quick
+        test_chrome_json_well_formed;
+      Alcotest.test_case "chrome trace of an empty trace" `Quick
+        test_chrome_json_empty_trace;
+      Alcotest.test_case "shared unit formatter" `Quick
+        test_units_shared_formatter;
+      Alcotest.test_case "runs record telemetry by default" `Quick
+        test_instrumented_run_records;
+    ] )

@@ -1,0 +1,63 @@
+(* CI smoke validator: check that a --metrics-json export parses, has
+   the snapshot shape, and covers every collection kind.
+
+   Usage: validate_metrics.exe FILE [--require-all-kinds] *)
+
+open Manticore_gc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let path, require_all =
+    match Sys.argv with
+    | [| _; p |] -> (p, false)
+    | [| _; p; "--require-all-kinds" |] -> (p, true)
+    | _ ->
+        prerr_endline "usage: validate_metrics.exe FILE [--require-all-kinds]";
+        exit 2
+  in
+  let body = String.trim (read_file path) in
+  match Metrics.snapshot_of_json body with
+  | Error m ->
+      Printf.eprintf "%s: INVALID metrics JSON: %s\n" path m;
+      exit 1
+  | Ok snap ->
+      let n = List.length snap.Metrics.vprocs in
+      if n = 0 then begin
+        Printf.eprintf "%s: snapshot has no vprocs\n" path;
+        exit 1
+      end;
+      (* The exporter must round-trip its own output. *)
+      (match Metrics.snapshot_of_json (Metrics.snapshot_to_json snap) with
+      | Ok snap2 when snap2 = snap -> ()
+      | _ ->
+          Printf.eprintf "%s: snapshot does not round-trip\n" path;
+          exit 1);
+      let count kind =
+        List.fold_left
+          (fun acc vs ->
+            acc + (Metrics.kind_stats vs kind).Metrics.pause_ns.Metrics.count)
+          0 snap.Metrics.vprocs
+      in
+      let kinds =
+        [
+          ("minor", count Gc_trace.Minor);
+          ("major", count Gc_trace.Major);
+          ("promotion", count Gc_trace.Promotion);
+          ("global", count Gc_trace.Global);
+        ]
+      in
+      let missing = List.filter (fun (_, c) -> c = 0) kinds in
+      if require_all && missing <> [] then begin
+        Printf.eprintf "%s: no pauses recorded for: %s\n" path
+          (String.concat ", " (List.map fst missing));
+        exit 1
+      end;
+      Printf.printf "%s: OK (%d vprocs; pauses: %s)\n" path n
+        (String.concat ", "
+           (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) kinds))
