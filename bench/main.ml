@@ -152,6 +152,117 @@ let bench_mutation =
          Minor_gc.run ctx m;
          Roots.remove m.Ctx.roots r))
 
+(* --- Heap-classification microbenchmark (--classify) --------------- *)
+
+(* A chunk-heavy global heap — the regime barnes-hut reaches at high
+   vproc counts: many vprocs, hundreds of in-use chunks, a few large
+   regions.  "What region owns this address?" sits on the evacuation,
+   proxy-referent and invariant-checking paths; the page-granularity
+   Heap_index answers it with one array read, where the seed walked the
+   in-use chunk list (and the vproc array for local ownership). *)
+let classify_setup () =
+  let params =
+    {
+      Params.default with
+      Params.capacity_bytes = 128 * 1024 * 1024;
+      local_heap_bytes = 64 * 1024;
+      chunk_bytes = 8 * 1024;
+      nursery_min_bytes = 4 * 1024;
+      global_budget_per_vproc = 8 * 1024 * 1024;
+    }
+  in
+  let n_vprocs = 16 in
+  let ctx =
+    Ctx.create ~params ~machine:Numa.Machines.amd48 ~n_vprocs
+      ~policy:Sim_mem.Page_policy.Local ()
+  in
+  Global_gc.install_sync_hook ctx;
+  (* Fill until 256 chunks are in use (~2 MB of promoted cons cells). *)
+  let pool = Global_heap.pool ctx.Ctx.global in
+  let turn = ref 0 in
+  while Sim_mem.Chunk.in_use_count pool < 256 do
+    let m = Ctx.mutator ctx (!turn mod n_vprocs) in
+    incr turn;
+    let keep = Roots.add m.Ctx.roots (Value.of_int 0) in
+    for i = 1 to 100 do
+      Roots.set keep (Alloc.alloc_vector ctx m [| Value.of_int i; Roots.get keep |])
+    done;
+    ignore (Promote.value ctx m (Roots.get keep));
+    Roots.remove m.Ctx.roots keep
+  done;
+  (* A few live large regions so the large path is exercised too. *)
+  for v = 0 to 7 do
+    let m = Ctx.mutator ctx v in
+    ignore (Roots.add m.Ctx.roots (Alloc.alloc_raw ctx m ~words:2000))
+  done;
+  (* Sample addresses striding across the chunks in scrambled order. *)
+  let chunks = Array.of_list (Global_heap.in_use ctx.Ctx.global) in
+  let n = Array.length chunks in
+  let addrs =
+    Array.init 4096 (fun i ->
+        let c = chunks.(i * 97 mod n) in
+        c.Sim_mem.Chunk.base + (i * 104729 mod c.Sim_mem.Chunk.bytes / 8 * 8))
+  in
+  (ctx, addrs)
+
+(* The seed's classifiers, inlined as the "before" reference. *)
+let linear_contains g addr =
+  List.exists (fun c -> Sim_mem.Chunk.contains c addr) (Global_heap.in_use g)
+  || List.exists
+       (fun (a, b) -> addr >= a && addr < a + b)
+       (Global_heap.large_list g)
+
+let linear_local_owner (ctx : Ctx.t) addr =
+  let n = Array.length ctx.Ctx.muts in
+  let rec go i =
+    if i >= n then None
+    else if Local_heap.in_heap ctx.Ctx.muts.(i).Ctx.lh addr then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let classify_main () =
+  let ctx, addrs = classify_setup () in
+  let g = ctx.Ctx.global in
+  Printf.printf
+    "Address classification, %d in-use chunks + %d large regions (amd48 x16):\n"
+    (List.length (Global_heap.in_use g))
+    (List.length (Global_heap.large_list g));
+  let measure f =
+    let n = Array.length addrs in
+    for i = 0 to n - 1 do ignore (f (Array.unsafe_get addrs i)) done;
+    let count = ref 0 and t0 = Sys.time () in
+    while Sys.time () -. t0 < 0.5 do
+      for i = 0 to n - 1 do
+        ignore (f (Array.unsafe_get addrs i))
+      done;
+      count := !count + n
+    done;
+    (Sys.time () -. t0) /. float_of_int !count *. 1e9
+  in
+  let row name ns_linear ns_index =
+    Printf.printf "  %-28s %10.1f ns %10.1f ns %9.0fx\n" name ns_linear
+      ns_index (ns_linear /. ns_index)
+  in
+  Printf.printf "  %-28s %13s %13s %9s\n" "" "linear scan" "page index" "speedup";
+  let l1 = measure (fun a -> linear_contains g a) in
+  let i1 = measure (fun a -> Global_heap.contains g a) in
+  row "global membership" l1 i1;
+  let l2 = measure (fun a -> linear_local_owner ctx a <> None) in
+  let i2 =
+    measure (fun a ->
+        Heap_index.local_owner ctx.Ctx.store.Store.index a <> None)
+  in
+  row "local-owner lookup" l2 i2;
+  let l3 =
+    measure (fun a ->
+        List.exists
+          (fun (base, bytes) -> a >= base && a < base + bytes)
+          (Global_heap.large_list g))
+  in
+  let i3 = measure (fun a -> Global_heap.is_large g a) in
+  row "large-object test" l3 i3
+
 (* --- One benchmark per paper table / figure ----------------------- *)
 
 let run_workload ~machine ~policy ~n_vprocs ~name ~scale () =
@@ -289,6 +400,7 @@ let () =
   match Sys.argv with
   | [| _ |] -> bechamel_main ()
   | [| _; "--metrics-json"; path |] -> metrics_main path
+  | [| _; "--classify" |] -> classify_main ()
   | _ ->
-      prerr_endline "usage: main.exe [--metrics-json FILE]";
+      prerr_endline "usage: main.exe [--metrics-json FILE | --classify]";
       exit 2

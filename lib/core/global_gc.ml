@@ -9,16 +9,11 @@ let leader ctx =
     ctx.Ctx.muts;
   !best
 
-(* Which vproc's local heap holds [addr], if any.  Only used on the rare
-   proxy-referent path; ordinary scans use O(1) own-heap tests. *)
+(* Which vproc's local heap holds [addr], if any — a single page-index
+   read (the seed looped over every vproc's heap here, and Invariants
+   carried a second copy of the loop). *)
 let local_owner ctx addr =
-  let n = Array.length ctx.Ctx.muts in
-  let rec go i =
-    if i >= n then None
-    else if Local_heap.in_heap ctx.Ctx.muts.(i).Ctx.lh addr then Some i
-    else go (i + 1)
-  in
-  go 0
+  Heap_index.local_owner ctx.Ctx.store.Store.index addr
 
 let run ctx =
   let store = ctx.Ctx.store in
@@ -46,7 +41,11 @@ let run ctx =
   (* All in-use chunks become from-space (gathered per node for the
      affinity statistics the claim loop relies on). *)
   let from_space = Global_heap.take_all_in_use ctx.Ctx.global in
-  let copied = ref 0 in
+  (* Copied bytes are tallied per copying vproc (the owner of the dest
+     that performed the evacuation): the telemetry below records each
+     vproc's true share, not an average that would erase skew and drop
+     the division remainder. *)
+  let copied_by = Array.make (Array.length muts) 0 in
   (* Large objects are marked, not copied; their fields still need one
      scan each, queued here. *)
   let large_pending = Queue.create () in
@@ -57,7 +56,7 @@ let run ctx =
             if Global_heap.is_large ctx.Ctx.global dst then
               Queue.add dst large_pending
             else begin
-              copied := !copied + bytes;
+              copied_by.(m.Ctx.id) <- copied_by.(m.Ctx.id) + bytes;
               m.Ctx.stats.Gc_stats.global_copied_bytes <-
                 m.Ctx.stats.Gc_stats.global_copied_bytes + bytes
             end))
@@ -205,16 +204,21 @@ let run ctx =
           kind = Gc_trace.Global;
           t_start_ns = t_start;
           t_end_ns = m.Ctx.now_ns;
-          bytes = !copied / Array.length muts;
+          bytes = copied_by.(m.Ctx.id);
         };
       Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id
         ~kind:Gc_trace.Global
         ~ns:(m.Ctx.now_ns -. t_start)
-        ~bytes:(!copied / Array.length muts))
+        ~bytes:copied_by.(m.Ctx.id))
     muts;
+  (* ctx.stats is the whole-system tally and the per-mutator stats are a
+     partition of the same copies: ctx total == sum of mutator shares,
+     recorded once each.  Never add the two together (Gc_stats.total over
+     the mutators already yields this figure). *)
+  let copied_total = Array.fold_left ( + ) 0 copied_by in
   ctx.Ctx.stats.Gc_stats.global_count <- ctx.Ctx.stats.Gc_stats.global_count + 1;
   ctx.Ctx.stats.Gc_stats.global_copied_bytes <-
-    ctx.Ctx.stats.Gc_stats.global_copied_bytes + !copied;
+    ctx.Ctx.stats.Gc_stats.global_copied_bytes + copied_total;
   ctx.Ctx.global_gc_pending <- false;
   (* If live data alone exceeds the configured budget, grow it — a fixed
      threshold would retrigger immediately and thrash. *)

@@ -23,7 +23,11 @@ let set_pointer_field ctx (m : Ctx.mutator) obj i v =
   let obj = Ctx.resolve ctx m obj in
   let addr = Value.to_ptr obj in
   let lh = m.Ctx.lh in
-  if Local_heap.in_heap lh addr then begin
+  (* One page-index read decides the store protocol: own-local stores are
+     plain (plus the remembered-set barrier), anything else takes the
+     promoting global path. *)
+  match Heap_index.region ctx.Ctx.store.Store.index addr with
+  | Heap_index.Local owner when owner = m.Ctx.id -> begin
     (* Old-to-nursery edges must be remembered for the next minor
        collection; anything else stays collector-invisible, as before. *)
     (if
@@ -33,7 +37,7 @@ let set_pointer_field ctx (m : Ctx.mutator) obj i v =
      then Remember.add m.Ctx.remembered ~slot:(Obj_repr.field_addr addr i));
     Ctx.write_word ctx m (Obj_repr.field_addr addr i) (Value.to_word v)
   end
-  else begin
+  | _ -> begin
     (* A global object: the stored value must itself be global (I2). *)
     let v = Promote.value ctx m v in
     (* Shared-heap store: pay a synchronization premium, like the

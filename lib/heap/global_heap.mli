@@ -53,7 +53,11 @@ val pool : t -> Chunk.pool
 val chunk_bytes : t -> int
 val in_use_bytes : t -> int
 val contains : t -> int -> bool
-(** Linear membership test over in-use chunks — for invariant checking
-    and debugging only. *)
+(** O(1) membership test via the page-granularity {!Heap_index}: true for
+    addresses in acquired chunks or live large-object regions.  During a
+    global collection (between [take_all_in_use] and the from-space
+    release) from-space chunk pages still classify as global; they go
+    [Free] the moment the collector releases them. *)
 
 val find_chunk : t -> int -> Chunk.t option
+(** O(1) page-index lookup of the chunk owning an address. *)

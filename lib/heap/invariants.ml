@@ -23,21 +23,17 @@ type ctx = {
 
 let err ctx fmt = Format.kasprintf (fun s -> ctx.errs <- s :: ctx.errs) fmt
 
-let local_owner ctx addr =
-  let n = Array.length ctx.locals in
-  let rec go i =
-    if i >= n then None
-    else if Local_heap.in_heap ctx.locals.(i) addr then Some i
-    else go (i + 1)
-  in
-  go 0
-
+(* Classification goes through the store's page index: one array read
+   instead of the seed's O(n_vprocs) local-heap walk (a loop this module
+   and Global_gc each had a copy of) plus a chunk-list walk.  The index
+   is the single owner of the address->region question now. *)
 type where = Local of int | Global | Nowhere
 
 let classify ctx addr =
-  match local_owner ctx addr with
-  | Some v -> Local v
-  | None -> if Global_heap.contains ctx.global addr then Global else Nowhere
+  match Heap_index.region ctx.store.Store.index addr with
+  | Heap_index.Local v -> Local v
+  | Heap_index.Global_chunk _ | Heap_index.Large _ -> Global
+  | Heap_index.Free -> Nowhere
 
 let valid_object_at ctx addr =
   Memory.is_mapped ctx.store.Store.mem addr

@@ -13,7 +13,13 @@
     - no old-area object points into its own nursery (data only ever
       points at older data in a mutation-free language) — except slots
       the caller declares [remembered], i.e. covered by the mutation
-      extension's write barrier. *)
+      extension's write barrier.
+
+    Address classification (which local heap owns an address, whether it
+    is global) is read from the store's {!Heap_index} — the same
+    page-granularity table the collectors use — rather than a private
+    scan over the vproc array, so the checker validates against exactly
+    the region map the mutator and GC dispatch on. *)
 
 type summary = {
   objects : int;

@@ -21,6 +21,7 @@ let resplit t =
 let create (s : Store.t) ~vproc ~node ~bytes =
   if bytes < 16 * Addr.word_bytes then invalid_arg "Local_heap.create: too small";
   let base = Page_alloc.alloc s.pa ~policy:s.policy ~requester_node:node ~bytes in
+  Heap_index.set_local s.index ~vproc ~addr:base ~bytes;
   let t =
     {
       vproc;

@@ -5,8 +5,15 @@ type t = {
   pa : Page_alloc.t;
   table : Descriptor.table;
   policy : Page_policy.t;
+  index : Heap_index.t;
 }
 
 let create ~n_nodes ~capacity_bytes ~page_bytes ~policy =
   let mem = Memory.create ~n_nodes ~capacity_bytes ~page_bytes in
-  { mem; pa = Page_alloc.create mem; table = Descriptor.create_table (); policy }
+  {
+    mem;
+    pa = Page_alloc.create mem;
+    table = Descriptor.create_table ();
+    policy;
+    index = Heap_index.create mem;
+  }

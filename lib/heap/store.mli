@@ -13,6 +13,9 @@ type t = {
   pa : Page_alloc.t;
   table : Descriptor.table;
   policy : Page_policy.t;
+  index : Heap_index.t;
+      (** Page->region classification table; heap constructors keep it
+          current at region-transition points (see {!Heap_index}). *)
 }
 
 val create :

@@ -28,6 +28,11 @@ type pool = {
   free : t list ref array; (* per home node *)
   mutable next_id : int;
   mutable in_use : int; (* count *)
+  (* Lifecycle hooks: the heap index subscribes to these so page
+     classification tracks chunk ownership without every call site
+     having to remember to update it. *)
+  mutable on_acquire : t -> unit;
+  mutable on_release : t -> unit;
 }
 
 let create_pool pa ~chunk_bytes =
@@ -39,7 +44,13 @@ let create_pool pa ~chunk_bytes =
     free = Array.init (Memory.n_nodes (Page_alloc.memory pa)) (fun _ -> ref []);
     next_id = 0;
     in_use = 0;
+    on_acquire = ignore;
+    on_release = ignore;
   }
+
+let set_hooks pool ~on_acquire ~on_release =
+  pool.on_acquire <- on_acquire;
+  pool.on_release <- on_release
 
 let fresh pool ~policy ~requester_node =
   let base =
@@ -91,9 +102,11 @@ let acquire ?(affinity = true) pool ~policy ~requester_node =
   in
   reset c;
   pool.in_use <- pool.in_use + 1;
+  pool.on_acquire c;
   (c, provenance)
 
 let release pool c =
+  pool.on_release c;
   pool.free.(c.home_node) := c :: !(pool.free.(c.home_node));
   pool.in_use <- pool.in_use - 1
 

@@ -34,6 +34,13 @@ type pool
 
 val create_pool : Page_alloc.t -> chunk_bytes:int -> pool
 
+val set_hooks : pool -> on_acquire:(t -> unit) -> on_release:(t -> unit) -> unit
+(** Subscribe to chunk lifecycle transitions: [on_acquire] fires after a
+    chunk is handed out by {!acquire} (fresh or reused, already reset)
+    and [on_release] fires when {!release} returns it to the free pool.
+    Both default to no-ops.  The heap's page index uses these to keep
+    page->region classification current. *)
+
 val acquire :
   ?affinity:bool -> pool -> policy:Page_policy.t -> requester_node:int ->
   t * [ `Reused | `Fresh ]

@@ -40,6 +40,7 @@ let create ~n_nodes ~capacity_bytes ~page_bytes =
 let n_nodes t = t.n_nodes
 let page_bytes t = t.page_bytes
 let capacity_bytes t = t.capacity_bytes
+let n_pages t = Bytes.length t.page_node
 let page_of_addr t addr = addr lsr t.page_bits
 
 let get t addr = Bigarray.Array1.get t.words (Addr.word_index addr)

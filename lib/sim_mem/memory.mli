@@ -16,6 +16,10 @@ val n_nodes : t -> int
 val page_bytes : t -> int
 val capacity_bytes : t -> int
 
+val n_pages : t -> int
+(** Number of pages in the address space ([capacity_bytes / page_bytes]);
+    page-indexed side tables are sized with this. *)
+
 val get : t -> int -> int64
 (** [get t addr] reads the word at byte address [addr] (must be aligned
     and mapped). *)

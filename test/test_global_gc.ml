@@ -123,6 +123,58 @@ let test_global_node_affinity_of_chunks () =
   Alcotest.(check int) "vproc1 data on node1" m1.Ctx.node (node_of (Roots.get c1));
   Gc_util.assert_invariants ctx
 
+let test_global_copied_byte_accounting () =
+  (* A known object graph: 3 cons cells of (header + 2 fields) = 72 bytes
+     of live global data.  The collection must (a) attribute each vproc's
+     *true* copied-byte share to its trace event and metrics — not the
+     seed's average, which erased skew and dropped remainders — and
+     (b) tally exactly 72 bytes once in the ctx record and once across
+     the per-mutator records (aliasing either way would double it). *)
+  let ctx = Gc_util.mk_ctx () in
+  let m0 = Ctx.mutator ctx 0 in
+  Gc_trace.enable ctx.Ctx.trace;
+  let g = Promote.value ctx m0 (Gc_util.build_list ctx m0 [ 1; 2; 3 ]) in
+  let _cell = Roots.add m0.Ctx.roots g in
+  Gc_trace.clear ctx.Ctx.trace (* drop the promotion event *);
+  Global_gc.run ctx;
+  let expected = 3 * 3 * 8 in
+  let per_mut_sum =
+    Array.fold_left
+      (fun acc (m : Ctx.mutator) ->
+        acc + m.Ctx.stats.Gc_stats.global_copied_bytes)
+      0 ctx.Ctx.muts
+  in
+  Alcotest.(check int) "per-mutator tallies sum to the graph size" expected
+    per_mut_sum;
+  Alcotest.(check int) "ctx tally is the same total, recorded once" expected
+    ctx.Ctx.stats.Gc_stats.global_copied_bytes;
+  let globals =
+    List.filter
+      (fun e -> e.Gc_trace.kind = Gc_trace.Global)
+      (Gc_trace.events ctx.Ctx.trace)
+  in
+  Alcotest.(check int) "one global event per vproc"
+    (Array.length ctx.Ctx.muts) (List.length globals);
+  List.iter
+    (fun e ->
+      Alcotest.(check int)
+        (Printf.sprintf "vproc %d event carries its true share" e.Gc_trace.vproc)
+        (Ctx.mutator ctx e.Gc_trace.vproc).Ctx.stats.Gc_stats.global_copied_bytes
+        e.Gc_trace.bytes)
+    globals;
+  Alcotest.(check int) "event bytes sum to the total (no remainder lost)"
+    expected
+    (List.fold_left (fun a e -> a + e.Gc_trace.bytes) 0 globals);
+  let snap = Metrics.snapshot ctx.Ctx.metrics in
+  let metrics_sum =
+    List.fold_left
+      (fun acc (vs : Metrics.vproc_stats) ->
+        acc +. vs.Metrics.global.Metrics.copied_bytes.Metrics.sum)
+      0. snap.Metrics.vprocs
+  in
+  Alcotest.(check (float 0.)) "metrics record the same bytes"
+    (float_of_int expected) metrics_sum
+
 let prop_global_gc_random_graphs =
   QCheck.Test.make ~name:"global GC preserves random graphs" ~count:30
     QCheck.(pair (int_range 0 6) (int_range 1 1000))
@@ -154,5 +206,7 @@ let suite =
       Alcotest.test_case "proxies survive and follow" `Quick test_global_proxy_handling;
       Alcotest.test_case "to-space chunks keep node affinity" `Quick
         test_global_node_affinity_of_chunks;
+      Alcotest.test_case "copied-byte accounting is exact per vproc" `Quick
+        test_global_copied_byte_accounting;
       QCheck_alcotest.to_alcotest prop_global_gc_random_graphs;
     ] )

@@ -1,0 +1,160 @@
+(* The page-granularity heap index: O(1) page->region classification,
+   kept current at region-transition points (local-heap creation, chunk
+   acquire/release, large-object alloc/sweep). *)
+
+open Heap
+open Manticore_gc
+open Sim_mem
+
+let index (ctx : Ctx.t) = ctx.Ctx.store.Store.index
+
+(* Enough budget that promotions in these tests never trigger a global
+   collection on their own; the tests run Global_gc.run explicitly. *)
+let roomy_params =
+  { Gc_util.small_params with Params.global_budget_per_vproc = 256 * 1024 }
+
+let test_classifies_regions () =
+  let ctx = Gc_util.mk_ctx () in
+  let m0 = Ctx.mutator ctx 0 and m1 = Ctx.mutator ctx 1 in
+  let idx = index ctx in
+  (* Local allocations classify to their owning vproc. *)
+  let a = Gc_util.build_list ctx m0 [ 1 ] in
+  let b = Gc_util.build_list ctx m1 [ 2 ] in
+  Alcotest.(check (option int)) "vproc0 local" (Some 0)
+    (Heap_index.local_owner idx (Value.to_ptr a));
+  Alcotest.(check (option int)) "vproc1 local" (Some 1)
+    (Heap_index.local_owner idx (Value.to_ptr b));
+  (* Promoted data classifies to the chunk that holds it. *)
+  let g = Promote.value ctx m0 (Gc_util.build_list ctx m0 [ 3 ]) in
+  let ga = Value.to_ptr g in
+  (match Heap_index.find_chunk idx ga with
+  | Some c ->
+      Alcotest.(check bool) "chunk covers the address" true (Chunk.contains c ga)
+  | None -> Alcotest.fail "promoted object not classified as a chunk");
+  Alcotest.(check bool) "Global_heap.contains agrees" true
+    (Global_heap.contains ctx.Ctx.global ga);
+  Alcotest.(check (option int)) "promoted data is not local" None
+    (Heap_index.local_owner idx ga);
+  (* Large objects classify to their page run. *)
+  let v = Alloc.alloc_raw ctx m0 ~words:1024 in
+  let la = Value.to_ptr v in
+  (match Heap_index.region idx la with
+  | Heap_index.Large l ->
+      Alcotest.(check bool) "large region covers the address" true
+        (la >= l.Heap_index.l_addr
+        && la < l.Heap_index.l_addr + l.Heap_index.l_bytes)
+  | _ -> Alcotest.fail "large object not classified Large");
+  (* Never-allocated space is Free. *)
+  Alcotest.(check bool) "high address is Free" true
+    (Heap_index.region idx (4 * 1024 * 1024) = Heap_index.Free)
+
+(* Every tagged page must agree with the owning structure: chunk pages
+   only for in-use chunks, large pages only for live large regions. *)
+let assert_index_consistent (ctx : Ctx.t) =
+  let idx = index ctx in
+  let mem = ctx.Ctx.store.Store.mem in
+  let in_use = Global_heap.in_use ctx.Ctx.global in
+  let larges = Global_heap.large_list ctx.Ctx.global in
+  for p = 0 to Memory.n_pages mem - 1 do
+    let addr = p * Memory.page_bytes mem in
+    match Heap_index.region idx addr with
+    | Heap_index.Global_chunk c ->
+        if not (List.memq c in_use) then
+          Alcotest.failf "page %#x tagged with a chunk not in use" addr;
+        if not (Chunk.contains c addr) then
+          Alcotest.failf "page %#x tagged with a chunk not covering it" addr
+    | Heap_index.Large l ->
+        if not (List.mem (l.Heap_index.l_addr, l.Heap_index.l_bytes) larges)
+        then Alcotest.failf "page %#x tagged with a dead large region" addr
+    | Heap_index.Local v ->
+        if not (Local_heap.in_heap (Ctx.mutator ctx v).Ctx.lh addr) then
+          Alcotest.failf "page %#x tagged Local %d outside that heap" addr v
+    | Heap_index.Free -> ()
+  done
+
+let fill ctx m ~lists ~len =
+  for i = 0 to lists - 1 do
+    ignore
+      (Promote.value ctx m
+         (Gc_util.build_list ctx m (List.init len (fun j -> (i * len) + j))))
+  done
+
+let test_release_marks_chunks_free () =
+  let ctx = Gc_util.mk_ctx ~params:roomy_params () in
+  let m = Ctx.mutator ctx 0 in
+  let idx = index ctx in
+  (* Promote ~12 KB of garbage: several 4 KB chunks. *)
+  fill ctx m ~lists:50 ~len:10;
+  let before = Global_heap.in_use ctx.Ctx.global in
+  Alcotest.(check bool) "several chunks in use" true (List.length before > 2);
+  assert_index_consistent ctx;
+  Global_gc.run ctx;
+  let still = Global_heap.in_use ctx.Ctx.global in
+  let released = List.filter (fun c -> not (List.memq c still)) before in
+  Alcotest.(check bool) "chunks were released" true (released <> []);
+  List.iter
+    (fun (c : Chunk.t) ->
+      Alcotest.(check bool) "released chunk pages are Free" true
+        (Heap_index.region idx c.Chunk.base = Heap_index.Free);
+      Alcotest.(check bool) "released chunk no longer 'contained'" false
+        (Global_heap.contains ctx.Ctx.global c.Chunk.base))
+    released;
+  assert_index_consistent ctx;
+  (* Reacquiring a chunk at the same address reclassifies its pages. *)
+  let bases = List.map (fun (c : Chunk.t) -> c.Chunk.base) released in
+  fill ctx m ~lists:50 ~len:10;
+  let reused =
+    List.filter
+      (fun (c : Chunk.t) -> List.mem c.Chunk.base bases)
+      (Global_heap.in_use ctx.Ctx.global)
+  in
+  Alcotest.(check bool) "chunks reacquired at old addresses" true (reused <> []);
+  List.iter
+    (fun (c : Chunk.t) ->
+      match Heap_index.find_chunk idx c.Chunk.base with
+      | Some c' -> Alcotest.(check bool) "index returns the live chunk" true (c' == c)
+      | None -> Alcotest.fail "reacquired chunk not classified")
+    reused;
+  assert_index_consistent ctx;
+  Gc_util.assert_invariants ctx
+
+let test_torture_chunk_cycling () =
+  (* Chunks and large regions cycle through several global collections;
+     classification and the heap invariants hold after every one.  (The
+     CI paranoid job reruns this suite with MANTICORE_PARANOID=1, which
+     additionally re-checks invariants inside each Global_gc.run.) *)
+  let ctx = Gc_util.mk_ctx ~params:roomy_params () in
+  let m0 = Ctx.mutator ctx 0 and m1 = Ctx.mutator ctx 1 in
+  let keep0 = Roots.add m0.Ctx.roots (Value.of_int 0) in
+  let keep1 = Roots.add m1.Ctx.roots (Value.of_int 0) in
+  for round = 1 to 3 do
+    let live = List.init 20 (fun i -> (round * 100) + i) in
+    Roots.set keep0 (Promote.value ctx m0 (Gc_util.build_list ctx m0 live));
+    Roots.set keep1
+      (Promote.value ctx m1 (Gc_util.build_list ctx m1 [ round; -round ]));
+    fill ctx m0 ~lists:20 ~len:10 (* garbage *);
+    ignore (Alloc.alloc_raw ctx m0 ~words:1024) (* dead large region *);
+    Global_gc.run ctx;
+    Gc_util.assert_invariants ctx;
+    assert_index_consistent ctx;
+    let g = Roots.get keep0 in
+    Alcotest.(check bool) "live root is global" true
+      (Global_heap.contains ctx.Ctx.global (Value.to_ptr g));
+    Alcotest.(check (list int))
+      (Printf.sprintf "round %d list intact" round)
+      live
+      (Gc_util.read_list ctx m0 g)
+  done;
+  Alcotest.(check bool) "cycled through at least two global collections" true
+    (ctx.Ctx.stats.Gc_stats.global_count >= 2)
+
+let suite =
+  ( "heap_index",
+    [
+      Alcotest.test_case "classifies local/chunk/large/free" `Quick
+        test_classifies_regions;
+      Alcotest.test_case "release frees, reacquire reclassifies" `Quick
+        test_release_marks_chunks_free;
+      Alcotest.test_case "torture: chunk cycling across global GCs" `Quick
+        test_torture_chunk_cycling;
+    ] )

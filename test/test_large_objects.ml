@@ -86,6 +86,36 @@ let test_large_fields_scanned_once () =
     (Gc_util.read_list ctx m t');
   Gc_util.assert_invariants ctx
 
+let test_large_alloc_free_symmetric () =
+  (* A large object whose size is not a page multiple: the reservation,
+     the accounting, the index tagging and the eventual free must all use
+     the same page-rounded size, so the allocator returns exactly to
+     baseline once the object is swept (the seed reserved the unrounded
+     size but freed the rounded one). *)
+  let ctx = mk () in
+  let m = Ctx.mutator ctx 0 in
+  let pa = ctx.Ctx.store.Store.pa in
+  let page = 4096 in
+  let baseline = Sim_mem.Page_alloc.allocated_bytes pa in
+  let words = 600 (* 4808 bytes with header: 1.2 pages, > 1 chunk *) in
+  let v = Alloc.alloc_raw ctx m ~words in
+  let addr = Value.to_ptr v in
+  Alcotest.(check bool) "is large" true
+    (Global_heap.is_large ctx.Ctx.global addr);
+  Alcotest.(check int) "page-rounded reservation" (2 * page)
+    (Sim_mem.Page_alloc.allocated_bytes pa - baseline);
+  Alcotest.(check bool) "large_bytes carries the rounded size" true
+    (List.mem_assoc addr (Global_heap.large_list ctx.Ctx.global)
+    && List.assoc addr (Global_heap.large_list ctx.Ctx.global) = 2 * page);
+  (* Dead on the next global collection: the sweep frees the same rounded
+     region and the pages classify Free again. *)
+  Global_gc.run ctx;
+  Alcotest.(check int) "allocator back to baseline" baseline
+    (Sim_mem.Page_alloc.allocated_bytes pa);
+  Alcotest.(check bool) "pages are Free after the sweep" true
+    (Heap_index.region ctx.Ctx.store.Store.index addr = Heap_index.Free);
+  Gc_util.assert_invariants ctx
+
 let test_census_counts_large () =
   let ctx = mk () in
   let m = Ctx.mutator ctx 0 in
@@ -104,6 +134,8 @@ let suite =
       Alcotest.test_case "survives global GC in place" `Quick
         test_large_survives_global_gc_in_place;
       Alcotest.test_case "swept when dead" `Quick test_large_swept_when_dead;
+      Alcotest.test_case "alloc/free symmetric on non-page-multiple sizes"
+        `Quick test_large_alloc_free_symmetric;
       Alcotest.test_case "fields keep targets alive" `Quick
         test_large_fields_scanned_once;
       Alcotest.test_case "census sees large objects" `Quick test_census_counts_large;
