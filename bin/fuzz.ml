@@ -1,0 +1,165 @@
+(* Model-differential GC fuzzer front end.
+
+   Modes:
+   - campaign (default): generate and run [--programs] random programs of
+     [--ops] ops each, starting from [--seed]; on the first divergence,
+     shrink the trace (unless [--no-shrink]) and print a replayable
+     reproducer (also written under [--fail-dir] when given);
+   - replay: [--replay FILE] runs a saved trace, optionally shrinking a
+     still-failing one with [--shrink].
+
+   Exit codes: 0 all programs passed / replay passed; 1 divergence found;
+   2 usage or unreadable trace. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let cfg_of ~chaos =
+  { Fuzz.Engine.default_cfg with Fuzz.Engine.corrupt_copy = chaos }
+
+let report_failure ~fail_dir (f : Fuzz.Driver.failure) =
+  Printf.printf "FAILURE: seed %d, op %d: %s\n" f.Fuzz.Driver.seed
+    f.Fuzz.Driver.op_index f.Fuzz.Driver.message;
+  let trace ops = Fuzz.Op.trace_to_string ~seed:f.Fuzz.Driver.seed ops in
+  let repro =
+    match f.Fuzz.Driver.minimized with
+    | Some ops ->
+        (match f.Fuzz.Driver.shrink_stats with
+        | Some st ->
+            Printf.printf "minimized to %d ops (%d shrink runs):\n"
+              st.Fuzz.Shrink.kept st.Fuzz.Shrink.runs
+        | None -> ());
+        trace ops
+    | None -> trace f.Fuzz.Driver.program
+  in
+  print_string repro;
+  Printf.printf "(replay with: fuzz --replay FILE)\n";
+  match fail_dir with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path =
+        Filename.concat dir (Printf.sprintf "seed-%d.trace" f.Fuzz.Driver.seed)
+      in
+      write_file path repro;
+      (match f.Fuzz.Driver.minimized with
+      | Some _ ->
+          write_file
+            (Filename.concat dir
+               (Printf.sprintf "seed-%d.full.trace" f.Fuzz.Driver.seed))
+            (Fuzz.Op.trace_to_string ~seed:f.Fuzz.Driver.seed
+               f.Fuzz.Driver.program)
+      | None -> ());
+      Printf.printf "wrote %s\n" path
+
+let replay ~cfg ~shrink path =
+  match Fuzz.Op.trace_of_string (read_file path) with
+  | exception Sys_error m ->
+      Printf.eprintf "cannot read trace: %s\n" m;
+      2
+  | Error m ->
+      Printf.eprintf "cannot parse trace %s: %s\n" path m;
+      2
+  | Ok ops -> (
+      match Fuzz.Engine.run_trace ~cfg ops with
+      | Fuzz.Engine.Passed _ as o ->
+          Format.printf "%s: %a@." path Fuzz.Engine.pp_outcome o;
+          0
+      | Fuzz.Engine.Failed _ as o ->
+          Format.printf "%s: %a@." path Fuzz.Engine.pp_outcome o;
+          if shrink then begin
+            let ops', st = Fuzz.Driver.shrink_failure ~cfg ops in
+            Printf.printf "minimized to %d ops (%d shrink runs):\n"
+              st.Fuzz.Shrink.kept st.Fuzz.Shrink.runs;
+            print_string (Fuzz.Op.trace_to_string ops')
+          end;
+          1)
+
+let main seed ops programs replay_file shrink no_shrink chaos fail_dir =
+  let cfg = cfg_of ~chaos in
+  match replay_file with
+  | Some path -> replay ~cfg ~shrink path
+  | None -> (
+      let log m = Printf.printf "%s\n%!" m in
+      Printf.printf
+        "fuzzing: %d program(s) x %d ops, base seed %d%s\n%!" programs ops
+        seed
+        (if chaos > 0 then
+           Printf.sprintf " (chaos: corrupt every %d-th evacuation)" chaos
+         else "");
+      match
+        Fuzz.Driver.campaign ~cfg ~shrink:(not no_shrink) ~log ~seed ~programs
+          ~n_ops:ops ()
+      with
+      | Ok n ->
+          Printf.printf "all %d programs passed\n" n;
+          0
+      | Error f ->
+          report_failure ~fail_dir f;
+          1)
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Base random seed.")
+
+let ops =
+  Arg.(
+    value & opt int 200
+    & info [ "ops" ] ~docv:"N" ~doc:"Ops per generated program.")
+
+let programs =
+  Arg.(
+    value & opt int 20
+    & info [ "programs" ] ~docv:"N" ~doc:"Number of programs to run.")
+
+let replay_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "replay" ] ~docv:"FILE" ~doc:"Replay a saved trace file.")
+
+let shrink =
+  Arg.(
+    value & flag
+    & info [ "shrink" ] ~doc:"When a replayed trace fails, shrink it.")
+
+let no_shrink =
+  Arg.(
+    value & flag
+    & info [ "no-shrink" ] ~doc:"Do not shrink campaign failures.")
+
+let chaos =
+  Arg.(
+    value & opt int 0
+    & info [ "chaos-forwarding" ] ~docv:"N"
+        ~doc:
+          "Fault injection (testing the fuzzer): corrupt every N-th \
+           evacuation copy so the checker has something to catch.")
+
+let fail_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fail-dir" ] ~docv:"DIR"
+        ~doc:"Write failing traces into DIR (for CI artifacts).")
+
+let cmd =
+  let info_ =
+    Cmd.info "fuzz"
+      ~doc:"Model-differential fuzzer for the simulated Manticore heap"
+  in
+  Cmd.v info_
+    Term.(
+      const main $ seed $ ops $ programs $ replay_file $ shrink $ no_shrink
+      $ chaos $ fail_dir)
+
+let () = exit (Cmd.eval' cmd)

@@ -23,6 +23,11 @@ type t = {
   mutable global_gc_pending : bool;
   mutable global_budget_bytes : int;
   mutable safe_point_hook : t -> mutator -> unit;
+  (* Collection nesting depth: a major runs a minor, a global runs both
+     per vproc.  [on_collection] fires only when the outermost collection
+     finishes, i.e. when the whole heap is back in a consistent state. *)
+  mutable gc_depth : int;
+  mutable on_collection : (t -> Gc_trace.kind -> unit) option;
   stats : Gc_stats.t;
   trace : Gc_trace.t;
   metrics : Metrics.t;
@@ -84,6 +89,8 @@ let create ?(params = Params.default) ?(cap_scale = 1.) ~machine ~n_vprocs
           "Ctx: global collection pending but no safe-point hook installed \
            (install one with Ctx.set_safe_point_hook or \
            Global_gc.install_sync_hook)");
+    gc_depth = 0;
+    on_collection = None;
     stats = Gc_stats.create ();
     trace = Gc_trace.create ();
     metrics = Metrics.create ~n_vprocs;
@@ -94,6 +101,29 @@ let n_vprocs t = Array.length t.muts
 let set_safe_point_hook t f = t.safe_point_hook <- f
 let request_global_gc t = t.global_gc_pending <- true
 let set_global_budget t b = t.global_budget_bytes <- b
+
+(* Deterministic trigger point instrumentation for checkers (the fuzzer
+   re-validates the heap after every top-level collection, including the
+   ones allocation triggers implicitly). *)
+let set_on_collection t f = t.on_collection <- f
+let enter_collection t = t.gc_depth <- t.gc_depth + 1
+
+let exit_collection t kind =
+  t.gc_depth <- t.gc_depth - 1;
+  if t.gc_depth = 0 then
+    match t.on_collection with Some f -> f t kind | None -> ()
+
+(* Enumerate every live root cell the runtime knows about: per-vproc
+   roots and proxy cells, and the context-wide global roots.  [f] gets
+   the owning vproc (None for global roots) and whether the cell is a
+   proxy registration. *)
+let iter_all_roots t f =
+  Array.iter
+    (fun m ->
+      Roots.iter m.roots (fun c -> f ~vproc:(Some m.id) ~proxy:false c);
+      Roots.iter m.proxies (fun c -> f ~vproc:(Some m.id) ~proxy:true c))
+    t.muts;
+  Roots.iter t.global_roots (fun c -> f ~vproc:None ~proxy:false c)
 
 let charge_ns m ns =
   m.now_ns <- m.now_ns +. ns;

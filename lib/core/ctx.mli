@@ -48,6 +48,14 @@ type t = {
           pending; the runtime installs a scheduler barrier here.  The
           default hook runs the global collection synchronously, which is
           correct when no other mutator is running concurrently. *)
+  mutable gc_depth : int;
+      (** nesting depth of in-flight collections (a major runs a minor; a
+          global runs both per vproc); maintained by the collectors via
+          {!enter_collection}/{!exit_collection} *)
+  mutable on_collection : (t -> Gc_trace.kind -> unit) option;
+      (** observer fired each time the {e outermost} collection finishes
+          — a deterministic trigger point at which the whole heap is
+          consistent (used by the model-differential fuzzer) *)
   stats : Gc_stats.t;  (** aggregate of completed phases (global GCs) *)
   trace : Gc_trace.t;  (** collector event trace (disabled by default) *)
   metrics : Metrics.t;
@@ -72,6 +80,27 @@ val n_vprocs : t -> int
 val set_safe_point_hook : t -> (t -> mutator -> unit) -> unit
 val request_global_gc : t -> unit
 val set_global_budget : t -> int -> unit
+
+(** {2 Collection observation (checker hooks)} *)
+
+val set_on_collection : t -> (t -> Gc_trace.kind -> unit) option -> unit
+(** Install (or clear) the post-collection observer.  It fires after
+    every top-level minor, major, promotion, and global collection —
+    including the ones allocation triggers implicitly — never from
+    inside an enclosing collection. *)
+
+val enter_collection : t -> unit
+(** Collector-side bracket; see {!type:t.gc_depth}. *)
+
+val exit_collection : t -> Gc_trace.kind -> unit
+(** Close the bracket opened by {!enter_collection}; fires the observer
+    when the outermost collection of the given kind completes. *)
+
+val iter_all_roots :
+  t -> (vproc:int option -> proxy:bool -> Roots.cell -> unit) -> unit
+(** Enumerate every root cell the runtime holds: per-vproc root and
+    proxy cells ([vproc = Some id]) and the context-wide global roots
+    ([vproc = None]).  Uncharged; intended for checkers. *)
 
 (** {2 Charging} *)
 

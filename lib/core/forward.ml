@@ -59,6 +59,30 @@ let global_dest ctx m ~on_copy =
 
 let trace = Sys.getenv_opt "MANTICORE_TRACE_EVAC" <> None
 
+(* Fault-injection hook for the model-differential fuzzer: when set to
+   [n > 0], every [n]th evacuation copies only the header and leaves the
+   body words stale — a seeded forwarding bug the checker must catch and
+   the shrinker must minimize.  Never enabled outside tests. *)
+let test_corrupt_copy = ref 0
+let corrupt_countdown = ref 0
+
+let set_test_corrupt_copy n =
+  test_corrupt_copy := n;
+  corrupt_countdown := n
+
+let copy_for_evacuation store ~src ~dst =
+  if !test_corrupt_copy > 0 then begin
+    decr corrupt_countdown;
+    if !corrupt_countdown <= 0 then begin
+      corrupt_countdown := !test_corrupt_copy;
+      (* The seeded bug: header moves, fields do not. *)
+      Sim_mem.Memory.set store.Store.mem dst
+        (Sim_mem.Memory.get store.Store.mem src)
+    end
+    else ignore (Obj_repr.copy_object store ~src ~dst)
+  end
+  else ignore (Obj_repr.copy_object store ~src ~dst)
+
 let evacuate ctx m ~dest src =
   let h = Ctx.read_word ctx m src in
   if Header.is_forward h then Header.forward_addr h
@@ -77,7 +101,7 @@ let evacuate ctx m ~dest src =
     let dst = dest.alloc_dst bytes in
     Ctx.bulk_touch ctx m ~addr:src ~bytes;
     Ctx.bulk_touch ctx m ~addr:dst ~bytes;
-    ignore (Obj_repr.copy_object store ~src ~dst);
+    copy_for_evacuation store ~src ~dst;
     Sim_mem.Memory.set store.Store.mem src (Header.forward dst);
     Ctx.charge_work ctx m ~cycles:ctx.Ctx.params.Params.gc_obj_cycles;
     dest.on_copy dst bytes;

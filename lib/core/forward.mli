@@ -44,3 +44,9 @@ val forward_cell : Ctx.t -> Ctx.mutator -> dest:dest -> in_from:(int -> bool) ->
 val scan_fields : Ctx.t -> Ctx.mutator -> dest:dest -> in_from:(int -> bool) -> int -> unit
 (** Forward every candidate pointer field of the object at the given
     address (charged reads/writes). *)
+
+val set_test_corrupt_copy : int -> unit
+(** Fault injection for the model-differential fuzzer: [n > 0] makes
+    every [n]th evacuation copy only the object header, leaving the body
+    words stale — a seeded forwarding bug the differential checker must
+    detect.  [0] (the default) disables the fault.  Test-only. *)

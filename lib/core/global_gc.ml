@@ -16,6 +16,7 @@ let local_owner ctx addr =
   Heap_index.local_owner ctx.Ctx.store.Store.index addr
 
 let run ctx =
+  Ctx.enter_collection ctx;
   let store = ctx.Ctx.store in
   let muts = ctx.Ctx.muts in
   let lead = leader ctx in
@@ -224,7 +225,8 @@ let run ctx =
      threshold would retrigger immediately and thrash. *)
   let in_use = Global_heap.in_use_bytes ctx.Ctx.global in
   if in_use * 3 / 2 > ctx.Ctx.global_budget_bytes then
-    Ctx.set_global_budget ctx (in_use * 2)
+    Ctx.set_global_budget ctx (in_use * 2);
+  Ctx.exit_collection ctx Gc_trace.Global
 
 (* Paranoid validation after every global collection (set
    MANTICORE_PARANOID=1); used to localize heap corruption in tests. *)

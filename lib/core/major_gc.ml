@@ -10,9 +10,17 @@ let walk_objects store ~lo ~hi f =
     let h = Obj_repr.header store !addr in
     if Header.is_forward h then begin
       (* A promoted object: its body follows the forwarding word; size
-         comes from the (live) global copy. *)
-      let target = Header.forward_addr h in
-      addr := !addr + Obj_repr.total_bytes store target
+         comes from the (live) global copy.  During a global collection
+         that copy may itself already be forwarded into to-space —
+         follow the chain to a real header (every copy has the same
+         length). *)
+      let rec live a depth =
+        let h = Obj_repr.header store a in
+        if Header.is_forward h && depth < 8 then
+          live (Header.forward_addr h) (depth + 1)
+        else a
+      in
+      addr := !addr + Obj_repr.total_bytes store (live (Header.forward_addr h) 0)
     end
     else begin
       f !addr;
@@ -21,6 +29,7 @@ let walk_objects store ~lo ~hi f =
   done
 
 let run ctx (m : Ctx.mutator) =
+  Ctx.enter_collection ctx;
   (* "A minor collection always immediately precedes this major
      collection" (paper §3.3): the layout update below re-splits the free
      space, which assumes an empty nursery.  Callers that reach here with
@@ -141,4 +150,5 @@ let run ctx (m : Ctx.mutator) =
     };
   Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id ~kind:Gc_trace.Major
     ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!copied;
-  m.Ctx.in_gc <- was_in_gc
+  m.Ctx.in_gc <- was_in_gc;
+  Ctx.exit_collection ctx Gc_trace.Major

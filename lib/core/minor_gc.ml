@@ -4,6 +4,7 @@ let run ctx (m : Ctx.mutator) =
   let t_start = m.Ctx.now_ns in
   let was_in_gc = m.Ctx.in_gc in
   m.Ctx.in_gc <- true;
+  Ctx.enter_collection ctx;
   let lh = m.Ctx.lh in
   let from_lo = lh.Local_heap.nursery_base
   and from_hi = lh.Local_heap.alloc_ptr in
@@ -55,4 +56,5 @@ let run ctx (m : Ctx.mutator) =
     };
   Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id ~kind:Gc_trace.Minor
     ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!copied;
-  m.Ctx.in_gc <- was_in_gc
+  m.Ctx.in_gc <- was_in_gc;
+  Ctx.exit_collection ctx Gc_trace.Minor

@@ -9,6 +9,7 @@ let value ctx (m : Ctx.mutator) v =
     let t_start = m.Ctx.now_ns in
     let was_in_gc = m.Ctx.in_gc in
     m.Ctx.in_gc <- true;
+    Ctx.enter_collection ctx;
     let lh = m.Ctx.lh in
     let in_from a = Local_heap.in_heap lh a in
     let promoted = ref 0 in
@@ -37,5 +38,6 @@ let value ctx (m : Ctx.mutator) v =
     Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id
       ~kind:Gc_trace.Promotion ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!promoted;
     m.Ctx.in_gc <- was_in_gc;
+    Ctx.exit_collection ctx Gc_trace.Promotion;
     Value.of_ptr dst
   end

@@ -1,0 +1,57 @@
+(* Campaign orchestration: generate → run → (on failure) shrink.
+   Shared by [bin/fuzz.exe] and the tier-1 test suite. *)
+
+type failure = {
+  seed : int;  (** seed of the failing program *)
+  program : Op.t list;  (** the full generated program *)
+  op_index : int;
+  message : string;
+  minimized : Op.t list option;  (** present when shrinking was requested *)
+  shrink_stats : Shrink.stats option;
+}
+
+let run_one ?cfg ~seed ~n_ops () =
+  let n_vprocs =
+    (Option.value cfg ~default:Engine.default_cfg).Engine.n_vprocs
+  in
+  let program = Gen.program ~seed ~n_ops ~n_vprocs () in
+  (Engine.run_trace ?cfg program, program)
+
+let shrink_failure ?cfg ?max_runs program =
+  Shrink.minimize ?max_runs
+    ~run:(fun ops -> Engine.failed (Engine.run_trace ?cfg ops))
+    program
+
+let campaign ?cfg ?(shrink = true) ?shrink_max_runs ?(log = fun _ -> ())
+    ~seed ~programs ~n_ops () =
+  let rec go p =
+    if p >= programs then Ok programs
+    else begin
+      let pseed = seed + p in
+      match run_one ?cfg ~seed:pseed ~n_ops () with
+      | Engine.Passed _, _ ->
+          if (p + 1) mod 10 = 0 then
+            log (Printf.sprintf "%d/%d programs ok" (p + 1) programs);
+          go (p + 1)
+      | Engine.Failed { op_index; message }, program ->
+          log
+            (Printf.sprintf "program %d (seed %d) failed at op %d" p pseed
+               op_index);
+          let minimized, shrink_stats =
+            if shrink then begin
+              let ops, st =
+                shrink_failure ?cfg ?max_runs:shrink_max_runs program
+              in
+              log
+                (Printf.sprintf "shrunk %d ops -> %d (%d runs)"
+                   (List.length program) st.Shrink.kept st.Shrink.runs);
+              (Some ops, Some st)
+            end
+            else (None, None)
+          in
+          Error
+            { seed = pseed; program; op_index; message; minimized;
+              shrink_stats }
+    end
+  in
+  go 0

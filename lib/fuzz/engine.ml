@@ -1,0 +1,352 @@
+(* The trace interpreter.
+
+   Runs a fuzz program against a fresh, test-sized heap context while
+   applying the same ops to the {!Shadow} model, and checks the two
+   against each other after every top-level collection (via
+   {!Ctx.set_on_collection}) plus once at end of program.
+
+   Register files: each vproc gets [Op.regs_per_vproc] general registers
+   (rooted [Roots] cells, so every collector retargets them) and
+   [Op.proxy_slots_per_vproc] proxy slots.  An engine invariant keeps
+   vproc [v]'s registers pointing only at [v]-local or global data:
+   cross-vproc aliasing goes through [Share]/[Sched_phase], which
+   promote first — exactly the discipline the paper's runtime imposes. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+
+type outcome =
+  | Passed of { checks : int; collections : int }
+  | Failed of { op_index : int; message : string }
+      (** [op_index = length ops] means the end-of-program check *)
+
+type cfg = {
+  params : Params.t;
+  machine : Numa.Topology.t;
+  n_vprocs : int;
+  check_after_gc : bool;  (** differential check at every collection *)
+  corrupt_copy : int;
+      (** [> 0]: tell {!Forward} to corrupt every nth evacuation — the
+          chaos hook the shrinker tests aim at *)
+}
+
+(* Small heaps so a couple hundred ops exercise every collector many
+   times over (mirrors the tier-1 tests' geometry). *)
+let default_cfg =
+  {
+    params =
+      {
+        Params.default with
+        Params.capacity_bytes = 8 * 1024 * 1024;
+        local_heap_bytes = 8 * 1024;
+        chunk_bytes = 4 * 1024;
+        nursery_min_bytes = 1024;
+        global_budget_per_vproc = 16 * 1024;
+      };
+    machine = Numa.Machines.tiny4;
+    n_vprocs = 3;
+    check_after_gc = true;
+    corrupt_copy = 0;
+  }
+
+exception Divergence of string
+
+type state = {
+  cfg : cfg;
+  ctx : Ctx.t;
+  sh : Shadow.t;
+  regs : Roots.cell array array; (* [vproc].(reg) *)
+  sregs : Shadow.value array array;
+  proxies : Roots.cell option array array; (* [vproc].(slot) *)
+  sproxies : Shadow.value option array array;
+  mutable checks : int;
+  mutable collections : int;
+}
+
+let mk_state cfg =
+  let ctx =
+    Ctx.create ~params:cfg.params ~machine:cfg.machine ~n_vprocs:cfg.n_vprocs
+      ~policy:Sim_mem.Page_policy.Local ()
+  in
+  Global_gc.install_sync_hook ctx;
+  {
+    cfg;
+    ctx;
+    sh = Shadow.create ();
+    regs =
+      Array.init cfg.n_vprocs (fun v ->
+          Array.init Op.regs_per_vproc (fun _ ->
+              Roots.add (Ctx.mutator ctx v).Ctx.roots Value.unit));
+    sregs =
+      Array.init cfg.n_vprocs (fun _ ->
+          Array.make Op.regs_per_vproc (Shadow.Imm 0));
+    proxies =
+      Array.init cfg.n_vprocs (fun _ ->
+          Array.make Op.proxy_slots_per_vproc None);
+    sproxies =
+      Array.init cfg.n_vprocs (fun _ ->
+          Array.make Op.proxy_slots_per_vproc None);
+    checks = 0;
+    collections = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let gather_roots s =
+  let acc = ref [] in
+  for v = s.cfg.n_vprocs - 1 downto 0 do
+    for p = Op.proxy_slots_per_vproc - 1 downto 0 do
+      match (s.proxies.(v).(p), s.sproxies.(v).(p)) with
+      | Some cell, Some shadow ->
+          let label = Printf.sprintf "v%d.p%d" v p in
+          let pv = Roots.get cell in
+          let runtime =
+            if not (Value.is_ptr pv) then
+              raise
+                (Divergence (Printf.sprintf "%s: proxy cell holds %d" label
+                               (Value.to_int pv)))
+            else begin
+              match Checker.resolve_addr s.ctx (Value.to_ptr pv) with
+              | Error m ->
+                  raise
+                    (Divergence
+                       (Printf.sprintf "%s: proxy does not resolve (%s)" label m))
+              | Ok addr ->
+                  if not (Proxy.is_proxy s.ctx.Ctx.store addr) then
+                    raise
+                      (Divergence
+                         (Printf.sprintf "%s: %#x is not a proxy" label addr));
+                  Proxy.referent s.ctx.Ctx.store addr
+            end
+          in
+          acc := { Checker.label; runtime; shadow } :: !acc
+      | None, None -> ()
+      | Some _, None | None, Some _ ->
+          raise
+            (Divergence
+               (Printf.sprintf "v%d.p%d: proxy slot occupancy differs" v p))
+    done;
+    for r = Op.regs_per_vproc - 1 downto 0 do
+      acc :=
+        {
+          Checker.label = Printf.sprintf "v%d.r%d" v r;
+          runtime = Roots.get s.regs.(v).(r);
+          shadow = s.sregs.(v).(r);
+        }
+        :: !acc
+    done
+  done;
+  !acc
+
+let check s =
+  s.checks <- s.checks + 1;
+  match Checker.check s.ctx ~roots:(gather_roots s) with
+  | Ok () -> ()
+  | Error errs ->
+      raise
+        (Divergence
+           (Printf.sprintf "%d error(s): %s" (List.length errs)
+              (String.concat " | " errs)))
+
+(* ------------------------------------------------------------------ *)
+(* Op application                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let vp s v = abs v mod s.cfg.n_vprocs
+let rg r = abs r mod Op.regs_per_vproc
+let sl p = abs p mod Op.proxy_slots_per_vproc
+let mut s v = Ctx.mutator s.ctx v
+
+let set_reg s v r value shadow =
+  Roots.set s.regs.(v).(r) value;
+  s.sregs.(v).(r) <- shadow
+
+(* Raw payload sizes large enough for the direct-global/large paths are
+   still clamped so one op cannot exhaust the test-sized heap. *)
+let clamp_words w = max 1 (min (abs w) 1024)
+let clamp_len l = max 1 (min (abs l) 1024)
+
+let sched_phase s ~seed ~fibers ~src ~dst =
+  let fibers = 1 + (abs fibers mod 6) in
+  let ssrc = s.sregs.(0).(src) in
+  let sched = Sched.create ~seed s.ctx in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        (* Sched.create replaced the safe-point hook with one that
+           performs an effect; outside fiber code that would be fatal. *)
+        Global_gc.install_sync_hook s.ctx)
+      (fun () ->
+        Sched.run sched ~main:(fun m ->
+            let env0 = Roots.get s.regs.(0).(src) in
+            let futs =
+              List.init fibers (fun i ->
+                  Sched.spawn sched m
+                    ~env:[| Value.of_int i; env0 |]
+                    (fun fm env ->
+                      Alloc.alloc_vector s.ctx fm [| env.(0); env.(1) |]))
+            in
+            (* Root each result as it arrives: a later await can run
+               fibers (and collect) and would move unrooted values. *)
+            let cells =
+              List.map
+                (fun f -> Roots.add m.Ctx.roots (Sched.await sched m f))
+                futs
+            in
+            let vals =
+              Array.of_list
+                (List.map
+                   (fun c -> Ctx.resolve s.ctx m (Roots.get c))
+                   cells)
+            in
+            let out = Alloc.alloc_vector s.ctx m vals in
+            List.iter (fun c -> Roots.remove m.Ctx.roots c) cells;
+            out))
+  in
+  set_reg s 0 dst result
+    (Shadow.vec s.sh
+       (List.init fibers (fun i -> Shadow.vec s.sh [ Shadow.Imm i; ssrc ])))
+
+let apply s (op : Op.t) =
+  match op with
+  | Alloc_vec { vproc; dst; srcs } ->
+      if srcs <> [] then begin
+        let v = vp s vproc and dst = rg dst in
+        let srcs = List.map (fun r -> rg r) srcs in
+        let fields = Array.of_list (List.map (fun r -> Roots.get s.regs.(v).(r)) srcs) in
+        let value = Alloc.alloc_vector s.ctx (mut s v) fields in
+        set_reg s v dst value
+          (Shadow.vec s.sh (List.map (fun r -> s.sregs.(v).(r)) srcs))
+      end
+  | Alloc_fill_vec { vproc; dst; len; src } ->
+      let v = vp s vproc and dst = rg dst and src = rg src in
+      let len = clamp_len len in
+      let value =
+        Alloc.alloc_vector s.ctx (mut s v)
+          (Array.make len (Roots.get s.regs.(v).(src)))
+      in
+      set_reg s v dst value (Shadow.fill_vec s.sh ~len s.sregs.(v).(src))
+  | Alloc_raw { vproc; dst; words; fill } ->
+      let v = vp s vproc and dst = rg dst in
+      let words = clamp_words words in
+      let m = mut s v in
+      let value = Alloc.alloc_raw s.ctx m ~words in
+      let ws =
+        Array.init words (fun i ->
+            let w = Shadow.raw_word ~fill i in
+            Alloc.init_raw_word s.ctx m value i w;
+            w)
+      in
+      set_reg s v dst value (Shadow.raw s.sh ws)
+  | Alloc_ref { vproc; dst; src } ->
+      let v = vp s vproc and dst = rg dst and src = rg src in
+      let value = Mut.alloc_ref s.ctx (mut s v) (Roots.get s.regs.(v).(src)) in
+      set_reg s v dst value (Shadow.ref_cell s.sh s.sregs.(v).(src))
+  | Set_field { vproc; obj; idx; src } -> (
+      let v = vp s vproc and obj = rg obj and src = rg src in
+      match s.sregs.(v).(obj) with
+      | Shadow.Obj node when Array.length node.Shadow.fields > 0 ->
+          let idx = abs idx mod Array.length node.Shadow.fields in
+          Mut.set_pointer_field s.ctx (mut s v)
+            (Roots.get s.regs.(v).(obj))
+            idx
+            (Roots.get s.regs.(v).(src));
+          Shadow.set_field node idx s.sregs.(v).(src)
+      | _ -> () (* immediate or raw: nothing to mutate *))
+  | Copy { vproc; dst; src } ->
+      let v = vp s vproc and dst = rg dst and src = rg src in
+      set_reg s v dst (Roots.get s.regs.(v).(src)) s.sregs.(v).(src)
+  | Drop { vproc; reg; imm } ->
+      let v = vp s vproc and reg = rg reg in
+      set_reg s v reg (Value.of_int (abs imm)) (Shadow.Imm (abs imm))
+  | Promote { vproc; reg } ->
+      let v = vp s vproc and reg = rg reg in
+      let g = Promote.value s.ctx (mut s v) (Roots.get s.regs.(v).(reg)) in
+      Roots.set s.regs.(v).(reg) g (* shadow unchanged: same object *)
+  | Share { src_vproc; src; dst_vproc; dst } ->
+      let sv = vp s src_vproc and dv = vp s dst_vproc in
+      let src = rg src and dst = rg dst in
+      let g = Promote.value s.ctx (mut s sv) (Roots.get s.regs.(sv).(src)) in
+      Roots.set s.regs.(sv).(src) g;
+      set_reg s dv dst g s.sregs.(sv).(src)
+  | Mk_proxy { vproc; slot; src } -> (
+      let v = vp s vproc and slot = sl slot and src = rg src in
+      match s.sregs.(v).(src) with
+      | Shadow.Obj _ as shadow ->
+          let m = mut s v in
+          let dest = Forward.global_dest s.ctx m ~on_copy:(fun _ _ -> ()) in
+          let addr = dest.Forward.alloc_dst ((Proxy.size_words + 1) * 8) in
+          Proxy.init s.ctx.Ctx.store ~addr ~owner:m.Ctx.id
+            ~referent:(Roots.get s.regs.(v).(src));
+          (match s.proxies.(v).(slot) with
+          | Some old -> Roots.remove m.Ctx.proxies old
+          | None -> ());
+          s.proxies.(v).(slot) <-
+            Some (Roots.add m.Ctx.proxies (Value.of_ptr addr));
+          s.sproxies.(v).(slot) <- Some shadow
+      | _ -> () (* proxies stand for heap objects only *))
+  | Drop_proxy { vproc; slot } -> (
+      let v = vp s vproc and slot = sl slot in
+      match s.proxies.(v).(slot) with
+      | Some cell ->
+          Roots.remove (mut s v).Ctx.proxies cell;
+          s.proxies.(v).(slot) <- None;
+          s.sproxies.(v).(slot) <- None
+      | None -> ())
+  | Minor { vproc } -> Minor_gc.run s.ctx (mut s (vp s vproc))
+  | Major { vproc } -> Major_gc.run s.ctx (mut s (vp s vproc))
+  | Global -> Global_gc.run s.ctx
+  | Request_global -> Ctx.request_global_gc s.ctx
+  | Sched_phase { seed; fibers; src; dst } ->
+      sched_phase s ~seed ~fibers ~src:(rg src) ~dst:(rg dst)
+  | Check -> check s
+
+(* ------------------------------------------------------------------ *)
+(* Running a trace                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_trace ?(cfg = default_cfg) (ops : Op.t list) : outcome =
+  Forward.set_test_corrupt_copy cfg.corrupt_copy;
+  Fun.protect ~finally:(fun () -> Forward.set_test_corrupt_copy 0)
+  @@ fun () ->
+  let s = mk_state cfg in
+  if cfg.check_after_gc then
+    Ctx.set_on_collection s.ctx
+      (Some
+         (fun _ _ ->
+           s.collections <- s.collections + 1;
+           check s));
+  let n = List.length ops in
+  let rec go i = function
+    | [] -> (
+        (* end-of-program check, attributed past the last op *)
+        match check s with
+        | () -> Passed { checks = s.checks; collections = s.collections }
+        | exception Divergence msg -> Failed { op_index = n; message = msg })
+    | op :: rest -> (
+        match apply s op with
+        | () -> go (i + 1) rest
+        | exception Divergence msg -> Failed { op_index = i; message = msg }
+        | exception e ->
+            let bt = Printexc.get_backtrace () in
+            Failed
+              {
+                op_index = i;
+                message =
+                  "exception: " ^ Printexc.to_string e
+                  ^ (if bt = "" then "" else "\n" ^ bt);
+              })
+  in
+  go 0 ops
+
+let failed = function Failed _ -> true | Passed _ -> false
+
+let pp_outcome ppf = function
+  | Passed { checks; collections } ->
+      Format.fprintf ppf "passed (%d checks over %d collections)" checks
+        collections
+  | Failed { op_index; message } ->
+      Format.fprintf ppf "FAILED at op %d: %s" op_index message

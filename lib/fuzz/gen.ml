@@ -1,0 +1,83 @@
+(* Seed-driven program generation.
+
+   The whole op list is drawn from a [Random.State] *before* anything
+   executes, so the trace depends on nothing but the seed: the same seed
+   always produces the same program regardless of how the runtime
+   behaves while running it.  That is what makes a failing seed a
+   complete reproducer. *)
+
+type sizes = {
+  small_max : int;  (** nursery-path payloads *)
+  global_min : int;  (** past [Alloc.max_local_bytes]: direct global *)
+  global_max : int;
+  large_min : int;  (** past the chunk payload: large-object path *)
+  large_max : int;
+}
+
+(* Tuned for the test-sized params the engine uses (8 KiB local heaps,
+   4 KiB chunks): [global] lands between the local-alloc threshold and
+   the chunk capacity, [large] overflows a chunk. *)
+let default_sizes =
+  { small_max = 16; global_min = 140; global_max = 260;
+    large_min = 520; large_max = 620 }
+
+let reg st = Random.State.int st Op.regs_per_vproc
+let slot st = Random.State.int st Op.proxy_slots_per_vproc
+
+let op ?(sizes = default_sizes) st ~n_vprocs : Op.t =
+  let vp () = Random.State.int st n_vprocs in
+  let in_range lo hi = lo + Random.State.int st (hi - lo + 1) in
+  let r = Random.State.int st 100 in
+  if r < 22 then
+    let n = 1 + Random.State.int st 4 in
+    Alloc_vec
+      { vproc = vp (); dst = reg st; srcs = List.init n (fun _ -> reg st) }
+  else if r < 30 then
+    Alloc_raw
+      { vproc = vp (); dst = reg st; words = in_range 1 sizes.small_max;
+        fill = Random.State.bits st }
+  else if r < 34 then
+    Alloc_raw
+      { vproc = vp (); dst = reg st;
+        words = in_range sizes.global_min sizes.global_max;
+        fill = Random.State.bits st }
+  else if r < 37 then
+    Alloc_raw
+      { vproc = vp (); dst = reg st;
+        words = in_range sizes.large_min sizes.large_max;
+        fill = Random.State.bits st }
+  else if r < 41 then
+    let len =
+      match Random.State.int st 4 with
+      | 0 -> in_range sizes.global_min sizes.global_max
+      | 1 -> in_range sizes.large_min sizes.large_max
+      | _ -> in_range 2 sizes.small_max
+    in
+    Alloc_fill_vec { vproc = vp (); dst = reg st; len; src = reg st }
+  else if r < 47 then Alloc_ref { vproc = vp (); dst = reg st; src = reg st }
+  else if r < 59 then
+    Set_field
+      { vproc = vp (); obj = reg st; idx = Random.State.int st 64;
+        src = reg st }
+  else if r < 65 then Copy { vproc = vp (); dst = reg st; src = reg st }
+  else if r < 71 then
+    Drop { vproc = vp (); reg = reg st; imm = Random.State.int st 1000 }
+  else if r < 76 then Promote { vproc = vp (); reg = reg st }
+  else if r < 81 then
+    Share
+      { src_vproc = vp (); src = reg st; dst_vproc = vp (); dst = reg st }
+  else if r < 85 then Mk_proxy { vproc = vp (); slot = slot st; src = reg st }
+  else if r < 87 then Drop_proxy { vproc = vp (); slot = slot st }
+  else if r < 92 then Minor { vproc = vp () }
+  else if r < 95 then Major { vproc = vp () }
+  else if r < 96 then Global
+  else if r < 97 then Request_global
+  else if r < 99 then
+    Sched_phase
+      { seed = Random.State.bits st; fibers = 1 + Random.State.int st 5;
+        src = reg st; dst = reg st }
+  else Check
+
+let program ?sizes ~seed ~n_ops ~n_vprocs () =
+  let st = Random.State.make [| seed; 0x6d616e74 (* "mant" *) |] in
+  List.init n_ops (fun _ -> op ?sizes st ~n_vprocs)

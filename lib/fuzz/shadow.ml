@@ -1,0 +1,67 @@
+(* The pure-OCaml shadow model: a mirror of the reachable object graph
+   built from plain OCaml values, completely independent of the
+   simulated heap.  The engine applies every fuzz op to both the runtime
+   and this model; the checker then demands that the runtime's reachable
+   graph is structurally identical (including aliasing and cycles) to
+   the shadow graph — any collector bug that moves, drops, corrupts or
+   conflates an object shows up as a divergence. *)
+
+type value = Imm of int | Obj of node
+
+and node = {
+  id : int; (* program-unique; anchors the address<->node bijection *)
+  kind : kind;
+  fields : value array; (* empty for Raw *)
+}
+
+and kind =
+  | Vec (* runtime Vector: every field is a scanned slot *)
+  | Ref (* runtime "mutref" mixed object, one pointer slot *)
+  | Raw of int64 array (* opaque payload, never scanned *)
+
+type t = { mutable next_id : int }
+
+let create () = { next_id = 0 }
+
+let fresh t kind fields =
+  let n = { id = t.next_id; kind; fields } in
+  t.next_id <- t.next_id + 1;
+  n
+
+let vec t vs = Obj (fresh t Vec (Array.of_list vs))
+let fill_vec t ~len v = Obj (fresh t Vec (Array.make len v))
+let ref_cell t v = Obj (fresh t Ref [| v |])
+let raw t ws = Obj (fresh t (Raw ws) [||])
+
+(* Deterministic raw payload: the same mix the engine writes into the
+   simulated object. *)
+let raw_word ~fill i =
+  let x = Int64.of_int ((fill * 0x9e3779b9) lxor (i * 0x85ebca6b)) in
+  Int64.logor (Int64.shift_left x 1) 1L |> fun w ->
+  (* Keep payloads odd-tagged so a checker reading them as Value.t would
+     see immediates, but compare them as raw bits anyway. *)
+  w
+
+let set_field node idx v =
+  let n = Array.length node.fields in
+  if n > 0 then node.fields.(idx mod n) <- v
+
+let field_count = function Imm _ -> 0 | Obj n -> Array.length n.fields
+
+let is_obj = function Obj _ -> true | Imm _ -> false
+
+let rec pp ?(depth = 4) ppf = function
+  | Imm n -> Format.fprintf ppf "%d" n
+  | Obj n when depth = 0 -> Format.fprintf ppf "#%d..." n.id
+  | Obj n -> (
+      match n.kind with
+      | Raw ws -> Format.fprintf ppf "#%d:raw[%d]" n.id (Array.length ws)
+      | Ref ->
+          Format.fprintf ppf "#%d:ref(%a)" n.id (pp ~depth:(depth - 1))
+            n.fields.(0)
+      | Vec ->
+          Format.fprintf ppf "#%d:[%a]" n.id
+            (Format.pp_print_seq
+               ~pp_sep:(fun f () -> Format.fprintf f ";")
+               (pp ~depth:(depth - 1)))
+            (Array.to_seq n.fields))

@@ -1,0 +1,85 @@
+(* Delta-debugging trace minimization (ddmin).
+
+   [run ops] must return [true] when the trace still reproduces a
+   failure.  Every op validates its operands against the shadow model
+   and degrades to a no-op on mismatch, so arbitrary subsequences are
+   well-formed programs — the shrinker only ever deletes ops, never
+   rewrites them, and the result replays bit-for-bit. *)
+
+type stats = { runs : int; kept : int; dropped : int }
+
+let split_chunks n xs =
+  let len = List.length xs in
+  let base = len / n and extra = len mod n in
+  let rec go i xs acc =
+    if i >= n then List.rev acc
+    else begin
+      let want = base + if i < extra then 1 else 0 in
+      let chunk, rest =
+        let rec take k xs acc =
+          if k = 0 then (List.rev acc, xs)
+          else
+            match xs with
+            | [] -> (List.rev acc, [])
+            | x :: tl -> take (k - 1) tl (x :: acc)
+        in
+        take want xs []
+      in
+      go (i + 1) rest (chunk :: acc)
+    end
+  in
+  go 0 xs []
+
+let minimize ?(max_runs = 500) ~run ops =
+  let budget = ref max_runs in
+  let runs = ref 0 in
+  let try_run ops' =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      incr runs;
+      run ops'
+    end
+  in
+  (* ddmin: delete chunk complements at ever finer granularity. *)
+  let rec ddmin ops n =
+    let len = List.length ops in
+    if len <= 1 || !budget <= 0 then ops
+    else begin
+      let n = min n len in
+      let chunks = split_chunks n ops in
+      let complements =
+        List.mapi
+          (fun i _ ->
+            List.concat
+              (List.filteri (fun j _ -> j <> i) chunks))
+          chunks
+      in
+      match List.find_opt try_run complements with
+      | Some smaller -> ddmin smaller (max (n - 1) 2)
+      | None -> if n < len then ddmin ops (min len (2 * n)) else ops
+    end
+  in
+  (* Final polish: repeated single-op elimination until a fixpoint. *)
+  let rec one_by_one ops =
+    let len = List.length ops in
+    let rec at i ops =
+      if i >= List.length ops || !budget <= 0 then ops
+      else begin
+        let without = List.filteri (fun j _ -> j <> i) ops in
+        if try_run without then at i without else at (i + 1) ops
+      end
+    in
+    let ops' = at 0 ops in
+    if List.length ops' < len && !budget > 0 then one_by_one ops' else ops'
+  in
+  let minimized =
+    if not (try_run ops) then ops (* does not reproduce: nothing to do *)
+    else one_by_one (ddmin ops 2)
+  in
+  ( minimized,
+    {
+      runs = !runs;
+      kept = List.length minimized;
+      dropped = List.length ops - List.length minimized;
+    } )

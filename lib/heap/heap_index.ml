@@ -62,3 +62,13 @@ let is_global t addr =
   match region t addr with
   | Global_chunk _ | Large _ -> true
   | Free | Local _ -> false
+
+(* Full-table enumeration for external consistency checkers (the fuzzer
+   cross-validates every page's tag against the heap structures that own
+   the pages).  [f] receives the page's base address and its tag. *)
+let iter_pages t f =
+  let pb = Memory.page_bytes t.mem in
+  Array.iteri (fun p tag -> f ~page_addr:(p * pb) tag) t.tags
+
+let n_pages t = Array.length t.tags
+let page_bytes t = Memory.page_bytes t.mem

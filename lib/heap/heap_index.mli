@@ -66,3 +66,13 @@ val find_large : t -> int -> large option
 
 val is_global : t -> int -> bool
 (** Chunk or large-object page. *)
+
+(** {2 Whole-table enumeration (checkers)} *)
+
+val iter_pages : t -> (page_addr:int -> region -> unit) -> unit
+(** Call [f] once per page with the page's base address and tag, in
+    address order.  Used by external consistency checkers to
+    cross-validate the index against the structures that own the pages. *)
+
+val n_pages : t -> int
+val page_bytes : t -> int

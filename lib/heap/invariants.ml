@@ -103,7 +103,15 @@ let check_proxy_referent ctx addr =
           err ctx "proxy %#x: unreadable owner (%s)" addr m
       | _ -> ())
   | v -> begin
-    let target = Value.to_ptr v in
+    (* The referent may lag behind a promotion (a forwarding word in the
+       owner's local heap) until the owner's next local collection
+       repairs it — resolve the chain before validating, as for ordinary
+       pointer fields. *)
+    let target =
+      match resolve_forward ctx (Value.to_ptr v) 0 with
+      | Some a -> a
+      | None -> Value.to_ptr v
+    in
     match Proxy.owner ctx.store addr with
     | exception Invalid_argument m ->
         err ctx "proxy %#x: unreadable owner (%s)" addr m

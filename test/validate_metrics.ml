@@ -21,7 +21,15 @@ let () =
         prerr_endline "usage: validate_metrics.exe FILE [--require-all-kinds]";
         exit 2
   in
-  let body = String.trim (read_file path) in
+  let body =
+    match String.trim (read_file path) with
+    | body -> body
+    | exception Sys_error m ->
+        (* e.g. a missing or unreadable file: report it like any other
+           invalid input instead of dying with a backtrace *)
+        Printf.eprintf "%s: cannot read metrics file: %s\n" path m;
+        exit 1
+  in
   match Metrics.snapshot_of_json body with
   | Error m ->
       Printf.eprintf "%s: INVALID metrics JSON: %s\n" path m;
