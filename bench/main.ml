@@ -373,6 +373,51 @@ let metrics_main path =
   Format.printf "%a@." Metrics.pp_summary snap;
   Printf.printf "wrote %s\n" path
 
+(* --- --obs-overhead: flight-recorder cost ------------------------- *)
+
+(* Host wall-clock with the recorder on vs off over the same workloads.
+   Best-of-5 per configuration filters scheduler noise; the acceptance
+   budget for keeping the recorder always-on is < 5% (EXPERIMENTS.md
+   records the measured number). *)
+let obs_overhead_main () =
+  print_endline "Flight-recorder overhead (host wall-clock, best of 5):";
+  let workloads =
+    [ ("quicksort", 0.2); ("barnes-hut", 0.1); ("raytracer", 0.5) ]
+  in
+  let time_run ~obs_enabled (name, scale) =
+    let spec = Option.get (Workloads.Registry.find name) in
+    let cfg =
+      {
+        (Harness.Run_config.default ~machine:Numa.Machines.amd48 ~n_vprocs:8) with
+        Harness.Run_config.scale;
+        obs_enabled;
+      }
+    in
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Sys.time () in
+      ignore (Harness.Run_config.execute spec cfg);
+      best := Float.min !best (Sys.time () -. t0)
+    done;
+    !best
+  in
+  let total_on = ref 0. and total_off = ref 0. in
+  Printf.printf "  %-14s %12s %12s %9s\n" "" "recorder off" "recorder on"
+    "overhead";
+  List.iter
+    (fun w ->
+      let off = time_run ~obs_enabled:false w in
+      let on = time_run ~obs_enabled:true w in
+      total_off := !total_off +. off;
+      total_on := !total_on +. on;
+      Printf.printf "  %-14s %10.1f ms %10.1f ms %8.2f%%\n" (fst w)
+        (off *. 1e3) (on *. 1e3)
+        ((on -. off) /. off *. 100.))
+    workloads;
+  Printf.printf "  %-14s %10.1f ms %10.1f ms %8.2f%%\n" "total"
+    (!total_off *. 1e3) (!total_on *. 1e3)
+    ((!total_on -. !total_off) /. !total_off *. 100.)
+
 let bechamel_main () =
   print_endline "Host-side cost of the simulator (bechamel, monotonic clock):";
   let results = benchmark () in
@@ -401,6 +446,8 @@ let () =
   | [| _ |] -> bechamel_main ()
   | [| _; "--metrics-json"; path |] -> metrics_main path
   | [| _; "--classify" |] -> classify_main ()
+  | [| _; "--obs-overhead" |] -> obs_overhead_main ()
   | _ ->
-      prerr_endline "usage: main.exe [--metrics-json FILE | --classify]";
+      prerr_endline
+        "usage: main.exe [--metrics-json FILE | --classify | --obs-overhead]";
       exit 2

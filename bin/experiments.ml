@@ -34,6 +34,15 @@ let metrics_json_arg =
            Figures export their own sweep's telemetry; other experiments \
            export the canonical instrumented runs.")
 
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Also write the merged flight-recorder event dump of the \
+           experiment's instrumented runs; analyze it with gcprof.")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-run progress.")
 
@@ -103,8 +112,31 @@ let write_metrics_json ~path ~name ~fast =
   close_out oc;
   Printf.eprintf "wrote %s\n" path
 
+let write_events ~path ~fast =
+  match Harness.Figures.metrics_runs ~fast () with
+  | [] ->
+      prerr_endline "no instrumented runs to export";
+      exit 1
+  | ((_, (o0 : Harness.Run_config.outcome)) :: _) as runs ->
+      let r0 = o0.Harness.Run_config.obs in
+      let merged =
+        Obs.Recorder.create
+          ~n_vprocs:(Obs.Recorder.n_vprocs r0)
+          ~n_nodes:(Obs.Recorder.n_nodes r0)
+          ~node_of_vproc:(Obs.Recorder.node_of_vproc r0)
+          ()
+      in
+      List.iter
+        (fun (_, (o : Harness.Run_config.outcome)) ->
+          Obs.Recorder.merge ~into:merged o.Harness.Run_config.obs)
+        runs;
+      let oc = open_out path in
+      output_string oc (Obs.Recorder.to_string merged);
+      close_out oc;
+      Printf.eprintf "wrote %s\n" path
+
 let cmd_of_experiment (name, doc, f) =
-  let run fast verbose csv svg metrics_json =
+  let run fast verbose csv svg metrics_json events =
     print_string (f ~fast ~progress:(progress verbose));
     print_newline ();
     (match (csv, fig_of_name name) with
@@ -112,7 +144,9 @@ let cmd_of_experiment (name, doc, f) =
         Harness.Csv.write ~path
           (Harness.Csv.of_sweep (Harness.Figures.fig_results fig ~fast ()));
         Printf.eprintf "wrote %s\n" path
-    | Some _, None -> prerr_endline "--csv is only available for fig4..fig7"
+    | Some _, None ->
+        prerr_endline "--csv is only available for fig4..fig7";
+        exit 1
     | None, _ -> ());
     (match (svg, fig_of_name name) with
     | Some path, Some fig ->
@@ -121,15 +155,21 @@ let cmd_of_experiment (name, doc, f) =
           (Harness.Svg_plot.render ~title:(fig_title fig) ~xlabel:"Threads"
              ~ylabel:"Speedup" ~ideal:true series);
         Printf.eprintf "wrote %s\n" path
-    | Some _, None -> prerr_endline "--svg is only available for fig4..fig7"
+    | Some _, None ->
+        prerr_endline "--svg is only available for fig4..fig7";
+        exit 1
     | None, _ -> ());
-    match metrics_json with
+    (match metrics_json with
     | Some path -> write_metrics_json ~path ~name ~fast
+    | None -> ());
+    match events with
+    | Some path -> write_events ~path ~fast
     | None -> ()
   in
   Cmd.v (Cmd.info name ~doc)
     Term.(
-      const run $ fast_arg $ verbose_arg $ csv_arg $ svg_arg $ metrics_json_arg)
+      const run $ fast_arg $ verbose_arg $ csv_arg $ svg_arg $ metrics_json_arg
+      $ events_arg)
 
 let all_cmd =
   let run fast verbose =

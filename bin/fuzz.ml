@@ -52,6 +52,10 @@ let report_failure ~fail_dir (f : Fuzz.Driver.failure) =
         Filename.concat dir (Printf.sprintf "seed-%d.trace" f.Fuzz.Driver.seed)
       in
       write_file path repro;
+      let events_path =
+        Filename.concat dir (Printf.sprintf "seed-%d.events" f.Fuzz.Driver.seed)
+      in
+      write_file events_path f.Fuzz.Driver.events;
       (match f.Fuzz.Driver.minimized with
       | Some _ ->
           write_file
@@ -60,7 +64,8 @@ let report_failure ~fail_dir (f : Fuzz.Driver.failure) =
             (Fuzz.Op.trace_to_string ~seed:f.Fuzz.Driver.seed
                f.Fuzz.Driver.program)
       | None -> ());
-      Printf.printf "wrote %s\n" path
+      Printf.printf "wrote %s\n" path;
+      Printf.printf "wrote %s\n" events_path
 
 let replay ~cfg ~shrink path =
   match Fuzz.Op.trace_of_string (read_file path) with

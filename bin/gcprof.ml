@@ -1,0 +1,241 @@
+(* Offline analyzer for flight-recorder dumps (obs-dump v1, written by
+   `msim --events`, `experiments <exp> --events` or a fuzzer fail-dir).
+
+   Prints pause-attribution tables (collections by kind x cause), the
+   per-vproc collection timeline and summary, scheduler/chunk/allocation
+   counters and the NUMA traffic heatmap; [--chrome FILE] additionally
+   exports the reconstructed collections as Chrome trace-event JSON.
+
+   Exit codes: 0 ok; 2 unreadable or unparsable dump. *)
+
+open Cmdliner
+module Event = Obs.Event
+module Cause = Obs.Gc_cause
+module Trace = Manticore_gc.Gc_trace
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  if s = "" || s.[String.length s - 1] <> '\n' then output_char oc '\n';
+  close_out oc;
+  Printf.eprintf "wrote %s\n" path
+
+let kinds = [| Event.Minor; Event.Major; Event.Promotion; Event.Global |]
+
+let kind_index = function
+  | Event.Minor -> 0
+  | Event.Major -> 1
+  | Event.Promotion -> 2
+  | Event.Global -> 3
+
+(* Every collection's cause rides in its [Coll_end] event, so attribution
+   survives ring overwrite of the matching [Coll_begin]. *)
+let attribution r =
+  let counts = Array.make_matrix (Array.length kinds) Cause.n_codes 0 in
+  let bytes = Array.make_matrix (Array.length kinds) Cause.n_codes 0 in
+  for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+    List.iter
+      (fun (_, _, ev) ->
+        match ev with
+        | Event.Coll_end { kind; cause; bytes = b } ->
+            let k = kind_index kind and c = Cause.code cause in
+            counts.(k).(c) <- counts.(k).(c) + 1;
+            bytes.(k).(c) <- bytes.(k).(c) + b
+        | _ -> ())
+      (Obs.Recorder.events r ~vproc:v)
+  done;
+  (counts, bytes)
+
+let print_attribution r =
+  let counts, bytes = attribution r in
+  let total = Array.fold_left (Array.fold_left ( + )) 0 counts in
+  let attributed = total in
+  print_string "pause attribution (recorded collections by kind x cause):\n";
+  Printf.printf "  %-10s %-22s %8s %12s\n" "kind" "cause" "count" "bytes";
+  Array.iteri
+    (fun k kind ->
+      for c = 0 to Cause.n_codes - 1 do
+        if counts.(k).(c) > 0 then
+          Printf.printf "  %-10s %-22s %8d %12d\n"
+            (Event.kind_to_string kind)
+            (Cause.code_name c) counts.(k).(c) bytes.(k).(c)
+      done)
+    kinds;
+  let total_bytes = Array.fold_left (Array.fold_left ( + )) 0 bytes in
+  Printf.printf "  %-10s %-22s %8d %12d\n" "total" "" total total_bytes;
+  if total = 0 then print_string "cause attribution: no collections recorded\n"
+  else
+    Printf.printf "cause attribution: %d%% of %d recorded collections carry a cause\n"
+      (100 * attributed / total)
+      total
+
+(* Pair Coll_begin/Coll_end per vproc (per-kind stacks handle the real
+   nesting: a major's prerequisite minor, entry collections inside a
+   global).  An end whose begin was overwritten, or a begin whose end is
+   past the dump, is an orphan and is skipped. *)
+let reconstruct r =
+  let tr = Trace.create () in
+  Trace.enable tr;
+  let orphans = ref 0 in
+  let recorded = ref [] in
+  for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+    let pending = Array.make (Array.length kinds) [] in
+    List.iter
+      (fun (_, t_ns, ev) ->
+        match ev with
+        | Event.Coll_begin { kind; _ } ->
+            let k = kind_index kind in
+            pending.(k) <- t_ns :: pending.(k)
+        | Event.Coll_end { kind; cause; bytes } -> (
+            let k = kind_index kind in
+            match pending.(k) with
+            | t0 :: rest ->
+                pending.(k) <- rest;
+                recorded :=
+                  {
+                    Trace.vproc = v;
+                    kind;
+                    cause;
+                    node = Obs.Recorder.node_of_vproc r v;
+                    t_start_ns = t0;
+                    t_end_ns = t_ns;
+                    bytes;
+                  }
+                  :: !recorded
+            | [] -> incr orphans)
+        | _ -> ())
+      (Obs.Recorder.events r ~vproc:v);
+    Array.iter (fun l -> orphans := !orphans + List.length l) pending
+  done;
+  List.iter (Trace.record tr)
+    (List.sort
+       (fun a b -> compare a.Trace.t_start_ns b.Trace.t_start_ns)
+       !recorded);
+  (tr, !orphans)
+
+let print_counters r =
+  let attempts = ref 0
+  and successes = ref 0
+  and acquires = ref 0
+  and fresh = ref 0
+  and releases = ref 0
+  and samples = ref 0
+  and sampled_bytes = ref 0
+  and phases = ref 0 in
+  for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+    List.iter
+      (fun (_, _, ev) ->
+        match ev with
+        | Event.Steal_attempt _ -> incr attempts
+        | Event.Steal_success _ -> incr successes
+        | Event.Chunk_acquire { fresh = f; _ } ->
+            incr acquires;
+            if f then incr fresh
+        | Event.Chunk_release _ -> incr releases
+        | Event.Global_phase _ -> incr phases
+        | Event.Alloc_sample { bytes } ->
+            incr samples;
+            sampled_bytes := !sampled_bytes + bytes
+        | Event.Coll_begin _ | Event.Coll_end _ -> ())
+      (Obs.Recorder.events r ~vproc:v)
+  done;
+  Printf.printf "scheduler: %d steal attempts, %d successes%s\n" !attempts
+    !successes
+    (if !attempts = 0 then ""
+     else Printf.sprintf " (%d%% hit rate)" (100 * !successes / !attempts));
+  Printf.printf "chunks: %d acquires (%d fresh, %d reused), %d releases\n"
+    !acquires !fresh (!acquires - !fresh) !releases;
+  Printf.printf "global-GC phase markers: %d\n" !phases;
+  Printf.printf "alloc samples: %d (1 in %d, ~%d bytes sampled)\n" !samples
+    (Obs.Recorder.sample_every r)
+    !sampled_bytes
+
+let traffic_matrix r =
+  let n = Obs.Recorder.n_nodes r in
+  Array.init n (fun s ->
+      Array.init n (fun d -> Obs.Recorder.matrix_get r ~src_node:s ~dst_node:d))
+
+let main dump_path chrome tail =
+  let text =
+    try read_file dump_path
+    with Sys_error m ->
+      Printf.eprintf "cannot read dump: %s\n" m;
+      exit 2
+  in
+  match Obs.Recorder.of_string text with
+  | Error m ->
+      Printf.eprintf "cannot parse dump %s: %s\n" dump_path m;
+      exit 2
+  | Ok r ->
+      let n_vprocs = Obs.Recorder.n_vprocs r in
+      let dropped = ref 0 in
+      for v = 0 to n_vprocs - 1 do
+        dropped := !dropped + Obs.Recorder.dropped r ~vproc:v
+      done;
+      Printf.printf "%s: %d vprocs on %d nodes, %d events surviving%s\n\n"
+        dump_path n_vprocs (Obs.Recorder.n_nodes r)
+        (let n = ref 0 in
+         for v = 0 to n_vprocs - 1 do
+           n := !n + List.length (Obs.Recorder.events r ~vproc:v)
+         done;
+         !n)
+        (if !dropped > 0 then
+           Printf.sprintf " (%d overwritten in-ring)" !dropped
+         else "");
+      print_attribution r;
+      print_newline ();
+      let tr, orphans = reconstruct r in
+      if orphans > 0 then
+        Printf.printf
+          "(%d begin/end orphans skipped: pair lost to ring overwrite or dump \
+           point)\n"
+          orphans;
+      print_string (Trace.summary tr);
+      print_newline ();
+      print_string (Trace.render_timeline tr ~n_vprocs);
+      print_newline ();
+      print_counters r;
+      print_newline ();
+      print_string
+        (Harness.Ascii_plot.heatmap ~title:"NUMA traffic matrix (bytes copied)"
+           ~row_label:"src" ~col_label:"dst" (traffic_matrix r));
+      if tail then begin
+        print_newline ();
+        print_string (Obs.Recorder.dump_tail r)
+      end;
+      Option.iter (fun path -> write_file path (Trace.to_chrome_json tr)) chrome
+
+let dump_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DUMP" ~doc:"Flight-recorder dump file (obs-dump v1).")
+
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Write the reconstructed collections as Chrome trace-event JSON \
+           (args carry bytes, cause and NUMA node); load in about:tracing or \
+           Perfetto.")
+
+let tail_arg =
+  Arg.(
+    value & flag
+    & info [ "tail" ] ~doc:"Also print the raw per-vproc event tails.")
+
+let () =
+  let info =
+    Cmd.info "gcprof"
+      ~doc:"Analyze a Manticore-GC flight-recorder dump post mortem."
+  in
+  exit
+    (Cmd.eval (Cmd.v info Term.(const main $ dump_arg $ chrome_arg $ tail_arg)))

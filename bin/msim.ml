@@ -11,7 +11,7 @@ let write_file path s =
   Printf.eprintf "wrote %s\n" path
 
 let run name machine_name threads policy_str scale cache_scale bw_scale trace
-    trace_json metrics_json census seed verbose =
+    trace_json metrics_json events census seed verbose =
   let spec =
     match Workloads.Registry.find name with
     | Some s -> s
@@ -76,7 +76,11 @@ let run name machine_name threads policy_str scale cache_scale bw_scale trace
       write_file path
         (Manticore_gc.Metrics.snapshot_to_json
            (Manticore_gc.Metrics.snapshot o.Harness.Run_config.metrics)))
-    metrics_json
+    metrics_json;
+  Option.iter
+    (fun path ->
+      write_file path (Obs.Recorder.to_string o.Harness.Run_config.obs))
+    events
 
 let name_arg =
   Arg.(
@@ -132,6 +136,15 @@ let metrics_json_arg =
           "Write the run's collector telemetry snapshot (per-vproc pause/byte \
            distributions, steal and chunk counters) as JSON.")
 
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Write the flight recorder's event dump (per-vproc rings, NUMA \
+           traffic matrix); analyze it with gcprof.")
+
 let census_arg =
   Arg.(
     value & flag & info [ "census" ] ~doc:"Render a post-run heap census.")
@@ -150,5 +163,5 @@ let () =
           Term.(
             const run $ name_arg $ machine_arg $ threads_arg $ policy_arg
             $ scale_arg $ cache_scale_arg $ bw_scale_arg $ trace_arg
-            $ trace_json_arg $ metrics_json_arg $ census_arg $ seed_arg
-            $ verbose_arg)))
+            $ trace_json_arg $ metrics_json_arg $ events_arg $ census_arg
+            $ seed_arg $ verbose_arg)))

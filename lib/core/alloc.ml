@@ -9,12 +9,17 @@ let maybe_safe_point ctx m =
    and updated through any copying. *)
 let collect_for_space ctx (m : Ctx.mutator) (fields : Value.t array) =
   Roots.protect_many m.Ctx.roots fields (fun cells ->
-      Minor_gc.run ctx m;
-      if
+      Minor_gc.run ~cause:Obs.Gc_cause.Nursery_full ctx m;
+      let to_space_low =
         Local_heap.nursery_bytes m.Ctx.lh
         < ctx.Ctx.params.Params.nursery_min_bytes
-        || ctx.Ctx.global_gc_pending
-      then Major_gc.run ctx m;
+      in
+      if to_space_low || ctx.Ctx.global_gc_pending then
+        Major_gc.run
+          ~cause:
+            (if to_space_low then Obs.Gc_cause.To_space_low
+             else Obs.Gc_cause.Global_threshold)
+          ctx m;
       maybe_safe_point ctx m;
       Array.iteri (fun i c -> fields.(i) <- Roots.get c) cells;
       Value.unit)
@@ -23,7 +28,9 @@ let collect_for_space ctx (m : Ctx.mutator) (fields : Value.t array) =
 let charge_init ctx m ~addr ~bytes =
   Ctx.charge_work ctx m ~cycles:ctx.Ctx.params.Params.alloc_cycles;
   Ctx.bulk_touch ctx m ~addr ~bytes;
-  m.Ctx.stats.Gc_stats.alloc_bytes <- m.Ctx.stats.Gc_stats.alloc_bytes + bytes
+  m.Ctx.stats.Gc_stats.alloc_bytes <- m.Ctx.stats.Gc_stats.alloc_bytes + bytes;
+  Obs.Recorder.sample_alloc ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+    ~bytes
 
 (* Allocate in the global heap directly (object too large for the
    nursery).  Pointer fields must first be promoted so the new global

@@ -31,6 +31,7 @@ type t = {
   stats : Gc_stats.t;
   trace : Gc_trace.t;
   metrics : Metrics.t;
+  obs : Obs.Recorder.t;
 }
 
 let create ?(params = Params.default) ?(cap_scale = 1.) ~machine ~n_vprocs
@@ -94,6 +95,10 @@ let create ?(params = Params.default) ?(cap_scale = 1.) ~machine ~n_vprocs
     stats = Gc_stats.create ();
     trace = Gc_trace.create ();
     metrics = Metrics.create ~n_vprocs;
+    obs =
+      Obs.Recorder.create ~n_vprocs
+        ~n_nodes:(Numa.Topology.n_nodes machine)
+        ~node_of_vproc:vproc_node ();
   }
 
 let mutator t i = t.muts.(i)

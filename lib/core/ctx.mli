@@ -61,6 +61,9 @@ type t = {
   metrics : Metrics.t;
       (** per-vproc pause/copied-byte distributions and steal/chunk
           counters (always on; see {!Metrics}) *)
+  obs : Obs.Recorder.t;
+      (** the flight recorder: per-vproc event rings and the NUMA
+          traffic matrix (always on; see {!Obs.Recorder}) *)
 }
 
 val create :

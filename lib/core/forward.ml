@@ -38,10 +38,16 @@ let global_dest ctx m ~on_copy =
               && Global_heap.in_use_bytes ctx.Ctx.global
                  > ctx.Ctx.global_budget_bytes
             then Ctx.request_global_gc ctx
-        | `New_chunk (_, provenance) ->
+        | `New_chunk (c, provenance) ->
             m.Ctx.stats.Gc_stats.chunk_acquires <-
               m.Ctx.stats.Gc_stats.chunk_acquires + 1;
             Metrics.record_chunk_acquire ctx.Ctx.metrics ~vproc:m.Ctx.id;
+            Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+              (Obs.Event.Chunk_acquire
+                 {
+                   node = c.Sim_mem.Chunk.home_node;
+                   fresh = (provenance = `Fresh);
+                 });
             let cycles =
               match provenance with
               | `Reused -> ctx.Ctx.params.Params.chunk_local_sync_cycles
@@ -99,6 +105,11 @@ let evacuate ctx m ~dest src =
     let store = ctx.Ctx.store in
     let bytes = (Header.length_words h + 1) * 8 in
     let dst = dest.alloc_dst bytes in
+    if Obs.Recorder.enabled ctx.Ctx.obs then
+      Obs.Recorder.record_copy ctx.Ctx.obs
+        ~src_node:(Sim_mem.Memory.node_of_addr store.Store.mem src)
+        ~dst_node:(Sim_mem.Memory.node_of_addr store.Store.mem dst)
+        ~bytes;
     Ctx.bulk_touch ctx m ~addr:src ~bytes;
     Ctx.bulk_touch ctx m ~addr:dst ~bytes;
     copy_for_evacuation store ~src ~dst;

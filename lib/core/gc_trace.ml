@@ -1,8 +1,12 @@
-type kind = Minor | Major | Promotion | Global
+(* The trace's kind is the same enumeration the flight recorder uses —
+   the type equation keeps the two telemetry layers in sync. *)
+type kind = Obs.Event.coll_kind = Minor | Major | Promotion | Global
 
 type event = {
   vproc : int;
   kind : kind;
+  cause : Obs.Gc_cause.t;
+  node : int;
   t_start_ns : float;
   t_end_ns : float;
   bytes : int;
@@ -45,20 +49,30 @@ let render_timeline ?(width = 72) t ~n_vprocs =
       let span = Float.max (t_end -. t_begin) 1. in
       let lanes = Array.make_matrix n_vprocs width ' ' in
       let occupant = Array.make_matrix n_vprocs width (-1) in
+      let paint v kind c0 c1 =
+        if v >= 0 && v < n_vprocs then
+          for ccol = c0 to c1 do
+            if rank kind >= occupant.(v).(ccol) then begin
+              occupant.(v).(ccol) <- rank kind;
+              lanes.(v).(ccol) <- glyph kind
+            end
+          done
+      in
       List.iter
         (fun e ->
-          if e.vproc >= 0 && e.vproc < n_vprocs then begin
-            let col ns =
-              min (width - 1)
-                (int_of_float (float_of_int width *. (ns -. t_begin) /. span))
-            in
-            for ccol = col e.t_start_ns to col e.t_end_ns do
-              if rank e.kind >= occupant.(e.vproc).(ccol) then begin
-                occupant.(e.vproc).(ccol) <- rank e.kind;
-                lanes.(e.vproc).(ccol) <- glyph e.kind
-              end
+          let col ns =
+            min (width - 1)
+              (int_of_float (float_of_int width *. (ns -. t_begin) /. span))
+          in
+          let c0 = col e.t_start_ns and c1 = col e.t_end_ns in
+          (* A global collection is stop-the-world: every vproc is
+             paused for its span, so mark it across all lanes, not just
+             the lane that recorded the event. *)
+          if e.kind = Global then
+            for v = 0 to n_vprocs - 1 do
+              paint v Global c0 c1
             done
-          end)
+          else paint e.vproc e.kind c0 c1)
         evs;
       let buf = Buffer.create 2048 in
       Buffer.add_string buf
@@ -68,7 +82,8 @@ let render_timeline ?(width = 72) t ~n_vprocs =
         (fun v lane ->
           Buffer.add_string buf (Printf.sprintf "  v%02d |%s|\n" v (String.init width (Array.get lane))))
         lanes;
-      Buffer.add_string buf "  legend: . minor   M major   p promotion   G global\n";
+      Buffer.add_string buf
+        "  legend: . minor   M major   p promotion   G global (stop-the-world, all lanes)\n";
       Buffer.contents buf
 
 (* Chrome trace-event JSON (the `about:tracing` / Perfetto format):
@@ -95,27 +110,62 @@ let to_chrome_json t =
       end;
       emit
         (Printf.sprintf
-           "{\"name\":\"%s\",\"cat\":\"gc\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"bytes\":%d}}"
+           "{\"name\":\"%s\",\"cat\":\"gc\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"bytes\":%d,\"cause\":\"%s\",\"node\":%d}}"
            (kind_to_string e.kind) (e.t_start_ns /. 1e3)
            (Float.max 0. ((e.t_end_ns -. e.t_start_ns) /. 1e3))
-           e.vproc e.bytes))
+           e.vproc e.bytes
+           (Obs.Gc_cause.to_string e.cause)
+           e.node))
     (events t);
   Buffer.add_string b "]}";
   Buffer.contents b
 
 let summary t =
+  let evs = events t in
   let tally = Hashtbl.create 4 in
+  let per_vproc = Hashtbl.create 8 in
   List.iter
     (fun e ->
       let n, b =
         Option.value ~default:(0, 0) (Hashtbl.find_opt tally e.kind)
       in
-      Hashtbl.replace tally e.kind (n + 1, b + e.bytes))
-    (events t);
+      Hashtbl.replace tally e.kind (n + 1, b + e.bytes);
+      let key = (e.vproc, e.kind) in
+      let vn, vb =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt per_vproc key)
+      in
+      Hashtbl.replace per_vproc key (vn + 1, vb + e.bytes))
+    evs;
   let line k =
     match Hashtbl.find_opt tally k with
     | None -> Printf.sprintf "  %-10s 0\n" (kind_to_string k)
     | Some (n, b) ->
         Printf.sprintf "  %-10s %5d events, %9d bytes\n" (kind_to_string k) n b
   in
-  "collector events:\n" ^ line Minor ^ line Major ^ line Promotion ^ line Global
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "collector events:\n";
+  Buffer.add_string buf (line Minor);
+  Buffer.add_string buf (line Major);
+  Buffer.add_string buf (line Promotion);
+  Buffer.add_string buf (line Global);
+  (* Per-vproc breakdown: only vprocs that recorded events, in order. *)
+  let vprocs =
+    List.sort_uniq compare (List.map (fun e -> e.vproc) evs)
+  in
+  if vprocs <> [] then begin
+    Buffer.add_string buf "per-vproc breakdown:\n";
+    List.iter
+      (fun v ->
+        Buffer.add_string buf (Printf.sprintf "  v%02d:" v);
+        List.iter
+          (fun k ->
+            match Hashtbl.find_opt per_vproc (v, k) with
+            | None -> ()
+            | Some (n, b) ->
+                Buffer.add_string buf
+                  (Printf.sprintf " %s %d (%d bytes)" (kind_to_string k) n b))
+          [ Minor; Major; Promotion; Global ];
+        Buffer.add_char buf '\n')
+      vprocs
+  end;
+  Buffer.contents buf

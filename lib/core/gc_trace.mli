@@ -5,15 +5,17 @@
     renderer lays out as per-vproc timeline lanes — a poor man's
     heap-profile view of Figures 2–3 happening at runtime. *)
 
-type kind =
+type kind = Obs.Event.coll_kind =
   | Minor
   | Major
   | Promotion
-  | Global  (** the stop-the-world phase, recorded once *)
+  | Global  (** the stop-the-world phase, recorded once per vproc *)
 
 type event = {
   vproc : int;
   kind : kind;
+  cause : Obs.Gc_cause.t;  (** why this collection ran *)
+  node : int;  (** NUMA node of the vproc that collected *)
   t_start_ns : float;
   t_end_ns : float;
   bytes : int;  (** bytes copied/promoted by this event *)
@@ -40,16 +42,19 @@ val kind_to_string : kind -> string
 val render_timeline : ?width:int -> t -> n_vprocs:int -> string
 (** ASCII lanes, one per vproc: ['.'] minor, ['M'] major, ['p'] promotion
     and ['G'] global collection, bucketed over the trace's time span.
-    The axis is anchored at the earliest recorded start — a trace
-    enabled mid-run begins at its first event, with the real start/end
-    labelled in the header. *)
+    Global collections are stop-the-world, so their spans are painted
+    across every lane.  The axis is anchored at the earliest recorded
+    start — a trace enabled mid-run begins at its first event, with the
+    real start/end labelled in the header. *)
 
 val to_chrome_json : t -> string
 (** The trace as Chrome trace-event JSON: one complete ("X") event per
     collection with microsecond timestamps and one thread lane per
-    vproc.  Load the output in [about:tracing] or
+    vproc.  Each event's args carry its byte count, cause, and NUMA
+    node.  Load the output in [about:tracing] or
     {{:https://ui.perfetto.dev}Perfetto} for a zoomable profile view of
     any run. *)
 
 val summary : t -> string
-(** Event counts and bytes by kind. *)
+(** Event counts and bytes by kind, followed by a per-vproc breakdown
+    (counts + bytes per kind for each vproc that recorded events). *)

@@ -15,7 +15,7 @@ let leader ctx =
 let local_owner ctx addr =
   Heap_index.local_owner ctx.Ctx.store.Store.index addr
 
-let run ctx =
+let run ?(cause = Obs.Gc_cause.Forced) ctx =
   Ctx.enter_collection ctx;
   let store = ctx.Ctx.store in
   let muts = ctx.Ctx.muts in
@@ -24,6 +24,19 @@ let run ctx =
     Array.fold_left (fun acc (m : Ctx.mutator) -> Float.min acc m.Ctx.now_ns)
       infinity muts
   in
+  (* Phase transitions are recorded on the leader's ring: the phases are
+     global, and one ring's worth of markers is enough to segment every
+     vproc's events by time. *)
+  let phase p =
+    Obs.Recorder.record ctx.Ctx.obs ~vproc:lead
+      ~t_ns:muts.(lead).Ctx.now_ns (Obs.Event.Global_phase { phase = p })
+  in
+  Array.iter
+    (fun (m : Ctx.mutator) ->
+      Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+        (Obs.Event.Coll_begin { kind = Global; cause }))
+    muts;
+  phase Obs.Event.Entry;
   (* Entry: the leader sets the flag and signals; every vproc reaches its
      safe point and performs minor and major collections.  Each vproc's
      work is charged to its own clock (they run in parallel). *)
@@ -31,14 +44,15 @@ let run ctx =
     (fun (m : Ctx.mutator) ->
       m.Ctx.in_gc <- true;
       Ctx.charge_work ctx m ~cycles:ctx.Ctx.params.Params.barrier_cycles;
-      Minor_gc.run ctx m;
-      Major_gc.run ctx m)
+      Minor_gc.run ~cause ctx m;
+      Major_gc.run ~cause ctx m)
     muts;
   (* Barrier: nobody proceeds until the slowest vproc arrives. *)
   let t_entry =
     Array.fold_left (fun acc (m : Ctx.mutator) -> Float.max acc m.Ctx.now_ns) 0. muts
   in
   Array.iter (fun (m : Ctx.mutator) -> m.Ctx.now_ns <- t_entry) muts;
+  phase Obs.Event.Roots;
   (* All in-use chunks become from-space (gathered per node for the
      affinity statistics the claim loop relies on). *)
   let from_space = Global_heap.take_all_in_use ctx.Ctx.global in
@@ -116,6 +130,7 @@ let run ctx =
       if m.Ctx.id = lead then
         Roots.iter ctx.Ctx.global_roots (fun c -> forward_cell m c))
     muts;
+  phase Obs.Event.Cheney;
   (* Parallel Cheney phase over to-space chunks, claimed per node. *)
   let pending c = c.Chunk.scan_ptr < c.Chunk.alloc_ptr in
   let min_clock_vproc () =
@@ -163,6 +178,7 @@ let run ctx =
               c.Chunk.scan_ptr <- c.Chunk.scan_ptr + sz
             done)
   done;
+  phase Obs.Event.Retarget;
   (* Retarget local forwarding words: promotions and the entry majors
      left forwarding words in the local heaps that point into from-space,
      which is about to be recycled.  Rewriting them to the final to-space
@@ -184,10 +200,18 @@ let run ctx =
         else addr := !addr + ((Header.length_words h + 1) * 8)
       done)
     muts;
+  phase Obs.Event.Sweep;
   (* Return from-space chunks to the pool and resume: the program restarts
      once the last vproc finishes. *)
-  List.iter (fun c -> Chunk.release (Global_heap.pool ctx.Ctx.global) c) from_space;
+  List.iter
+    (fun c ->
+      Obs.Recorder.record ctx.Ctx.obs ~vproc:lead
+        ~t_ns:muts.(lead).Ctx.now_ns
+        (Obs.Event.Chunk_release { node = c.Chunk.home_node });
+      Chunk.release (Global_heap.pool ctx.Ctx.global) c)
+    from_space;
   ignore (Global_heap.sweep_large ctx.Ctx.global);
+  phase Obs.Event.Exit;
   let t_exit =
     Array.fold_left (fun acc (m : Ctx.mutator) -> Float.max acc m.Ctx.now_ns) 0. muts
   in
@@ -203,14 +227,19 @@ let run ctx =
         {
           Gc_trace.vproc = m.Ctx.id;
           kind = Gc_trace.Global;
+          cause;
+          node = m.Ctx.node;
           t_start_ns = t_start;
           t_end_ns = m.Ctx.now_ns;
           bytes = copied_by.(m.Ctx.id);
         };
-      Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id
+      Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
         ~kind:Gc_trace.Global
         ~ns:(m.Ctx.now_ns -. t_start)
-        ~bytes:copied_by.(m.Ctx.id))
+        ~bytes:copied_by.(m.Ctx.id);
+      Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+        (Obs.Event.Coll_end
+           { kind = Global; cause; bytes = copied_by.(m.Ctx.id) }))
     muts;
   (* ctx.stats is the whole-system tally and the per-mutator stats are a
      partition of the same copies: ctx total == sum of mutator shares,
@@ -235,14 +264,19 @@ let paranoid =
   | Some ("1" | "true") -> true
   | _ -> false
 
-let run ctx =
-  run ctx;
+let run ?cause ctx =
+  run ?cause ctx;
   if paranoid then begin
     match Ctx.check_invariants ctx with
     | Ok _ -> ()
     | Error errs ->
+        (* Post-mortem: the flight recorder's tail is the best record of
+           what the collectors were doing when the heap went bad. *)
+        prerr_string (Obs.Recorder.dump_tail ctx.Ctx.obs);
         failwith
           ("global GC paranoid check failed:\n" ^ String.concat "\n" errs)
   end
 
-let install_sync_hook ctx = Ctx.set_safe_point_hook ctx (fun ctx _m -> run ctx)
+let install_sync_hook ctx =
+  Ctx.set_safe_point_hook ctx (fun ctx _m ->
+      run ~cause:Obs.Gc_cause.Global_threshold ctx)

@@ -20,9 +20,11 @@
     the vproc whose clock is smallest; the final barrier advances every
     clock to the maximum. *)
 
-val run : Ctx.t -> unit
+val run : ?cause:Obs.Gc_cause.t -> Ctx.t -> unit
 (** Requires every mutator to be stopped at a safe point (no fiber holds
-    an unrooted heap reference). *)
+    an unrooted heap reference).  [cause] (default [Forced]) attributes
+    the collection — and the per-vproc minors/majors it runs — in the
+    trace, metrics, and flight recorder. *)
 
 val install_sync_hook : Ctx.t -> unit
 (** Make allocation safe points run the global collection synchronously —

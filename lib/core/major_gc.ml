@@ -28,17 +28,19 @@ let walk_objects store ~lo ~hi f =
     end
   done
 
-let run ctx (m : Ctx.mutator) =
+let run ?(cause = Obs.Gc_cause.Forced) ctx (m : Ctx.mutator) =
   Ctx.enter_collection ctx;
   (* "A minor collection always immediately precedes this major
      collection" (paper §3.3): the layout update below re-splits the free
      space, which assumes an empty nursery.  Callers that reach here with
      live nursery data get the prerequisite minor first. *)
   if m.Ctx.lh.Local_heap.alloc_ptr > m.Ctx.lh.Local_heap.nursery_base then
-    Minor_gc.run ctx m;
+    Minor_gc.run ~cause ctx m;
   let t_start = m.Ctx.now_ns in
   let was_in_gc = m.Ctx.in_gc in
   m.Ctx.in_gc <- true;
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:t_start
+    (Obs.Event.Coll_begin { kind = Major; cause });
   let store = ctx.Ctx.store in
   let lh = m.Ctx.lh in
   let from_lo = lh.Local_heap.base in
@@ -144,11 +146,15 @@ let run ctx (m : Ctx.mutator) =
     {
       Gc_trace.vproc = m.Ctx.id;
       kind = Gc_trace.Major;
+      cause;
+      node = m.Ctx.node;
       t_start_ns = t_start;
       t_end_ns = m.Ctx.now_ns;
       bytes = !copied;
     };
-  Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id ~kind:Gc_trace.Major
-    ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!copied;
+  Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
+    ~kind:Gc_trace.Major ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!copied;
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+    (Obs.Event.Coll_end { kind = Major; cause; bytes = !copied });
   m.Ctx.in_gc <- was_in_gc;
   Ctx.exit_collection ctx Gc_trace.Major

@@ -13,7 +13,10 @@ open Heap
     field of the young data.  Synchronization happens only when a global
     chunk fills (charged inside {!Forward.global_dest}). *)
 
-val run : Ctx.t -> Ctx.mutator -> unit
+val run : ?cause:Obs.Gc_cause.t -> Ctx.t -> Ctx.mutator -> unit
+(** [cause] (default [Forced]) attributes this collection — and its
+    prerequisite minor, if one runs — in the trace, metrics, and flight
+    recorder. *)
 
 val walk_objects : Store.t -> lo:int -> hi:int -> (int -> unit) -> unit
 (** Walk the object headers of a contiguous allocated region, skipping

@@ -327,6 +327,7 @@ let kind_index = function
 type vrec = {
   pause : hist array; (* indexed by kind_index *)
   bytes : hist array;
+  v_causes : int array; (* indexed by Obs.Gc_cause.code *)
   mutable v_chunk_acquires : int;
   mutable v_steal_attempts : int;
   mutable v_steal_successes : int;
@@ -336,6 +337,7 @@ let vrec_create () =
   {
     pause = Array.init n_kinds (fun _ -> hist_create ());
     bytes = Array.init n_kinds (fun _ -> hist_create ());
+    v_causes = Array.make Obs.Gc_cause.n_codes 0;
     v_chunk_acquires = 0;
     v_steal_attempts = 0;
     v_steal_successes = 0;
@@ -352,13 +354,18 @@ let ensure t vproc =
     t.vrecs <- bigger
   end
 
-let record_pause t ~vproc ~kind ~ns ~bytes =
+let record_pause ?cause t ~vproc ~kind ~ns ~bytes =
   if vproc >= 0 then begin
     ensure t vproc;
     let r = t.vrecs.(vproc) in
     let k = kind_index kind in
     hist_add r.pause.(k) ns;
-    hist_add r.bytes.(k) (float_of_int bytes)
+    hist_add r.bytes.(k) (float_of_int bytes);
+    match cause with
+    | None -> ()
+    | Some c ->
+        let i = Obs.Gc_cause.code c in
+        r.v_causes.(i) <- r.v_causes.(i) + 1
   end
 
 let record_chunk_acquire t ~vproc =
@@ -380,6 +387,7 @@ let vrec_merge ~into r =
     hist_merge ~into:into.pause.(k) r.pause.(k);
     hist_merge ~into:into.bytes.(k) r.bytes.(k)
   done;
+  Array.iteri (fun i c -> into.v_causes.(i) <- into.v_causes.(i) + c) r.v_causes;
   into.v_chunk_acquires <- into.v_chunk_acquires + r.v_chunk_acquires;
   into.v_steal_attempts <- into.v_steal_attempts + r.v_steal_attempts;
   into.v_steal_successes <- into.v_steal_successes + r.v_steal_successes
@@ -413,6 +421,7 @@ type vproc_stats = {
   major : kind_stats;
   promotion : kind_stats;
   global : kind_stats;
+  causes : (string * int) list;
   chunk_acquires : int;
   steal_attempts : int;
   steal_successes : int;
@@ -435,12 +444,18 @@ let kind_stats_of r k =
   { pause_ns = dist_of_hist r.pause.(k); copied_bytes = dist_of_hist r.bytes.(k) }
 
 let vproc_stats_of ~vproc r =
+  let causes = ref [] in
+  for i = Obs.Gc_cause.n_codes - 1 downto 0 do
+    if r.v_causes.(i) > 0 then
+      causes := (Obs.Gc_cause.code_name i, r.v_causes.(i)) :: !causes
+  done;
   {
     vproc;
     minor = kind_stats_of r 0;
     major = kind_stats_of r 1;
     promotion = kind_stats_of r 2;
     global = kind_stats_of r 3;
+    causes = !causes;
     chunk_acquires = r.v_chunk_acquires;
     steal_attempts = r.v_steal_attempts;
     steal_successes = r.v_steal_successes;
@@ -491,6 +506,10 @@ let json_of_vproc vs =
       ("major", json_of_kind vs.major);
       ("promotion", json_of_kind vs.promotion);
       ("global", json_of_kind vs.global);
+      ( "causes",
+        Json.Obj
+          (List.map (fun (name, n) -> (name, Json.Num (float_of_int n))) vs.causes)
+      );
       ("chunk_acquires", Json.Num (float_of_int vs.chunk_acquires));
       ("steal_attempts", Json.Num (float_of_int vs.steal_attempts));
       ("steal_successes", Json.Num (float_of_int vs.steal_successes));
@@ -531,6 +550,17 @@ let kind_of_json j =
     copied_bytes = dist_of_json (field "copied_bytes" j);
   }
 
+let causes_of_json j =
+  match field "causes" j with
+  | Json.Obj kvs ->
+      List.map
+        (fun (k, v) ->
+          match v with
+          | Json.Num f -> (k, int_of_float f)
+          | _ -> raise (Shape ("cause " ^ k ^ " is not a number")))
+        kvs
+  | _ -> raise (Shape "causes is not an object")
+
 let vproc_of_json j =
   {
     vproc = int_field "vproc" j;
@@ -538,6 +568,7 @@ let vproc_of_json j =
     major = kind_of_json (field "major" j);
     promotion = kind_of_json (field "promotion" j);
     global = kind_of_json (field "global" j);
+    causes = causes_of_json j;
     chunk_acquires = int_field "chunk_acquires" j;
     steal_attempts = int_field "steal_attempts" j;
     steal_successes = int_field "steal_successes" j;
@@ -612,6 +643,11 @@ let pp_summary ppf s =
       if vs.steal_attempts > 0 || vs.chunk_acquires > 0 then
         Format.fprintf ppf "  %-6s steals %d/%d, chunk acquires %d@,"
           (if vs.vproc < 0 then "all" else Printf.sprintf "v%02d" vs.vproc)
-          vs.steal_successes vs.steal_attempts vs.chunk_acquires)
+          vs.steal_successes vs.steal_attempts vs.chunk_acquires;
+      if vs.causes <> [] then
+        Format.fprintf ppf "  %-6s causes: %s@,"
+          (if vs.vproc < 0 then "all" else Printf.sprintf "v%02d" vs.vproc)
+          (String.concat ", "
+             (List.map (fun (name, n) -> Printf.sprintf "%s %d" name n) vs.causes)))
     s.vprocs;
   Format.fprintf ppf "@]"

@@ -47,9 +47,16 @@ type t
 val create : n_vprocs:int -> t
 
 val record_pause :
-  t -> vproc:int -> kind:Gc_trace.kind -> ns:float -> bytes:int -> unit
+  ?cause:Obs.Gc_cause.t ->
+  t ->
+  vproc:int ->
+  kind:Gc_trace.kind ->
+  ns:float ->
+  bytes:int ->
+  unit
 (** One finished collection phase on [vproc]: its duration and the bytes
-    it copied/promoted.  Out-of-range vprocs are ignored. *)
+    it copied/promoted, attributed to [cause] when given.  Out-of-range
+    vprocs are ignored. *)
 
 val record_chunk_acquire : t -> vproc:int -> unit
 val record_steal : t -> vproc:int -> success:bool -> unit
@@ -83,6 +90,9 @@ type vproc_stats = {
   major : kind_stats;
   promotion : kind_stats;
   global : kind_stats;
+  causes : (string * int) list;
+      (** collection counts by cause name ({!Obs.Gc_cause.to_string}),
+          nonzero entries only, in cause-code order *)
   chunk_acquires : int;
   steal_attempts : int;
   steal_successes : int;

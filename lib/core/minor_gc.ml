@@ -1,10 +1,12 @@
 open Heap
 
-let run ctx (m : Ctx.mutator) =
+let run ?(cause = Obs.Gc_cause.Forced) ctx (m : Ctx.mutator) =
   let t_start = m.Ctx.now_ns in
   let was_in_gc = m.Ctx.in_gc in
   m.Ctx.in_gc <- true;
   Ctx.enter_collection ctx;
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:t_start
+    (Obs.Event.Coll_begin { kind = Minor; cause });
   let lh = m.Ctx.lh in
   let from_lo = lh.Local_heap.nursery_base
   and from_hi = lh.Local_heap.alloc_ptr in
@@ -50,11 +52,15 @@ let run ctx (m : Ctx.mutator) =
     {
       Gc_trace.vproc = m.Ctx.id;
       kind = Gc_trace.Minor;
+      cause;
+      node = m.Ctx.node;
       t_start_ns = t_start;
       t_end_ns = m.Ctx.now_ns;
       bytes = !copied;
     };
-  Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id ~kind:Gc_trace.Minor
-    ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!copied;
+  Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
+    ~kind:Gc_trace.Minor ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!copied;
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+    (Obs.Event.Coll_end { kind = Minor; cause; bytes = !copied });
   m.Ctx.in_gc <- was_in_gc;
   Ctx.exit_collection ctx Gc_trace.Minor

@@ -13,6 +13,7 @@
     becomes the *young data* that the next major collection will keep
     local. *)
 
-val run : Ctx.t -> Ctx.mutator -> unit
+val run : ?cause:Obs.Gc_cause.t -> Ctx.t -> Ctx.mutator -> unit
 (** Charges all copying/scanning traffic to the mutator's clock and
-    updates its statistics. *)
+    updates its statistics.  [cause] (default [Forced]) attributes the
+    collection in the trace, metrics, and flight recorder. *)

@@ -39,7 +39,7 @@ let set_pointer_field ctx (m : Ctx.mutator) obj i v =
   end
   | _ -> begin
     (* A global object: the stored value must itself be global (I2). *)
-    let v = Promote.value ctx m v in
+    let v = Promote.value ~reason:Obs.Gc_cause.Mut_store ctx m v in
     (* Shared-heap store: pay a synchronization premium, like the
        CAS-based stores a real runtime would need here. *)
     Ctx.charge_work ctx m ~cycles:30.;

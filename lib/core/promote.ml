@@ -3,13 +3,16 @@ open Heap
 let is_local _ctx (m : Ctx.mutator) v =
   Value.is_ptr v && Local_heap.in_heap m.Ctx.lh (Value.to_ptr v)
 
-let value ctx (m : Ctx.mutator) v =
+let value ?(reason = Obs.Gc_cause.Explicit) ctx (m : Ctx.mutator) v =
   if not (is_local ctx m v) then v
   else begin
+    let cause = Obs.Gc_cause.Promotion reason in
     let t_start = m.Ctx.now_ns in
     let was_in_gc = m.Ctx.in_gc in
     m.Ctx.in_gc <- true;
     Ctx.enter_collection ctx;
+    Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:t_start
+      (Obs.Event.Coll_begin { kind = Promotion; cause });
     let lh = m.Ctx.lh in
     let in_from a = Local_heap.in_heap lh a in
     let promoted = ref 0 in
@@ -31,12 +34,16 @@ let value ctx (m : Ctx.mutator) v =
       {
         Gc_trace.vproc = m.Ctx.id;
         kind = Gc_trace.Promotion;
+        cause;
+        node = m.Ctx.node;
         t_start_ns = t_start;
         t_end_ns = m.Ctx.now_ns;
         bytes = !promoted;
       };
-    Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id
+    Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
       ~kind:Gc_trace.Promotion ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!promoted;
+    Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+      (Obs.Event.Coll_end { kind = Promotion; cause; bytes = !promoted });
     m.Ctx.in_gc <- was_in_gc;
     Ctx.exit_collection ctx Gc_trace.Promotion;
     Value.of_ptr dst

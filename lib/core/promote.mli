@@ -8,11 +8,15 @@
     copies are left behind with forwarding words, to be skipped by later
     local collections. *)
 
-val value : Ctx.t -> Ctx.mutator -> Heap.Value.t -> Heap.Value.t
+val value :
+  ?reason:Obs.Gc_cause.reason -> Ctx.t -> Ctx.mutator -> Heap.Value.t ->
+  Heap.Value.t
 (** [value ctx m v] — returns the global version of [v].  Immediates and
     already-global pointers return unchanged.  The synchronization cost
     of any chunk acquisition is charged, and a global collection is
-    requested if the chunk budget is exceeded. *)
+    requested if the chunk budget is exceeded.  [reason] (default
+    [Explicit]) says which runtime event forced the promotion; it is
+    surfaced as the collection's {!Obs.Gc_cause.t}. *)
 
 val is_local : Ctx.t -> Ctx.mutator -> Heap.Value.t -> bool
 (** Does [v] point into [m]'s local heap? *)

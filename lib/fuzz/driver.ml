@@ -6,6 +6,9 @@ type failure = {
   program : Op.t list;  (** the full generated program *)
   op_index : int;
   message : string;
+  events : string;
+      (** flight-recorder dump taken at the failure (per-vproc event
+          tail; see {!Obs.Recorder.to_string}) *)
   minimized : Op.t list option;  (** present when shrinking was requested *)
   shrink_stats : Shrink.stats option;
 }
@@ -33,7 +36,7 @@ let campaign ?cfg ?(shrink = true) ?shrink_max_runs ?(log = fun _ -> ())
           if (p + 1) mod 10 = 0 then
             log (Printf.sprintf "%d/%d programs ok" (p + 1) programs);
           go (p + 1)
-      | Engine.Failed { op_index; message }, program ->
+      | Engine.Failed { op_index; message; events }, program ->
           log
             (Printf.sprintf "program %d (seed %d) failed at op %d" p pseed
                op_index);
@@ -50,7 +53,7 @@ let campaign ?cfg ?(shrink = true) ?shrink_max_runs ?(log = fun _ -> ())
             else (None, None)
           in
           Error
-            { seed = pseed; program; op_index; message; minimized;
+            { seed = pseed; program; op_index; message; events; minimized;
               shrink_stats }
     end
   in

@@ -18,8 +18,12 @@ open Runtime
 
 type outcome =
   | Passed of { checks : int; collections : int }
-  | Failed of { op_index : int; message : string }
-      (** [op_index = length ops] means the end-of-program check *)
+  | Failed of { op_index : int; message : string; events : string }
+      (** [op_index = length ops] means the end-of-program check.
+          [events] is the flight recorder's dump
+          ({!Obs.Recorder.to_string}) taken at the failure — the
+          per-vproc event tail that accompanies the failing trace in
+          [--fail-dir] artifacts. *)
 
 type cfg = {
   params : Params.t;
@@ -320,25 +324,26 @@ let run_trace ?(cfg = default_cfg) (ops : Op.t list) : outcome =
            s.collections <- s.collections + 1;
            check s));
   let n = List.length ops in
+  (* The dump is taken at the moment of failure, while the rings still
+     hold the events leading up to it. *)
+  let fail ~op_index message =
+    Failed { op_index; message; events = Obs.Recorder.to_string s.ctx.Ctx.obs }
+  in
   let rec go i = function
     | [] -> (
         (* end-of-program check, attributed past the last op *)
         match check s with
         | () -> Passed { checks = s.checks; collections = s.collections }
-        | exception Divergence msg -> Failed { op_index = n; message = msg })
+        | exception Divergence msg -> fail ~op_index:n msg)
     | op :: rest -> (
         match apply s op with
         | () -> go (i + 1) rest
-        | exception Divergence msg -> Failed { op_index = i; message = msg }
+        | exception Divergence msg -> fail ~op_index:i msg
         | exception e ->
             let bt = Printexc.get_backtrace () in
-            Failed
-              {
-                op_index = i;
-                message =
-                  "exception: " ^ Printexc.to_string e
-                  ^ (if bt = "" then "" else "\n" ^ bt);
-              })
+            fail ~op_index:i
+              ("exception: " ^ Printexc.to_string e
+              ^ if bt = "" then "" else "\n" ^ bt))
   in
   go 0 ops
 
@@ -348,5 +353,5 @@ let pp_outcome ppf = function
   | Passed { checks; collections } ->
       Format.fprintf ppf "passed (%d checks over %d collections)" checks
         collections
-  | Failed { op_index; message } ->
+  | Failed { op_index; message; _ } ->
       Format.fprintf ppf "FAILED at op %d: %s" op_index message

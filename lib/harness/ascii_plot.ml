@@ -66,3 +66,51 @@ let render ?(width = 64) ?(height = 24) ~title ~xlabel ~ylabel ~ideal
         (Printf.sprintf "          %c %s\n" markers.(i mod Array.length markers) s.label))
     series;
   Buffer.contents buf
+
+(* Shade glyphs from cold to hot, picked by fraction of the matrix max. *)
+let shades = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#'; '@' |]
+
+let heatmap ?(cell_width = 12) ~title ~row_label ~col_label matrix =
+  let n = Array.length matrix in
+  let get r c = if c < Array.length matrix.(r) then matrix.(r).(c) else 0 in
+  let vmax = Array.fold_left (Array.fold_left max) 0 matrix in
+  let shade v =
+    if v = 0 then shades.(0)
+    else begin
+      let frac = float_of_int v /. float_of_int (max vmax 1) in
+      let i = 1 + int_of_float (frac *. float_of_int (Array.length shades - 2)) in
+      shades.(min i (Array.length shades - 1))
+    end
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "  %s \\ %s (bytes)\n" row_label col_label);
+  Buffer.add_string buf (Printf.sprintf "  %8s" "");
+  for c = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf " %*s" cell_width (Printf.sprintf "->n%d" c))
+  done;
+  Buffer.add_string buf (Printf.sprintf "  %12s\n" "row sum");
+  let col_sums = Array.make n 0 in
+  for r = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %8s" (Printf.sprintf "n%d" r));
+    let row_sum = ref 0 in
+    for c = 0 to n - 1 do
+      let v = get r c in
+      row_sum := !row_sum + v;
+      col_sums.(c) <- col_sums.(c) + v;
+      Buffer.add_string buf
+        (Printf.sprintf " %*s" cell_width (Printf.sprintf "%c %d" (shade v) v))
+    done;
+    Buffer.add_string buf (Printf.sprintf "  %12d\n" !row_sum)
+  done;
+  Buffer.add_string buf (Printf.sprintf "  %8s" "col sum");
+  let total = ref 0 in
+  for c = 0 to n - 1 do
+    total := !total + col_sums.(c);
+    Buffer.add_string buf
+      (Printf.sprintf " %*s" cell_width (string_of_int col_sums.(c)))
+  done;
+  Buffer.add_string buf (Printf.sprintf "  %12d\n" !total);
+  Buffer.contents buf

@@ -11,3 +11,11 @@ val render :
 (** Render to a multi-line string.  When [ideal] is set, the y=x diagonal
     is drawn with ['.'].  Each series gets a distinct letter marker,
     listed in the legend below the chart. *)
+
+val heatmap :
+  ?cell_width:int -> title:string -> row_label:string -> col_label:string ->
+  int array array -> string
+(** Render a square count matrix (e.g. the NUMA traffic matrix, rows =
+    source node, columns = destination node) as an ASCII heatmap: each
+    cell shows a shade glyph scaled to the matrix maximum plus the raw
+    value, with row/column/total sums in the margins. *)

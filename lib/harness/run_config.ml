@@ -13,6 +13,7 @@ type t = {
   near_steal : bool;  (* Near_first steal policy instead of random *)
   trace : bool;
   census : bool;
+  obs_enabled : bool;
   seed : int;
 }
 
@@ -39,6 +40,7 @@ let default ~machine ~n_vprocs =
     near_steal = false;
     trace = false;
     census = false;
+    obs_enabled = true;
     seed = 0x5eed;
   }
 
@@ -49,6 +51,7 @@ type outcome = {
   sched : Runtime.Sched.stats;
   globals : int;
   metrics : Metrics.t;
+  obs : Obs.Recorder.t;
   timeline : string option;
   chrome_trace : string option;
   census_report : string option;
@@ -68,6 +71,7 @@ let execute spec t =
       ~seed:t.seed ctx
   in
   if t.trace then Gc_trace.enable ctx.Ctx.trace;
+  Obs.Recorder.set_enabled ctx.Ctx.obs t.obs_enabled;
   let checksum = Workloads.Registry.run spec rt ~scale:t.scale in
   let gc =
     Gc_stats.total
@@ -80,6 +84,7 @@ let execute spec t =
     sched = Runtime.Sched.stats rt;
     globals = ctx.Ctx.stats.Gc_stats.global_count;
     metrics = ctx.Ctx.metrics;
+    obs = ctx.Ctx.obs;
     timeline =
       (if t.trace then
          Some

@@ -20,6 +20,9 @@ type t = {
   near_steal : bool;  (** extension: prefer same-package steal victims *)
   trace : bool;  (** record and render the collector event timeline *)
   census : bool;  (** render a post-run heap census *)
+  obs_enabled : bool;
+      (** keep the flight recorder on (the default); turned off only by
+          the recorder-overhead benchmark *)
   seed : int;
 }
 
@@ -38,6 +41,9 @@ type outcome = {
       (** the run's per-vproc pause/byte distributions and steal/chunk
           counters; snapshot with {!Manticore_gc.Metrics.snapshot} or
           merge across runs with {!Manticore_gc.Metrics.merge} *)
+  obs : Obs.Recorder.t;
+      (** the run's flight recorder: per-vproc event rings and the NUMA
+          traffic matrix; serialize with {!Obs.Recorder.to_string} *)
   timeline : string option;  (** rendered when [trace] was set *)
   chrome_trace : string option;
       (** Chrome trace-event JSON ({!Manticore_gc.Gc_trace.to_chrome_json})

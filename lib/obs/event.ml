@@ -1,0 +1,169 @@
+(* Typed view of one flight-recorder entry.  The ring stores the packed
+   (tag, a, b, c) form; this module is the codec between the two and the
+   text form used by dump files. *)
+
+type coll_kind = Minor | Major | Promotion | Global
+
+type global_phase = Entry | Roots | Cheney | Retarget | Sweep | Exit
+
+type t =
+  | Coll_begin of { kind : coll_kind; cause : Gc_cause.t }
+  | Coll_end of { kind : coll_kind; cause : Gc_cause.t; bytes : int }
+  | Chunk_acquire of { node : int; fresh : bool }
+  | Chunk_release of { node : int }
+  | Steal_attempt of { victim : int }
+  | Steal_success of { victim : int }
+  | Global_phase of { phase : global_phase }
+  | Alloc_sample of { bytes : int }
+
+let kind_code = function Minor -> 0 | Major -> 1 | Promotion -> 2 | Global -> 3
+
+let kind_of_code = function
+  | 0 -> Some Minor
+  | 1 -> Some Major
+  | 2 -> Some Promotion
+  | 3 -> Some Global
+  | _ -> None
+
+let kind_to_string = function
+  | Minor -> "minor"
+  | Major -> "major"
+  | Promotion -> "promotion"
+  | Global -> "global"
+
+let kind_of_string = function
+  | "minor" -> Some Minor
+  | "major" -> Some Major
+  | "promotion" -> Some Promotion
+  | "global" -> Some Global
+  | _ -> None
+
+let phase_code = function
+  | Entry -> 0
+  | Roots -> 1
+  | Cheney -> 2
+  | Retarget -> 3
+  | Sweep -> 4
+  | Exit -> 5
+
+let phase_of_code = function
+  | 0 -> Some Entry
+  | 1 -> Some Roots
+  | 2 -> Some Cheney
+  | 3 -> Some Retarget
+  | 4 -> Some Sweep
+  | 5 -> Some Exit
+  | _ -> None
+
+let phase_to_string = function
+  | Entry -> "entry"
+  | Roots -> "roots"
+  | Cheney -> "cheney"
+  | Retarget -> "retarget"
+  | Sweep -> "sweep"
+  | Exit -> "exit"
+
+let phase_of_string = function
+  | "entry" -> Some Entry
+  | "roots" -> Some Roots
+  | "cheney" -> Some Cheney
+  | "retarget" -> Some Retarget
+  | "sweep" -> Some Sweep
+  | "exit" -> Some Exit
+  | _ -> None
+
+(* Packed form: a small tag plus up to three int operands — the "couple
+   of int stores" budget that keeps recording cheap enough to stay on. *)
+
+let encode = function
+  | Coll_begin { kind; cause } -> (0, kind_code kind, Gc_cause.code cause, 0)
+  | Coll_end { kind; cause; bytes } ->
+      (1, kind_code kind, Gc_cause.code cause, bytes)
+  | Chunk_acquire { node; fresh } -> (2, node, (if fresh then 1 else 0), 0)
+  | Chunk_release { node } -> (3, node, 0, 0)
+  | Steal_attempt { victim } -> (4, victim, 0, 0)
+  | Steal_success { victim } -> (5, victim, 0, 0)
+  | Global_phase { phase } -> (6, phase_code phase, 0, 0)
+  | Alloc_sample { bytes } -> (7, bytes, 0, 0)
+
+let decode ~tag ~a ~b ~c =
+  match tag with
+  | 0 -> (
+      match (kind_of_code a, Gc_cause.of_code b) with
+      | Some kind, Some cause -> Some (Coll_begin { kind; cause })
+      | _ -> None)
+  | 1 -> (
+      match (kind_of_code a, Gc_cause.of_code b) with
+      | Some kind, Some cause -> Some (Coll_end { kind; cause; bytes = c })
+      | _ -> None)
+  | 2 -> Some (Chunk_acquire { node = a; fresh = b = 1 })
+  | 3 -> Some (Chunk_release { node = a })
+  | 4 -> Some (Steal_attempt { victim = a })
+  | 5 -> Some (Steal_success { victim = a })
+  | 6 -> (
+      match phase_of_code a with
+      | Some phase -> Some (Global_phase { phase })
+      | None -> None)
+  | 7 -> Some (Alloc_sample { bytes = a })
+  | _ -> None
+
+(* Text form used by the dump codec: a name followed by its operands. *)
+
+let to_strings = function
+  | Coll_begin { kind; cause } ->
+      [ "coll-begin"; kind_to_string kind; Gc_cause.to_string cause ]
+  | Coll_end { kind; cause; bytes } ->
+      [
+        "coll-end"; kind_to_string kind; Gc_cause.to_string cause;
+        string_of_int bytes;
+      ]
+  | Chunk_acquire { node; fresh } ->
+      [ "chunk-acquire"; string_of_int node; (if fresh then "fresh" else "reused") ]
+  | Chunk_release { node } -> [ "chunk-release"; string_of_int node ]
+  | Steal_attempt { victim } -> [ "steal-attempt"; string_of_int victim ]
+  | Steal_success { victim } -> [ "steal-success"; string_of_int victim ]
+  | Global_phase { phase } -> [ "global-phase"; phase_to_string phase ]
+  | Alloc_sample { bytes } -> [ "alloc-sample"; string_of_int bytes ]
+
+let of_strings words =
+  let int s =
+    match int_of_string_opt s with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "bad integer %S" s)
+  in
+  let ( let* ) = Result.bind in
+  match words with
+  | [ "coll-begin"; k; c ] -> (
+      match (kind_of_string k, Gc_cause.of_string c) with
+      | Some kind, Some cause -> Ok (Coll_begin { kind; cause })
+      | _ -> Error "bad coll-begin operands")
+  | [ "coll-end"; k; c; b ] -> (
+      match (kind_of_string k, Gc_cause.of_string c) with
+      | Some kind, Some cause ->
+          let* bytes = int b in
+          Ok (Coll_end { kind; cause; bytes })
+      | _ -> Error "bad coll-end operands")
+  | [ "chunk-acquire"; n; f ] ->
+      let* node = int n in
+      (match f with
+      | "fresh" -> Ok (Chunk_acquire { node; fresh = true })
+      | "reused" -> Ok (Chunk_acquire { node; fresh = false })
+      | _ -> Error "bad chunk-acquire provenance")
+  | [ "chunk-release"; n ] ->
+      let* node = int n in
+      Ok (Chunk_release { node })
+  | [ "steal-attempt"; v ] ->
+      let* victim = int v in
+      Ok (Steal_attempt { victim })
+  | [ "steal-success"; v ] ->
+      let* victim = int v in
+      Ok (Steal_success { victim })
+  | [ "global-phase"; p ] -> (
+      match phase_of_string p with
+      | Some phase -> Ok (Global_phase { phase })
+      | None -> Error "bad global-phase name")
+  | [ "alloc-sample"; b ] ->
+      let* bytes = int b in
+      Ok (Alloc_sample { bytes })
+  | w :: _ -> Error (Printf.sprintf "unknown event %S" w)
+  | [] -> Error "empty event"

@@ -1,0 +1,40 @@
+(** One flight-recorder event.
+
+    Events are stored packed as [(tag, a, b, c)] int quadruples in the
+    ring buffer; [encode]/[decode] are that codec, and
+    [to_strings]/[of_strings] the text form used by dump files. *)
+
+type coll_kind = Minor | Major | Promotion | Global
+
+type global_phase = Entry | Roots | Cheney | Retarget | Sweep | Exit
+
+type t =
+  | Coll_begin of { kind : coll_kind; cause : Gc_cause.t }
+  | Coll_end of { kind : coll_kind; cause : Gc_cause.t; bytes : int }
+      (** [bytes] = bytes copied (or promoted) by this collection. *)
+  | Chunk_acquire of { node : int; fresh : bool }
+      (** A global-heap chunk was claimed; [fresh] when newly mapped
+          rather than reused from the pool's free list. *)
+  | Chunk_release of { node : int }
+  | Steal_attempt of { victim : int }
+  | Steal_success of { victim : int }
+  | Global_phase of { phase : global_phase }
+  | Alloc_sample of { bytes : int }
+      (** Sampled allocation (1-in-[sample_every] objects). *)
+
+val kind_code : coll_kind -> int
+val kind_of_code : int -> coll_kind option
+val kind_to_string : coll_kind -> string
+val kind_of_string : string -> coll_kind option
+val phase_to_string : global_phase -> string
+val phase_of_string : string -> global_phase option
+
+val encode : t -> int * int * int * int
+(** [(tag, a, b, c)] packed form. *)
+
+val decode : tag:int -> a:int -> b:int -> c:int -> t option
+
+val to_strings : t -> string list
+(** Space-separable words: event name followed by operands. *)
+
+val of_strings : string list -> (t, string) result

@@ -1,0 +1,70 @@
+(* Why a collection ran.  Threaded through every collector entry point
+   so pause telemetry can be attributed, not just counted. *)
+
+type reason = Steal | Pval_sync | Mut_store | Explicit
+
+type t =
+  | Nursery_full
+  | To_space_low
+  | Promotion of reason
+  | Global_threshold
+  | Forced
+
+let n_codes = 8
+
+let code = function
+  | Nursery_full -> 0
+  | To_space_low -> 1
+  | Global_threshold -> 2
+  | Forced -> 3
+  | Promotion Steal -> 4
+  | Promotion Pval_sync -> 5
+  | Promotion Mut_store -> 6
+  | Promotion Explicit -> 7
+
+let of_code = function
+  | 0 -> Some Nursery_full
+  | 1 -> Some To_space_low
+  | 2 -> Some Global_threshold
+  | 3 -> Some Forced
+  | 4 -> Some (Promotion Steal)
+  | 5 -> Some (Promotion Pval_sync)
+  | 6 -> Some (Promotion Mut_store)
+  | 7 -> Some (Promotion Explicit)
+  | _ -> None
+
+let to_string = function
+  | Nursery_full -> "nursery_full"
+  | To_space_low -> "to_space_low"
+  | Global_threshold -> "global_threshold"
+  | Forced -> "forced"
+  | Promotion Steal -> "promotion_steal"
+  | Promotion Pval_sync -> "promotion_pval_sync"
+  | Promotion Mut_store -> "promotion_mut_store"
+  | Promotion Explicit -> "promotion_explicit"
+
+let of_string = function
+  | "nursery_full" -> Some Nursery_full
+  | "to_space_low" -> Some To_space_low
+  | "global_threshold" -> Some Global_threshold
+  | "forced" -> Some Forced
+  | "promotion_steal" -> Some (Promotion Steal)
+  | "promotion_pval_sync" -> Some (Promotion Pval_sync)
+  | "promotion_mut_store" -> Some (Promotion Mut_store)
+  | "promotion_explicit" -> Some (Promotion Explicit)
+  | _ -> None
+
+let code_name i =
+  match of_code i with Some c -> to_string c | None -> "unknown"
+
+let all =
+  [
+    Nursery_full;
+    To_space_low;
+    Global_threshold;
+    Forced;
+    Promotion Steal;
+    Promotion Pval_sync;
+    Promotion Mut_store;
+    Promotion Explicit;
+  ]

@@ -1,0 +1,36 @@
+(** Collection-cause taxonomy.
+
+    Every collector entry point takes a cause; the flight recorder and
+    the pause telemetry attribute each collection to one of these.  A
+    promotion carries the runtime event that forced it — the sharing
+    points of the paper's §3.1 (work stealing, pval/CML synchronization,
+    mutator stores that would create a forbidden cross-heap edge). *)
+
+type reason =
+  | Steal  (** lazy promotion of a stolen work item's environment *)
+  | Pval_sync  (** future/channel result shared at a synchronization *)
+  | Mut_store  (** write barrier promoting to avoid a cross-heap edge *)
+  | Explicit  (** a direct [Promote.value] call (tests, allocation) *)
+
+type t =
+  | Nursery_full  (** minor: the nursery could not satisfy an allocation *)
+  | To_space_low  (** major: reserve too small after the minor *)
+  | Promotion of reason
+  | Global_threshold  (** global: in-use chunk bytes exceeded the budget *)
+  | Forced  (** invoked directly by the embedder or a test *)
+
+val n_codes : int
+(** Number of distinct cause codes (for fixed-size counter arrays). *)
+
+val code : t -> int
+(** Dense code in [0, n_codes). *)
+
+val of_code : int -> t option
+val to_string : t -> string
+val of_string : string -> t option
+
+val code_name : int -> string
+(** [to_string] of [of_code], or ["unknown"]. *)
+
+val all : t list
+(** Every cause, in code order. *)

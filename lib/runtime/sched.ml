@@ -180,7 +180,10 @@ let share t ~to_vproc (f : future) =
   | Done { owner; cell; err = None } ->
       let v = Roots.get cell in
       if to_vproc <> owner && Promote.is_local t.c t.vprocs.(owner).mut v then begin
-        let g = Promote.value t.c t.vprocs.(owner).mut v in
+        let g =
+          Promote.value ~reason:Obs.Gc_cause.Pval_sync t.c t.vprocs.(owner).mut
+            v
+        in
         Roots.set cell g;
         g
       end
@@ -223,7 +226,7 @@ let claim_env t (v : vproc) (item : work_item) =
         (fun c ->
           let value = Ctx.resolve t.c victim.mut (Roots.get c) in
           let before = victim.mut.Ctx.stats.Gc_stats.promoted_bytes in
-          let g = Promote.value t.c victim.mut value in
+          let g = Promote.value ~reason:Obs.Gc_cause.Steal t.c victim.mut value in
           t.st.steal_promoted_bytes <-
             t.st.steal_promoted_bytes
             + (victim.mut.Ctx.stats.Gc_stats.promoted_bytes - before);
@@ -487,7 +490,9 @@ let resolve_queued t (m : Ctx.mutator) (item : work_item) =
     | _ -> failwith "Sched.resolve_queued: work item executed twice");
     if item.env_owner <> m.Ctx.id then begin
       t.st.steals <- t.st.steals + 1;
-      Metrics.record_steal t.c.Ctx.metrics ~vproc:m.Ctx.id ~success:true
+      Metrics.record_steal t.c.Ctx.metrics ~vproc:m.Ctx.id ~success:true;
+      Obs.Recorder.record t.c.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+        (Obs.Event.Steal_success { victim = item.env_owner })
     end
     else t.st.inline_runs <- t.st.inline_runs + 1;
     item.fut.fstate <- Running;
@@ -547,7 +552,7 @@ let new_channel t (m : Ctx.mutator) =
   (* The channel is materialized as a small global object so that channel
      metadata traffic exists in the simulated heap. *)
   let local = Alloc.alloc_raw t.c m ~words:2 in
-  let g = Promote.value t.c m local in
+  let g = Promote.value ~reason:Obs.Gc_cause.Pval_sync t.c m local in
   let ch =
     {
       ch_id = t.next_chid;
@@ -567,7 +572,7 @@ let send t (m : Ctx.mutator) ch value =
         Ctx.resolve t.c m (Roots.get cv))
   in
   (* The sender promotes the message — the sharing point of §3.1. *)
-  let gmsg = Promote.value t.c m value in
+  let gmsg = Promote.value ~reason:Obs.Gc_cause.Pval_sync t.c m value in
   Ctx.touch t.c m ~addr:(Value.to_ptr (Roots.get ch.ch_obj)) ~bytes:16;
   Effect.perform (Ef_send (ch, gmsg))
 
@@ -615,7 +620,10 @@ let sync t (m : Ctx.mutator) (events : event list) =
         let arm =
           match kind with
           | `S ->
-              let gmsg = Promote.value t.c m (Ctx.resolve t.c m (Roots.get cell)) in
+              let gmsg =
+                Promote.value ~reason:Obs.Gc_cause.Pval_sync t.c m
+                  (Ctx.resolve t.c m (Roots.get cell))
+              in
               Arm_send (ch, gmsg)
           | `R -> Arm_recv (ch, mk_proxy t m)
         in
@@ -688,6 +696,16 @@ let next_move t =
                   consider
                     (Float.max thief.mut.Ctx.now_ns oldest.pushed_ns)
                     (Run_steal (thief, victim))
+              | None when victim.v_id <> thief.v_id ->
+                  (* Probing an empty deque is a failed steal attempt: a
+                     real thief pays for the remote peek whether or not
+                     work is there, so the attempt counters must see it. *)
+                  Metrics.record_steal t.c.Ctx.metrics ~vproc:thief.v_id
+                    ~success:false;
+                  Obs.Recorder.record t.c.Ctx.obs ~vproc:thief.v_id
+                    ~t_ns:thief.mut.Ctx.now_ns
+                    (Obs.Event.Steal_attempt { victim = victim.v_id });
+                  hunt rest
               | _ -> hunt rest
             end
         in
@@ -712,6 +730,9 @@ let run_move t = function
           t.turn_start_ns <- v.mut.Ctx.now_ns;
           start_fiber t v item)
   | Run_steal (thief, victim) -> (
+      Obs.Recorder.record t.c.Ctx.obs ~vproc:thief.v_id
+        ~t_ns:thief.mut.Ctx.now_ns
+        (Obs.Event.Steal_attempt { victim = victim.v_id });
       match Deque.steal victim.deque with
       | None ->
           Metrics.record_steal t.c.Ctx.metrics ~vproc:thief.v_id ~success:false
@@ -719,6 +740,9 @@ let run_move t = function
           item.on_queue <- None;
           t.st.steals <- t.st.steals + 1;
           Metrics.record_steal t.c.Ctx.metrics ~vproc:thief.v_id ~success:true;
+          Obs.Recorder.record t.c.Ctx.obs ~vproc:thief.v_id
+            ~t_ns:thief.mut.Ctx.now_ns
+            (Obs.Event.Steal_success { victim = victim.v_id });
           thief.mut.Ctx.now_ns <-
             Float.max thief.mut.Ctx.now_ns item.pushed_ns;
           t.turn_start_ns <- thief.mut.Ctx.now_ns;
@@ -732,7 +756,7 @@ let run t ~main =
     | Done _ -> ()
     | _ ->
         if t.c.Ctx.global_gc_pending then begin
-          Global_gc.run t.c;
+          Global_gc.run ~cause:Obs.Gc_cause.Global_threshold t.c;
           loop ()
         end
         else begin

@@ -156,11 +156,13 @@ let test_timeline_anchor_mid_run () =
   Gc_trace.enable tr;
   let base = 5e9 in
   Gc_trace.record tr
-    { Gc_trace.vproc = 0; kind = Gc_trace.Minor; t_start_ns = base;
+    { Gc_trace.vproc = 0; kind = Gc_trace.Minor;
+      cause = Obs.Gc_cause.Nursery_full; node = 0; t_start_ns = base;
       t_end_ns = base +. 1e6; bytes = 64 };
   Gc_trace.record tr
-    { Gc_trace.vproc = 0; kind = Gc_trace.Global; t_start_ns = base +. 9e6;
-      t_end_ns = base +. 10e6; bytes = 128 };
+    { Gc_trace.vproc = 0; kind = Gc_trace.Global;
+      cause = Obs.Gc_cause.Global_threshold; node = 0;
+      t_start_ns = base +. 9e6; t_end_ns = base +. 10e6; bytes = 128 };
   let tl = Gc_trace.render_timeline ~width:40 tr ~n_vprocs:1 in
   let lines = String.split_on_char '\n' tl in
   Alcotest.(check string) "header shows the real span"
@@ -177,7 +179,8 @@ let test_timeline_identical_timestamps () =
   let tr = Gc_trace.create () in
   Gc_trace.enable tr;
   Gc_trace.record tr
-    { Gc_trace.vproc = 0; kind = Gc_trace.Minor; t_start_ns = 7e6;
+    { Gc_trace.vproc = 0; kind = Gc_trace.Minor;
+      cause = Obs.Gc_cause.Nursery_full; node = 0; t_start_ns = 7e6;
       t_end_ns = 7e6; bytes = 0 };
   let tl = Gc_trace.render_timeline ~width:40 tr ~n_vprocs:1 in
   Alcotest.(check bool) "renders a lane" true

@@ -50,7 +50,7 @@ let test_verdict_deterministic () =
     match Fuzz.Engine.run_trace ops with
     | Fuzz.Engine.Passed { checks; collections } ->
         Printf.sprintf "passed %d %d" checks collections
-    | Fuzz.Engine.Failed { op_index; message } ->
+    | Fuzz.Engine.Failed { op_index; message; _ } ->
         Printf.sprintf "failed %d %s" op_index message
   in
   Alcotest.(check string) "same verdict twice" (run ()) (run ())
@@ -165,6 +165,28 @@ let test_chaos_caught_and_shrunk () =
             "reproducer passes without the fault" true
             (not (Fuzz.Engine.failed (Fuzz.Engine.run_trace min))))
 
+let test_failure_carries_event_dump () =
+  (* The dump-on-checker-failure path: a divergence must ship the flight
+     recorder's state at the failure point, parseable post mortem. *)
+  match
+    Fuzz.Driver.campaign ~cfg:chaos_cfg ~shrink:false ~seed:1 ~programs:3
+      ~n_ops:200 ()
+  with
+  | Ok _ -> Alcotest.fail "chaos campaign unexpectedly passed"
+  | Error f -> (
+      let events = f.Fuzz.Driver.events in
+      Alcotest.(check bool) "dump non-empty" true (String.length events > 0);
+      Alcotest.(check bool) "dump tagged obs-dump" true
+        (String.length events >= 8 && String.sub events 0 8 = "obs-dump");
+      match Obs.Recorder.of_string events with
+      | Error m -> Alcotest.failf "dump did not re-parse: %s" m
+      | Ok r ->
+          let total = ref 0 in
+          for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+            total := !total + List.length (Obs.Recorder.events r ~vproc:v)
+          done;
+          Alcotest.(check bool) "dump holds events" true (!total > 0))
+
 let suite =
   ( "fuzz",
     [
@@ -186,4 +208,6 @@ let suite =
         test_shrink_respects_budget;
       Alcotest.test_case "chaos fault caught and shrunk" `Quick
         test_chaos_caught_and_shrunk;
+      Alcotest.test_case "failure carries the event dump" `Quick
+        test_failure_carries_event_dump;
     ] )

@@ -23,6 +23,40 @@ let test_json_rejects_garbage () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; {|{"a":}|}; "tru"; "1 2"; {|"unterminated|}; {|{"a":1,}|} ]
 
+let test_json_edge_cases () =
+  let ok s =
+    match J.parse s with
+    | Ok v -> v
+    | Error m -> Alcotest.failf "%S: %s" s m
+  in
+  (* Unicode and control escapes decode (to UTF-8) and survive a
+     print/parse fixpoint. *)
+  (match ok {|"caf\u00e9 \u0001 \b\f"|} with
+  | J.Str str ->
+      Alcotest.(check string) "escapes decoded" "caf\xc3\xa9 \x01 \b\x0c" str
+  | _ -> Alcotest.fail "expected a string");
+  (match ok {|"\b"|} with
+  | v -> Alcotest.(check bool) "control fixpoint" true (ok (J.to_string v) = v));
+  (* Exponent number forms, both cases and signs. *)
+  (match ok "[1e-3, 1E+10, 2.5e2, -4E-1]" with
+  | J.Arr [ J.Num a; J.Num b; J.Num c; J.Num d ] ->
+      Alcotest.(check (float 1e-12)) "1e-3" 0.001 a;
+      Alcotest.(check (float 1.)) "1E+10" 1e10 b;
+      Alcotest.(check (float 1e-9)) "2.5e2" 250. c;
+      Alcotest.(check (float 1e-12)) "-4E-1" (-0.4) d
+  | _ -> Alcotest.fail "expected four numbers");
+  (* Deeply nested arrays parse and round-trip. *)
+  let deep = String.make 200 '[' ^ "7" ^ String.make 200 ']' in
+  let v = ok deep in
+  Alcotest.(check bool) "200-deep round-trip" true (ok (J.to_string v) = v);
+  (* A complete value followed by trailing garbage is rejected. *)
+  List.iter
+    (fun s ->
+      match J.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "{} x"; "[1] [2]"; "null,"; {|"a" "b"|}; "7 }" ]
+
 let mk_recorder () =
   let t = Metrics.create ~n_vprocs:2 in
   for i = 1 to 100 do
@@ -141,14 +175,17 @@ let mk_trace () =
   let tr = Gc_trace.create () in
   Gc_trace.enable tr;
   Gc_trace.record tr
-    { Gc_trace.vproc = 0; kind = Gc_trace.Minor; t_start_ns = 1_000.;
+    { Gc_trace.vproc = 0; kind = Gc_trace.Minor;
+      cause = Obs.Gc_cause.Nursery_full; node = 0; t_start_ns = 1_000.;
       t_end_ns = 3_000.; bytes = 64 };
   Gc_trace.record tr
-    { Gc_trace.vproc = 1; kind = Gc_trace.Global; t_start_ns = 5_000.;
+    { Gc_trace.vproc = 1; kind = Gc_trace.Global;
+      cause = Obs.Gc_cause.Global_threshold; node = 1; t_start_ns = 5_000.;
       t_end_ns = 9_000.; bytes = 256 };
   Gc_trace.record tr
-    { Gc_trace.vproc = 0; kind = Gc_trace.Promotion; t_start_ns = 10_000.;
-      t_end_ns = 10_500.; bytes = 32 };
+    { Gc_trace.vproc = 0; kind = Gc_trace.Promotion;
+      cause = Obs.Gc_cause.Promotion Obs.Gc_cause.Steal; node = 0;
+      t_start_ns = 10_000.; t_end_ns = 10_500.; bytes = 32 };
   tr
 
 let test_chrome_json_well_formed () =
@@ -236,6 +273,8 @@ let suite =
       Alcotest.test_case "json value round-trip" `Quick test_json_value_roundtrip;
       Alcotest.test_case "json rejects malformed input" `Quick
         test_json_rejects_garbage;
+      Alcotest.test_case "json escapes, exponents, nesting" `Quick
+        test_json_edge_cases;
       Alcotest.test_case "histogram percentiles" `Quick test_percentiles;
       Alcotest.test_case "snapshot JSON round-trip" `Quick
         test_snapshot_json_roundtrip;

@@ -1,0 +1,289 @@
+(* The flight recorder: ring overwrite semantics, the cause and event
+   codecs, dump round-trips, and the always-on instrumentation promises
+   — every recorded collection carries a cause that reconciles with the
+   pause telemetry, the NUMA traffic matrix matches the copied-byte
+   totals exactly, and failed steals on empty deques count as
+   attempts. *)
+
+open Heap
+open Manticore_gc
+open Runtime
+module Cause = Obs.Gc_cause
+module Event = Obs.Event
+
+let test_ring_overwrite () =
+  let r = Obs.Ring.create ~capacity:8 in
+  for i = 0 to 19 do
+    Obs.Ring.push r ~t_ns:(float_of_int i) ~tag:1 ~a:i ~b:0 ~c:0
+  done;
+  Alcotest.(check int) "total" 20 (Obs.Ring.total r);
+  Alcotest.(check int) "stored" 8 (Obs.Ring.stored r);
+  Alcotest.(check int) "dropped" 12 (Obs.Ring.dropped r);
+  let seen = ref [] in
+  Obs.Ring.iter_oldest_first r (fun seq _ _ a _ _ -> seen := (seq, a) :: !seen);
+  let seen = List.rev !seen in
+  Alcotest.(check int) "surviving" 8 (List.length seen);
+  List.iteri
+    (fun i (seq, a) ->
+      Alcotest.(check int) "sequence numbers are global" (12 + i) seq;
+      Alcotest.(check int) "payload matches its sequence" (12 + i) a)
+    seen
+
+let test_cause_codec () =
+  Alcotest.(check int) "codes are dense" Cause.n_codes
+    (List.length Cause.all);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "of_code inverts code" true
+        (Cause.of_code (Cause.code c) = Some c);
+      Alcotest.(check bool) "of_string inverts to_string" true
+        (Cause.of_string (Cause.to_string c) = Some c))
+    Cause.all;
+  Alcotest.(check bool) "bad code rejected" true (Cause.of_code 99 = None);
+  Alcotest.(check bool) "bad name rejected" true (Cause.of_string "zap" = None)
+
+let sample_events =
+  [
+    Event.Coll_begin { kind = Event.Minor; cause = Cause.Nursery_full };
+    Event.Coll_end { kind = Event.Major; cause = Cause.To_space_low; bytes = 4096 };
+    Event.Coll_end
+      { kind = Event.Promotion;
+        cause = Cause.Promotion Cause.Mut_store;
+        bytes = 64 };
+    Event.Coll_end { kind = Event.Global; cause = Cause.Global_threshold; bytes = 0 };
+    Event.Chunk_acquire { node = 3; fresh = true };
+    Event.Chunk_acquire { node = 0; fresh = false };
+    Event.Chunk_release { node = 2 };
+    Event.Steal_attempt { victim = 5 };
+    Event.Steal_success { victim = 1 };
+    Event.Global_phase { phase = Event.Cheney };
+    Event.Alloc_sample { bytes = 128 };
+  ]
+
+let test_event_codec () =
+  List.iter
+    (fun ev ->
+      let tag, a, b, c = Event.encode ev in
+      (match Event.decode ~tag ~a ~b ~c with
+      | Some ev' -> Alcotest.(check bool) "packed round-trip" true (ev = ev')
+      | None -> Alcotest.fail "packed decode failed");
+      match Event.of_strings (Event.to_strings ev) with
+      | Ok ev' -> Alcotest.(check bool) "text round-trip" true (ev = ev')
+      | Error m -> Alcotest.fail m)
+    sample_events;
+  Alcotest.(check bool) "bad tag rejected" true
+    (Event.decode ~tag:99 ~a:0 ~b:0 ~c:0 = None);
+  (match Event.of_strings [ "coll-end"; "zzz"; "nursery_full"; "1" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a bad kind");
+  match Event.of_strings [ "no-such-event" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an unknown event"
+
+let test_recorder_dump_roundtrip () =
+  let r =
+    Obs.Recorder.create ~capacity:16 ~n_vprocs:2 ~n_nodes:2
+      ~node_of_vproc:(fun v -> v mod 2)
+      ()
+  in
+  List.iteri
+    (fun i ev ->
+      Obs.Recorder.record r ~vproc:(i mod 2)
+        ~t_ns:(1000.25 +. float_of_int i)
+        ev)
+    sample_events;
+  Obs.Recorder.record_copy r ~src_node:0 ~dst_node:1 ~bytes:640;
+  Obs.Recorder.record_copy r ~src_node:1 ~dst_node:1 ~bytes:72;
+  let text = Obs.Recorder.to_string r in
+  match Obs.Recorder.of_string text with
+  | Error m -> Alcotest.failf "dump did not parse: %s" m
+  | Ok r2 ->
+      Alcotest.(check int) "vprocs" 2 (Obs.Recorder.n_vprocs r2);
+      Alcotest.(check int) "nodes" 2 (Obs.Recorder.n_nodes r2);
+      for v = 0 to 1 do
+        Alcotest.(check bool)
+          (Printf.sprintf "vproc %d events survive" v)
+          true
+          (Obs.Recorder.events r ~vproc:v = Obs.Recorder.events r2 ~vproc:v)
+      done;
+      Alcotest.(check int) "matrix cell" 640
+        (Obs.Recorder.matrix_get r2 ~src_node:0 ~dst_node:1);
+      Alcotest.(check int) "matrix total" 712 (Obs.Recorder.matrix_total r2);
+      Alcotest.(check string) "print/parse fixpoint" text
+        (Obs.Recorder.to_string r2)
+
+(* -- the always-on promises, on a real run --------------------------- *)
+
+let run_workload () =
+  let spec = Option.get (Workloads.Registry.find "synthetic") in
+  let base =
+    Harness.Run_config.default ~machine:Numa.Machines.tiny4 ~n_vprocs:2
+  in
+  let cfg =
+    { base with
+      Harness.Run_config.scale = 0.25;
+      params =
+        (* Tight enough that the small workload still collects. *)
+        { base.Harness.Run_config.params with
+          Params.local_heap_bytes = 32 * 1024;
+          nursery_min_bytes = 4 * 1024 } }
+  in
+  Harness.Run_config.execute spec cfg
+
+let coll_end_counts r =
+  (* (minor, major, promotion, global) Coll_end events over all rings. *)
+  let counts = Array.make 4 0 in
+  for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "vproc %d ring did not overwrite" v)
+      0
+      (Obs.Recorder.dropped r ~vproc:v);
+    List.iter
+      (fun (_, _, ev) ->
+        match ev with
+        | Event.Coll_end { kind; _ } ->
+            let k =
+              match kind with
+              | Event.Minor -> 0
+              | Event.Major -> 1
+              | Event.Promotion -> 2
+              | Event.Global -> 3
+            in
+            counts.(k) <- counts.(k) + 1
+        | _ -> ())
+      (Obs.Recorder.events r ~vproc:v)
+  done;
+  counts
+
+let test_every_collection_attributed () =
+  let o = run_workload () in
+  let r = o.Harness.Run_config.obs in
+  let counts = coll_end_counts r in
+  let agg = Metrics.aggregate o.Harness.Run_config.metrics in
+  let m kind = (Metrics.kind_stats agg kind).Metrics.pause_ns.Metrics.count in
+  Alcotest.(check bool) "run collected" true (counts.(0) > 0);
+  Alcotest.(check int) "minor events = minor pauses" (m Gc_trace.Minor)
+    counts.(0);
+  Alcotest.(check int) "major events = major pauses" (m Gc_trace.Major)
+    counts.(1);
+  Alcotest.(check int) "promotion events = promotion pauses"
+    (m Gc_trace.Promotion) counts.(2);
+  Alcotest.(check int) "global events = global pauses" (m Gc_trace.Global)
+    counts.(3);
+  (* The cause counters must cover every pause: 100% attribution. *)
+  let snap = Metrics.snapshot o.Harness.Run_config.metrics in
+  List.iter
+    (fun (vs : Metrics.vproc_stats) ->
+      let pauses =
+        List.fold_left
+          (fun acc k -> acc + (Metrics.kind_stats vs k).Metrics.pause_ns.Metrics.count)
+          0
+          [ Gc_trace.Minor; Gc_trace.Major; Gc_trace.Promotion; Gc_trace.Global ]
+      in
+      let attributed =
+        List.fold_left (fun acc (_, n) -> acc + n) 0 vs.Metrics.causes
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "vproc %d: every pause has a cause" vs.Metrics.vproc)
+        pauses attributed)
+    snap.Metrics.vprocs
+
+let test_matrix_matches_copied_bytes () =
+  (* Exact-byte cross-check: the NUMA traffic matrix total must equal
+     the sum of every vproc's copied-byte totals across all collection
+     kinds — the matrix is fed from the same evacuation copies the pause
+     telemetry charges. *)
+  let o = run_workload () in
+  let r = o.Harness.Run_config.obs in
+  let snap = Metrics.snapshot o.Harness.Run_config.metrics in
+  let copied =
+    List.fold_left
+      (fun acc (vs : Metrics.vproc_stats) ->
+        List.fold_left
+          (fun acc k ->
+            acc
+            + int_of_float
+                (Metrics.kind_stats vs k).Metrics.copied_bytes.Metrics.sum)
+          acc
+          [ Gc_trace.Minor; Gc_trace.Major; Gc_trace.Promotion; Gc_trace.Global ])
+      0 snap.Metrics.vprocs
+  in
+  Alcotest.(check bool) "bytes were copied" true (copied > 0);
+  Alcotest.(check int) "matrix total = copied bytes" copied
+    (Obs.Recorder.matrix_total r);
+  let n = Obs.Recorder.n_nodes r in
+  let cells = ref 0 in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      cells := !cells + Obs.Recorder.matrix_get r ~src_node:s ~dst_node:d
+    done
+  done;
+  Alcotest.(check int) "cells sum to the total" copied !cells
+
+let test_failed_steals_counted () =
+  (* Regression: a thief probing an empty deque must count as a steal
+     attempt.  A single sequential task leaves one vproc idle: beyond
+     the one steal that migrates the main task, every probe fails —
+     and before the fix those probes left the attempt counter at the
+     success count. *)
+  let rt = Test_sched.mk_rt ~n_vprocs:2 () in
+  let c = Sched.ctx rt in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         for _ = 1 to 200 do
+           Sched.tick rt m;
+           Ctx.charge_work c m ~cycles:5_000.
+         done;
+         Value.unit));
+  let agg = Metrics.aggregate c.Ctx.metrics in
+  Alcotest.(check bool) "at most the main task was stolen" true
+    (agg.Metrics.steal_successes <= 1);
+  Alcotest.(check bool) "failed probes counted as attempts" true
+    (agg.Metrics.steal_attempts > agg.Metrics.steal_successes);
+  let ring_attempts = ref 0 and ring_successes = ref 0 in
+  for v = 0 to Obs.Recorder.n_vprocs c.Ctx.obs - 1 do
+    List.iter
+      (fun (_, _, ev) ->
+        match ev with
+        | Event.Steal_attempt _ -> incr ring_attempts
+        | Event.Steal_success _ -> incr ring_successes
+        | _ -> ())
+      (Obs.Recorder.events c.Ctx.obs ~vproc:v)
+  done;
+  Alcotest.(check bool) "recorder saw the failed attempts" true
+    (!ring_attempts > !ring_successes)
+
+let test_disabled_recorder_is_silent () =
+  let o =
+    let spec = Option.get (Workloads.Registry.find "synthetic") in
+    let base =
+      Harness.Run_config.default ~machine:Numa.Machines.tiny4 ~n_vprocs:2
+    in
+    Harness.Run_config.execute spec
+      { base with Harness.Run_config.scale = 0.25; obs_enabled = false }
+  in
+  let r = o.Harness.Run_config.obs in
+  let total = ref (Obs.Recorder.matrix_total r) in
+  for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+    total := !total + List.length (Obs.Recorder.events r ~vproc:v)
+  done;
+  Alcotest.(check int) "nothing recorded when disabled" 0 !total
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "ring overwrites oldest first" `Quick
+        test_ring_overwrite;
+      Alcotest.test_case "cause codec round-trips" `Quick test_cause_codec;
+      Alcotest.test_case "event codec round-trips" `Quick test_event_codec;
+      Alcotest.test_case "recorder dump round-trips" `Quick
+        test_recorder_dump_roundtrip;
+      Alcotest.test_case "every collection attributed" `Quick
+        test_every_collection_attributed;
+      Alcotest.test_case "traffic matrix = copied bytes" `Quick
+        test_matrix_matches_copied_bytes;
+      Alcotest.test_case "failed steals count as attempts" `Quick
+        test_failed_steals_counted;
+      Alcotest.test_case "disabled recorder records nothing" `Quick
+        test_disabled_recorder_is_silent;
+    ] )

@@ -1,9 +1,12 @@
 (* CI smoke validator: check that a --metrics-json export parses, has
-   the snapshot shape, and covers every collection kind.
+   the snapshot shape, and covers every collection kind — or, with
+   --chrome, that a Chrome trace-event export is well-formed and every
+   collection event carries a valid cause and NUMA node in its args.
 
-   Usage: validate_metrics.exe FILE [--require-all-kinds] *)
+   Usage: validate_metrics.exe FILE [--require-all-kinds | --chrome] *)
 
 open Manticore_gc
+module J = Metrics.Json
 
 let read_file path =
   let ic = open_in_bin path in
@@ -12,13 +15,67 @@ let read_file path =
   close_in ic;
   s
 
+let validate_chrome path body =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "%s: INVALID chrome trace: %s\n" path m;
+        exit 1)
+      fmt
+  in
+  match J.parse body with
+  | Error m -> fail "%s" m
+  | Ok j ->
+      (match J.member "displayTimeUnit" j with
+      | Some (J.Str "ms") -> ()
+      | _ -> fail "displayTimeUnit missing or not \"ms\"");
+      let evs =
+        match J.member "traceEvents" j with
+        | Some (J.Arr evs) -> evs
+        | _ -> fail "traceEvents missing or not an array"
+      in
+      let ph e = match J.member "ph" e with Some (J.Str s) -> s | _ -> "?" in
+      let xs = List.filter (fun e -> ph e = "X") evs in
+      if xs = [] then fail "no collection (ph=X) events";
+      List.iter
+        (fun e ->
+          (match J.member "ts" e with
+          | Some (J.Num ts) when ts >= 0. -> ()
+          | _ -> fail "X event without a non-negative numeric ts");
+          (match J.member "dur" e with
+          | Some (J.Num d) when d >= 0. -> ()
+          | _ -> fail "X event without a non-negative numeric dur");
+          (match J.member "name" e with
+          | Some (J.Str n)
+            when List.mem n [ "minor"; "major"; "promotion"; "global" ] ->
+              ()
+          | _ -> fail "X event name is not a collection kind");
+          match J.member "args" e with
+          | Some (J.Obj _ as args) -> (
+              (match J.member "bytes" args with
+              | Some (J.Num b) when b >= 0. -> ()
+              | _ -> fail "args without a numeric bytes field");
+              (match J.member "node" args with
+              | Some (J.Num nd) when nd >= 0. -> ()
+              | _ -> fail "args without a non-negative node field");
+              match J.member "cause" args with
+              | Some (J.Str c) when Obs.Gc_cause.of_string c <> None -> ()
+              | Some (J.Str c) -> fail "unknown cause %S" c
+              | _ -> fail "args without a cause field")
+          | _ -> fail "X event without args")
+        xs;
+      Printf.printf "%s: OK (%d collection events, all with cause+node args)\n"
+        path (List.length xs)
+
 let () =
-  let path, require_all =
+  let path, mode =
     match Sys.argv with
-    | [| _; p |] -> (p, false)
-    | [| _; p; "--require-all-kinds" |] -> (p, true)
+    | [| _; p |] -> (p, `Metrics false)
+    | [| _; p; "--require-all-kinds" |] -> (p, `Metrics true)
+    | [| _; p; "--chrome" |] -> (p, `Chrome)
     | _ ->
-        prerr_endline "usage: validate_metrics.exe FILE [--require-all-kinds]";
+        prerr_endline
+          "usage: validate_metrics.exe FILE [--require-all-kinds | --chrome]";
         exit 2
   in
   let body =
@@ -30,6 +87,9 @@ let () =
         Printf.eprintf "%s: cannot read metrics file: %s\n" path m;
         exit 1
   in
+  match mode with
+  | `Chrome -> validate_chrome path body
+  | `Metrics require_all -> (
   match Metrics.snapshot_of_json body with
   | Error m ->
       Printf.eprintf "%s: INVALID metrics JSON: %s\n" path m;
@@ -68,4 +128,4 @@ let () =
       end;
       Printf.printf "%s: OK (%d vprocs; pauses: %s)\n" path n
         (String.concat ", "
-           (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) kinds))
+           (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) kinds)))
