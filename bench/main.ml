@@ -373,6 +373,211 @@ let metrics_main path =
   Format.printf "%a@." Metrics.pp_summary snap;
   Printf.printf "wrote %s\n" path
 
+(* --- --promote: promotion write-buffer micro-benchmark ------------- *)
+
+(* Virtual-time cost of the scheduler's sharing points with the
+   promotion write buffer on vs off (Sched.create ~batch_promotions).
+   Three scenarios hit the three batching boundaries: env cells of one
+   steal, runs of consecutive sends within a turn, and the send arms of
+   one sync choice.  The simulator is deterministic given the seed, so
+   the reported ratios are stable; BENCH_6.json checks in the metrics
+   snapshot for CI to validate. *)
+
+type prom_stats = {
+  pr_cycles : int;  (* promotion cycles (each = one spin-up + publish) *)
+  pr_values : int;  (* values that went through a batch *)
+  pr_pause_ns : float;
+  pr_bytes : int;
+}
+
+let prom_stats_of (ctx : Ctx.t) =
+  let cycles = ref 0 and values = ref 0 and bytes = ref 0 in
+  Array.iter
+    (fun (mu : Ctx.mutator) ->
+      let st = mu.Ctx.stats in
+      cycles := !cycles + st.Gc_stats.promote_count;
+      values := !values + st.Gc_stats.promote_batched_values;
+      bytes := !bytes + st.Gc_stats.promoted_bytes)
+    ctx.Ctx.muts;
+  let agg = Metrics.aggregate ctx.Ctx.metrics in
+  { pr_cycles = !cycles; pr_values = !values;
+    pr_pause_ns = agg.Metrics.promotion.Metrics.pause_ns.Metrics.sum;
+    pr_bytes = !bytes }
+
+(* Steal-heavy fan-out: every work item carries a 4-cell environment, so
+   each steal's claim batches four object graphs into one publish. *)
+let promote_steal_fanout ~batch () =
+  let ctx = mk_ctx ~n_vprocs:8 () in
+  let rt = Sched.create ~batch_promotions:batch ~seed:11 ctx in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         let futs =
+           List.init 48 (fun i ->
+               let cells =
+                 Array.init 4 (fun j ->
+                     Roots.add m.Ctx.roots
+                       (Alloc.alloc_vector ctx m
+                          [| Value.of_int i; Value.of_int j |]))
+               in
+               let fut =
+                 Sched.spawn rt m
+                   ~env:(Array.map Roots.get cells)
+                   (fun m' _ ->
+                     Ctx.charge_work ctx m' ~cycles:40_000.;
+                     Value.of_int i)
+               in
+               Array.iter (fun c -> Roots.remove m.Ctx.roots c) cells;
+               fut)
+         in
+         (* Stay busy while the seven thieves drain the deque: every
+            item is then stolen (and its env promoted) in both modes,
+            so the promoted bytes are schedule-independent. *)
+         Ctx.charge_work ctx m ~cycles:4_000_000.;
+         List.iter (fun f -> ignore (Sched.await rt m f)) futs;
+         Value.unit));
+  ctx
+
+(* Message run: four consumers park on recv, so the producer delivers
+   runs of sends inside one quantum — the per-turn write buffer batches
+   them into one publish per run. *)
+let promote_message_run ~batch () =
+  let ctx = mk_ctx ~n_vprocs:4 () in
+  let rt = Sched.create ~batch_promotions:batch ~seed:22 ctx in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         let ch = Sched.new_channel rt m in
+         let consumers =
+           List.init 4 (fun _ ->
+               Sched.spawn rt m ~env:[||] (fun m' _ ->
+                   let s = ref 0 in
+                   for _ = 1 to 16 do
+                     ignore (Sched.recv rt m' ch);
+                     incr s
+                   done;
+                   Value.of_int !s))
+         in
+         (* Let the consumers get stolen and park on [recv] first. *)
+         Sched.yield rt m;
+         for i = 1 to 64 do
+           let msg =
+             Alloc.alloc_vector ctx m
+               [| Value.of_int i; Value.of_int (i * i) |]
+           in
+           Sched.send rt m ch msg
+         done;
+         List.iter (fun f -> ignore (Sched.await rt m f)) consumers;
+         Value.unit));
+  ctx
+
+(* Sync choice: each round offers a fresh message on each of three
+   channels; the three send arms publish as one batch per sync. *)
+let promote_sync_choice ~batch () =
+  let ctx = mk_ctx ~n_vprocs:4 () in
+  let rt = Sched.create ~batch_promotions:batch ~seed:33 ctx in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         let cha = Sched.new_channel rt m in
+         let chb = Sched.new_channel rt m in
+         let chc = Sched.new_channel rt m in
+         let producer =
+           Sched.spawn rt m ~env:[||] (fun m' _ ->
+               for i = 1 to 32 do
+                 let mk k =
+                   Roots.add m'.Ctx.roots
+                     (Alloc.alloc_vector ctx m'
+                        [| Value.of_int i; Value.of_int k |])
+                 in
+                 let c1 = mk 1 in
+                 let c2 = mk 2 in
+                 let c3 = mk 3 in
+                 ignore
+                   (Sched.sync rt m'
+                      [ Sched.Send_evt (cha, Roots.get c1);
+                        Sched.Send_evt (chb, Roots.get c2);
+                        Sched.Send_evt (chc, Roots.get c3) ]);
+                 List.iter
+                   (fun c -> Roots.remove m'.Ctx.roots c)
+                   [ c1; c2; c3 ]
+               done;
+               Value.unit)
+         in
+         for _ = 1 to 32 do
+           ignore (Sched.select rt m [ cha; chb; chc ])
+         done;
+         ignore (Sched.await rt m producer);
+         Value.unit));
+  ctx
+
+let promote_main json_path =
+  print_endline
+    "Promotion write buffer: batched vs singleton publish (virtual time):";
+  let scenarios =
+    [ ("steal-fanout/4-cell-env", promote_steal_fanout);
+      ("send-run/4-consumers", promote_message_run);
+      ("sync-choice/3-channels", promote_sync_choice) ]
+  in
+  let merged = Metrics.create ~n_vprocs:0 in
+  Printf.printf "  %-24s %10s %10s %14s %12s\n" "" "cycles" "batched"
+    "pause" "bytes";
+  let meta = ref [] in
+  let ok = ref true in
+  List.iter
+    (fun (name, run) ->
+      let single_ctx = run ~batch:false () in
+      let batched_ctx = run ~batch:true () in
+      let s = prom_stats_of single_ctx in
+      let b = prom_stats_of batched_ctx in
+      Metrics.merge ~into:merged single_ctx.Ctx.metrics;
+      Metrics.merge ~into:merged batched_ctx.Ctx.metrics;
+      let row mode (st : prom_stats) =
+        Printf.printf "  %-24s %10d %10d %11.0f ns %12d\n" mode st.pr_cycles
+          st.pr_values st.pr_pause_ns st.pr_bytes
+      in
+      Printf.printf "  %s\n" name;
+      row "    singleton" s;
+      row "    batched" b;
+      let cyc_ratio = float_of_int s.pr_cycles /. float_of_int b.pr_cycles in
+      let pause_ratio = s.pr_pause_ns /. b.pr_pause_ns in
+      Printf.printf "    %-22s %9.2fx %10s %12.2fx %12s\n" "reduction"
+        cyc_ratio "" pause_ratio
+        (if s.pr_bytes = b.pr_bytes then "(bytes =)"
+         else Printf.sprintf "(bytes %+d)" (b.pr_bytes - s.pr_bytes));
+      if cyc_ratio < 2.0 || pause_ratio < 2.0 then ok := false;
+      meta :=
+        ( name,
+          Metrics.Json.Obj
+            [ ("singleton_cycles", Metrics.Json.Num (float_of_int s.pr_cycles));
+              ("batched_cycles", Metrics.Json.Num (float_of_int b.pr_cycles));
+              ("singleton_pause_ns", Metrics.Json.Num s.pr_pause_ns);
+              ("batched_pause_ns", Metrics.Json.Num b.pr_pause_ns);
+              ("singleton_bytes", Metrics.Json.Num (float_of_int s.pr_bytes));
+              ("batched_bytes", Metrics.Json.Num (float_of_int b.pr_bytes));
+              ("cycle_reduction", Metrics.Json.Num cyc_ratio);
+              ("pause_reduction", Metrics.Json.Num pause_ratio) ])
+        :: !meta)
+    scenarios;
+  Printf.printf "  overall: %s (>= 2x cycle and pause reduction per scenario)\n"
+    (if !ok then "PASS" else "FAIL");
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let snap = Metrics.snapshot merged in
+      let json =
+        match Metrics.Json.parse (Metrics.snapshot_to_json snap) with
+        | Ok (Metrics.Json.Obj fields) ->
+            Metrics.Json.Obj
+              (fields
+              @ [ ("bench", Metrics.Json.Str "promote");
+                  ("scenarios", Metrics.Json.Obj (List.rev !meta)) ])
+        | _ -> assert false
+      in
+      let oc = open_out path in
+      output_string oc (Metrics.Json.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  if not !ok then exit 1
+
 (* --- --obs-overhead: flight-recorder cost ------------------------- *)
 
 (* Host wall-clock with the recorder on vs off over the same workloads.
@@ -447,7 +652,10 @@ let () =
   | [| _; "--metrics-json"; path |] -> metrics_main path
   | [| _; "--classify" |] -> classify_main ()
   | [| _; "--obs-overhead" |] -> obs_overhead_main ()
+  | [| _; "--promote" |] -> promote_main None
+  | [| _; "--promote"; "--metrics-json"; path |] -> promote_main (Some path)
   | _ ->
       prerr_endline
-        "usage: main.exe [--metrics-json FILE | --classify | --obs-overhead]";
+        "usage: main.exe [--metrics-json FILE | --classify | --obs-overhead \
+         | --promote [--metrics-json FILE]]";
       exit 2

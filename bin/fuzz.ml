@@ -90,21 +90,25 @@ let replay ~cfg ~shrink path =
           end;
           1)
 
-let main seed ops programs replay_file shrink no_shrink chaos fail_dir =
+let main seed ops programs replay_file shrink no_shrink chaos fail_dir profile
+    =
   let cfg = cfg_of ~chaos in
   match replay_file with
   | Some path -> replay ~cfg ~shrink path
   | None -> (
       let log m = Printf.printf "%s\n%!" m in
       Printf.printf
-        "fuzzing: %d program(s) x %d ops, base seed %d%s\n%!" programs ops
+        "fuzzing: %d program(s) x %d ops, base seed %d%s%s\n%!" programs ops
         seed
+        (match profile with
+        | Fuzz.Gen.Default -> ""
+        | Fuzz.Gen.Steal_message -> " (steal/message-weighted)")
         (if chaos > 0 then
            Printf.sprintf " (chaos: corrupt every %d-th evacuation)" chaos
          else "");
       match
-        Fuzz.Driver.campaign ~cfg ~shrink:(not no_shrink) ~log ~seed ~programs
-          ~n_ops:ops ()
+        Fuzz.Driver.campaign ~cfg ~profile ~shrink:(not no_shrink) ~log ~seed
+          ~programs ~n_ops:ops ()
       with
       | Ok n ->
           Printf.printf "all %d programs passed\n" n;
@@ -157,6 +161,19 @@ let fail_dir =
     & info [ "fail-dir" ] ~docv:"DIR"
         ~doc:"Write failing traces into DIR (for CI artifacts).")
 
+let profile =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("default", Fuzz.Gen.Default);
+             ("steal-message", Fuzz.Gen.Steal_message) ])
+        Fuzz.Gen.Default
+    & info [ "weights" ] ~docv:"PROFILE"
+        ~doc:
+          "Op-weight profile: $(b,default), or $(b,steal-message) to \
+           hammer the scheduler's steal/message promotion paths.")
+
 let cmd =
   let info_ =
     Cmd.info "fuzz"
@@ -165,6 +182,6 @@ let cmd =
   Cmd.v info_
     Term.(
       const main $ seed $ ops $ programs $ replay_file $ shrink $ no_shrink
-      $ chaos $ fail_dir)
+      $ chaos $ fail_dir $ profile)
 
 let () = exit (Cmd.eval' cmd)

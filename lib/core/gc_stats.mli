@@ -4,6 +4,9 @@ type t = {
   mutable minor_count : int;
   mutable major_count : int;
   mutable promote_count : int;
+      (** promotion cycles (a {!Promote.batch} is one cycle) *)
+  mutable promote_batched_values : int;
+      (** local values copied through batched promotion cycles *)
   mutable global_count : int;
   mutable minor_copied_bytes : int;
   mutable major_copied_bytes : int;

@@ -9,6 +9,7 @@ type t = {
   gc_obj_cycles : float;
   chunk_local_sync_cycles : float;
   chunk_global_sync_cycles : float;
+  promote_spinup_cycles : float;
   barrier_cycles : float;
   chunk_affinity : bool;
   young_exclusion : bool;
@@ -27,6 +28,7 @@ let default =
     gc_obj_cycles = 12.;
     chunk_local_sync_cycles = 300.;
     chunk_global_sync_cycles = 2000.;
+    promote_spinup_cycles = 1500.;
     barrier_cycles = 4000.;
     chunk_affinity = true;
     young_exclusion = true;

@@ -22,6 +22,11 @@ type t = {
       (** acquiring a recycled chunk: node-local synchronization *)
   chunk_global_sync_cycles : float;
       (** registering a fresh chunk: global synchronization *)
+  promote_spinup_cycles : float;
+      (** fixed machinery cost of one promotion cycle (saving the
+          mutator state, setting up the forwarding scan, and the
+          fence-equivalent publish of the copied graph); a
+          {!Promote.batch} pays it once for all its roots *)
   barrier_cycles : float;  (** global-GC handshake per vproc *)
   chunk_affinity : bool;
       (** preserve chunk node affinity on reuse (paper §3.1); disable

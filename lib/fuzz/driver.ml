@@ -13,11 +13,11 @@ type failure = {
   shrink_stats : Shrink.stats option;
 }
 
-let run_one ?cfg ~seed ~n_ops () =
+let run_one ?cfg ?profile ~seed ~n_ops () =
   let n_vprocs =
     (Option.value cfg ~default:Engine.default_cfg).Engine.n_vprocs
   in
-  let program = Gen.program ~seed ~n_ops ~n_vprocs () in
+  let program = Gen.program ?profile ~seed ~n_ops ~n_vprocs () in
   (Engine.run_trace ?cfg program, program)
 
 let shrink_failure ?cfg ?max_runs program =
@@ -25,13 +25,13 @@ let shrink_failure ?cfg ?max_runs program =
     ~run:(fun ops -> Engine.failed (Engine.run_trace ?cfg ops))
     program
 
-let campaign ?cfg ?(shrink = true) ?shrink_max_runs ?(log = fun _ -> ())
-    ~seed ~programs ~n_ops () =
+let campaign ?cfg ?profile ?(shrink = true) ?shrink_max_runs
+    ?(log = fun _ -> ()) ~seed ~programs ~n_ops () =
   let rec go p =
     if p >= programs then Ok programs
     else begin
       let pseed = seed + p in
-      match run_one ?cfg ~seed:pseed ~n_ops () with
+      match run_one ?cfg ?profile ~seed:pseed ~n_ops () with
       | Engine.Passed _, _ ->
           if (p + 1) mod 10 = 0 then
             log (Printf.sprintf "%d/%d programs ok" (p + 1) programs);

@@ -214,6 +214,60 @@ let sched_phase s ~seed ~fibers ~src ~dst =
     (Shadow.vec s.sh
        (List.init fibers (fun i -> Shadow.vec s.sh [ Shadow.Imm i; ssrc ])))
 
+let chan_phase s ~seed ~msgs ~src ~dst =
+  let msgs = 1 + (abs msgs mod 6) in
+  let ssrc = s.sregs.(0).(src) in
+  let sched = Sched.create ~seed s.ctx in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Global_gc.install_sync_hook s.ctx)
+      (fun () ->
+        Sched.run sched ~main:(fun m ->
+            let a = Sched.new_channel sched m in
+            let b = Sched.new_channel sched m in
+            let producer =
+              Sched.spawn sched m
+                ~env:[| Roots.get s.regs.(0).(src) |]
+                (fun fm env ->
+                  let payload = Roots.add fm.Ctx.roots env.(0) in
+                  for i = 0 to msgs - 1 do
+                    let msg =
+                      Alloc.alloc_vector s.ctx fm
+                        [| Value.of_int i; Roots.get payload |]
+                    in
+                    (* Offer the same message on both channels; exactly
+                       one arm commits, the sibling is released. *)
+                    ignore
+                      (Sched.sync sched fm
+                         [ Sched.Send_evt (a, msg); Sched.Send_evt (b, msg) ])
+                  done;
+                  Roots.remove fm.Ctx.roots payload;
+                  Value.unit)
+            in
+            (* The producer's sends are synchronous rendezvous, so the
+               k-th select necessarily yields message k. *)
+            let cells = ref [] in
+            for _ = 1 to msgs do
+              let _, v = Sched.select sched m [ a; b ] in
+              cells := Roots.add m.Ctx.roots v :: !cells
+            done;
+            ignore (Sched.await sched m producer);
+            Sched.close_channel sched a;
+            Sched.close_channel sched b;
+            let vals =
+              Array.of_list
+                (List.rev_map
+                   (fun c -> Ctx.resolve s.ctx m (Roots.get c))
+                   !cells)
+            in
+            let out = Alloc.alloc_vector s.ctx m vals in
+            List.iter (fun c -> Roots.remove m.Ctx.roots c) !cells;
+            out))
+  in
+  set_reg s 0 dst result
+    (Shadow.vec s.sh
+       (List.init msgs (fun i -> Shadow.vec s.sh [ Shadow.Imm i; ssrc ])))
+
 let apply s (op : Op.t) =
   match op with
   | Alloc_vec { vproc; dst; srcs } ->
@@ -306,6 +360,8 @@ let apply s (op : Op.t) =
   | Request_global -> Ctx.request_global_gc s.ctx
   | Sched_phase { seed; fibers; src; dst } ->
       sched_phase s ~seed ~fibers ~src:(rg src) ~dst:(rg dst)
+  | Chan_phase { seed; msgs; src; dst } ->
+      chan_phase s ~seed ~msgs ~src:(rg src) ~dst:(rg dst)
   | Check -> check s
 
 (* ------------------------------------------------------------------ *)

@@ -24,29 +24,80 @@ let default_sizes =
 let reg st = Random.State.int st Op.regs_per_vproc
 let slot st = Random.State.int st Op.proxy_slots_per_vproc
 
-let op ?(sizes = default_sizes) st ~n_vprocs : Op.t =
+type profile =
+  | Default
+  | Steal_message
+      (** shift weight onto the sharing ops — promote, share, sched and
+          chan phases — to hammer the scheduler's steal/message
+          promotion paths (the batched write-buffer publish) *)
+
+(* Cumulative percent thresholds for the op classes, in draw order.
+   [Default] is the historical mix; [Steal_message] keeps every class
+   reachable but spends roughly half the budget on sharing ops. *)
+type weights = {
+  w_vec : int;
+  w_raw_small : int;
+  w_raw_global : int;
+  w_raw_large : int;
+  w_fillvec : int;
+  w_ref : int;
+  w_setf : int;
+  w_copy : int;
+  w_drop : int;
+  w_promote : int;
+  w_share : int;
+  w_mkproxy : int;
+  w_dropproxy : int;
+  w_minor : int;
+  w_major : int;
+  w_global : int;
+  w_reqglobal : int;
+  w_sched : int;
+  w_chan : int; (* the rest up to 100 is Check *)
+}
+
+let default_weights =
+  { w_vec = 22; w_raw_small = 30; w_raw_global = 34; w_raw_large = 37;
+    w_fillvec = 41; w_ref = 47; w_setf = 59; w_copy = 65; w_drop = 71;
+    w_promote = 76; w_share = 81; w_mkproxy = 85; w_dropproxy = 87;
+    w_minor = 92; w_major = 95; w_global = 96; w_reqglobal = 97;
+    w_sched = 98; w_chan = 99 }
+
+let steal_message_weights =
+  { w_vec = 12; w_raw_small = 17; w_raw_global = 19; w_raw_large = 21;
+    w_fillvec = 25; w_ref = 29; w_setf = 35; w_copy = 39; w_drop = 45;
+    w_promote = 56; w_share = 70; w_mkproxy = 72; w_dropproxy = 74;
+    w_minor = 77; w_major = 79; w_global = 80; w_reqglobal = 81;
+    w_sched = 90; w_chan = 99 }
+
+let weights_of = function
+  | Default -> default_weights
+  | Steal_message -> steal_message_weights
+
+let op ?(sizes = default_sizes) ?(profile = Default) st ~n_vprocs : Op.t =
+  let w = weights_of profile in
   let vp () = Random.State.int st n_vprocs in
   let in_range lo hi = lo + Random.State.int st (hi - lo + 1) in
   let r = Random.State.int st 100 in
-  if r < 22 then
+  if r < w.w_vec then
     let n = 1 + Random.State.int st 4 in
     Alloc_vec
       { vproc = vp (); dst = reg st; srcs = List.init n (fun _ -> reg st) }
-  else if r < 30 then
+  else if r < w.w_raw_small then
     Alloc_raw
       { vproc = vp (); dst = reg st; words = in_range 1 sizes.small_max;
         fill = Random.State.bits st }
-  else if r < 34 then
+  else if r < w.w_raw_global then
     Alloc_raw
       { vproc = vp (); dst = reg st;
         words = in_range sizes.global_min sizes.global_max;
         fill = Random.State.bits st }
-  else if r < 37 then
+  else if r < w.w_raw_large then
     Alloc_raw
       { vproc = vp (); dst = reg st;
         words = in_range sizes.large_min sizes.large_max;
         fill = Random.State.bits st }
-  else if r < 41 then
+  else if r < w.w_fillvec then
     let len =
       match Random.State.int st 4 with
       | 0 -> in_range sizes.global_min sizes.global_max
@@ -54,30 +105,35 @@ let op ?(sizes = default_sizes) st ~n_vprocs : Op.t =
       | _ -> in_range 2 sizes.small_max
     in
     Alloc_fill_vec { vproc = vp (); dst = reg st; len; src = reg st }
-  else if r < 47 then Alloc_ref { vproc = vp (); dst = reg st; src = reg st }
-  else if r < 59 then
+  else if r < w.w_ref then Alloc_ref { vproc = vp (); dst = reg st; src = reg st }
+  else if r < w.w_setf then
     Set_field
       { vproc = vp (); obj = reg st; idx = Random.State.int st 64;
         src = reg st }
-  else if r < 65 then Copy { vproc = vp (); dst = reg st; src = reg st }
-  else if r < 71 then
+  else if r < w.w_copy then Copy { vproc = vp (); dst = reg st; src = reg st }
+  else if r < w.w_drop then
     Drop { vproc = vp (); reg = reg st; imm = Random.State.int st 1000 }
-  else if r < 76 then Promote { vproc = vp (); reg = reg st }
-  else if r < 81 then
+  else if r < w.w_promote then Promote { vproc = vp (); reg = reg st }
+  else if r < w.w_share then
     Share
       { src_vproc = vp (); src = reg st; dst_vproc = vp (); dst = reg st }
-  else if r < 85 then Mk_proxy { vproc = vp (); slot = slot st; src = reg st }
-  else if r < 87 then Drop_proxy { vproc = vp (); slot = slot st }
-  else if r < 92 then Minor { vproc = vp () }
-  else if r < 95 then Major { vproc = vp () }
-  else if r < 96 then Global
-  else if r < 97 then Request_global
-  else if r < 99 then
+  else if r < w.w_mkproxy then
+    Mk_proxy { vproc = vp (); slot = slot st; src = reg st }
+  else if r < w.w_dropproxy then Drop_proxy { vproc = vp (); slot = slot st }
+  else if r < w.w_minor then Minor { vproc = vp () }
+  else if r < w.w_major then Major { vproc = vp () }
+  else if r < w.w_global then Global
+  else if r < w.w_reqglobal then Request_global
+  else if r < w.w_sched then
     Sched_phase
       { seed = Random.State.bits st; fibers = 1 + Random.State.int st 5;
         src = reg st; dst = reg st }
+  else if r < w.w_chan then
+    Chan_phase
+      { seed = Random.State.bits st; msgs = 1 + Random.State.int st 6;
+        src = reg st; dst = reg st }
   else Check
 
-let program ?sizes ~seed ~n_ops ~n_vprocs () =
+let program ?sizes ?profile ~seed ~n_ops ~n_vprocs () =
   let st = Random.State.make [| seed; 0x6d616e74 (* "mant" *) |] in
-  List.init n_ops (fun _ -> op ?sizes st ~n_vprocs)
+  List.init n_ops (fun _ -> op ?sizes ?profile st ~n_vprocs)

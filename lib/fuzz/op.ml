@@ -50,6 +50,12 @@ type t =
          [fibers] fibers closing over register [src]; idle vprocs steal
          (lazy promotion), results are awaited (share promotion) and
          gathered into register [dst] *)
+  | Chan_phase of { seed : int; msgs : int; src : int; dst : int }
+      (* run a Runtime.Sched session over CML channels: a producer fiber
+         sync-sends [msgs] indexed messages built over register [src]
+         as a choice across two channels; the main fiber selects them
+         all, closes the channels, and gathers the messages into
+         register [dst] — the message-promotion (write-buffer) path *)
   | Check (* full differential + invariant check, mid-program *)
 
 (* ------------------------------------------------------------------ *)
@@ -81,6 +87,8 @@ let to_string = function
   | Request_global -> "reqglobal"
   | Sched_phase { seed; fibers; src; dst } ->
       Printf.sprintf "sched %d %d %d %d" seed fibers src dst
+  | Chan_phase { seed; msgs; src; dst } ->
+      Printf.sprintf "chan %d %d %d %d" seed msgs src dst
   | Check -> "check"
 
 let of_string line =
@@ -147,6 +155,11 @@ let of_string line =
       match (int se, int f, int s, int d) with
       | Some seed, Some fibers, Some src, Some dst ->
           Ok (Sched_phase { seed; fibers; src; dst })
+      | _ -> fail ())
+  | [ "chan"; se; ms; s; d ] -> (
+      match (int se, int ms, int s, int d) with
+      | Some seed, Some msgs, Some src, Some dst ->
+          Ok (Chan_phase { seed; msgs; src; dst })
       | _ -> fail ())
   | [ "check" ] -> Ok Check
   | _ -> fail ()

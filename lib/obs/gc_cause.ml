@@ -7,10 +7,11 @@ type t =
   | Nursery_full
   | To_space_low
   | Promotion of reason
+  | Promotion_batched of reason
   | Global_threshold
   | Forced
 
-let n_codes = 8
+let n_codes = 12
 
 let code = function
   | Nursery_full -> 0
@@ -21,6 +22,10 @@ let code = function
   | Promotion Pval_sync -> 5
   | Promotion Mut_store -> 6
   | Promotion Explicit -> 7
+  | Promotion_batched Steal -> 8
+  | Promotion_batched Pval_sync -> 9
+  | Promotion_batched Mut_store -> 10
+  | Promotion_batched Explicit -> 11
 
 let of_code = function
   | 0 -> Some Nursery_full
@@ -31,6 +36,10 @@ let of_code = function
   | 5 -> Some (Promotion Pval_sync)
   | 6 -> Some (Promotion Mut_store)
   | 7 -> Some (Promotion Explicit)
+  | 8 -> Some (Promotion_batched Steal)
+  | 9 -> Some (Promotion_batched Pval_sync)
+  | 10 -> Some (Promotion_batched Mut_store)
+  | 11 -> Some (Promotion_batched Explicit)
   | _ -> None
 
 let to_string = function
@@ -42,6 +51,10 @@ let to_string = function
   | Promotion Pval_sync -> "promotion_pval_sync"
   | Promotion Mut_store -> "promotion_mut_store"
   | Promotion Explicit -> "promotion_explicit"
+  | Promotion_batched Steal -> "promotion_batched_steal"
+  | Promotion_batched Pval_sync -> "promotion_batched_pval_sync"
+  | Promotion_batched Mut_store -> "promotion_batched_mut_store"
+  | Promotion_batched Explicit -> "promotion_batched_explicit"
 
 let of_string = function
   | "nursery_full" -> Some Nursery_full
@@ -52,6 +65,10 @@ let of_string = function
   | "promotion_pval_sync" -> Some (Promotion Pval_sync)
   | "promotion_mut_store" -> Some (Promotion Mut_store)
   | "promotion_explicit" -> Some (Promotion Explicit)
+  | "promotion_batched_steal" -> Some (Promotion_batched Steal)
+  | "promotion_batched_pval_sync" -> Some (Promotion_batched Pval_sync)
+  | "promotion_batched_mut_store" -> Some (Promotion_batched Mut_store)
+  | "promotion_batched_explicit" -> Some (Promotion_batched Explicit)
   | _ -> None
 
 let code_name i =
@@ -67,4 +84,8 @@ let all =
     Promotion Pval_sync;
     Promotion Mut_store;
     Promotion Explicit;
+    Promotion_batched Steal;
+    Promotion_batched Pval_sync;
+    Promotion_batched Mut_store;
+    Promotion_batched Explicit;
   ]

@@ -15,7 +15,10 @@ type reason =
 type t =
   | Nursery_full  (** minor: the nursery could not satisfy an allocation *)
   | To_space_low  (** major: reserve too small after the minor *)
-  | Promotion of reason
+  | Promotion of reason  (** a singleton promotion cycle for one value *)
+  | Promotion_batched of reason
+      (** a promotion performed through a {!Promote.batch} write buffer:
+          several roots share one cycle's machinery spin-up and publish *)
   | Global_threshold  (** global: in-use chunk bytes exceeded the budget *)
   | Forced  (** invoked directly by the embedder or a test *)
 

@@ -46,6 +46,9 @@ type vproc = {
   mut : Ctx.mutator;
   deque : work_item Deque.t;
   runnable : task Queue.t;
+  mutable wbuf : Promote.batch option;
+      (* open promotion write buffer: runs of promotions within one
+         scheduler turn share a single batched cycle *)
 }
 
 (* Blocked channel partners.  A plain send/recv uses a fresh claim ref;
@@ -71,6 +74,7 @@ type chan = {
   ch_obj : Roots.cell; (* the global-heap channel object *)
   readers : reader Queue.t;
   writers : writer Queue.t;
+  mutable ch_open : bool;
 }
 
 type steal_policy = Random_victim | Near_first
@@ -80,12 +84,14 @@ type t = {
   vprocs : vproc array;
   quantum_ns : float;
   eager_promotion : bool;
+  batch_promotions : bool;
   steal_policy : steal_policy;
   rng : Random.State.t;
   st : stats;
   mutable next_wid : int;
   mutable next_fid : int;
   mutable next_chid : int;
+  mutable channels : chan list; (* open channels, unrooted on close *)
   mutable turn_start_ns : float;
   mutable finished_ns : float;
 }
@@ -107,11 +113,13 @@ let n_vprocs t = Array.length t.vprocs
 let elapsed_ns t = t.finished_ns
 
 let create ?(quantum_ns = 50_000.) ?(eager_promotion = false)
-    ?(steal_policy = Random_victim) ?(seed = 0x5eed) c =
+    ?(batch_promotions = true) ?(steal_policy = Random_victim)
+    ?(seed = 0x5eed) c =
   let t =
     {
       c;
       eager_promotion;
+      batch_promotions;
       steal_policy;
       vprocs =
         Array.init (Ctx.n_vprocs c) (fun i ->
@@ -120,6 +128,7 @@ let create ?(quantum_ns = 50_000.) ?(eager_promotion = false)
               mut = Ctx.mutator c i;
               deque = Deque.create ();
               runnable = Queue.create ();
+              wbuf = None;
             });
       quantum_ns;
       rng = Random.State.make [| seed |];
@@ -136,6 +145,7 @@ let create ?(quantum_ns = 50_000.) ?(eager_promotion = false)
       next_wid = 0;
       next_fid = 0;
       next_chid = 0;
+      channels = [];
       turn_start_ns = 0.;
       finished_ns = 0.;
     }
@@ -171,6 +181,41 @@ let rec take_unclaimed q claimed_of =
 let take_reader ch = take_unclaimed ch.readers (fun r -> r.r_claim)
 let take_writer ch = take_unclaimed ch.writers (fun w -> w.s_claim)
 
+(* ------------------------------------------------------------------ *)
+(* The promotion write buffer                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Publish [v]'s open write buffer (one batched promotion cycle). *)
+let flush_wbuf (v : vproc) =
+  match v.wbuf with
+  | None -> ()
+  | Some b ->
+      v.wbuf <- None;
+      Promote.batch_end b
+
+(* Turn boundary: every buffer must be published before the scheduler
+   picks the next move (and before any stop-the-world collection). *)
+let flush_wbufs t = Array.iter flush_wbuf t.vprocs
+
+(* Promote one value on [v], through its open write buffer when
+   batching is enabled — consecutive promotions within one scheduler
+   turn (runs of [send]s, future hand-offs) then share a single
+   cycle.  The buffer is opened lazily at the first promotion of the
+   turn and published by {!flush_wbufs} when the turn ends. *)
+let wb_promote t (v : vproc) ~reason value =
+  if not t.batch_promotions then Promote.value ~reason t.c v.mut value
+  else begin
+    let b =
+      match v.wbuf with
+      | Some b -> b
+      | None ->
+          let b = Promote.batch_begin ~reason t.c v.mut in
+          v.wbuf <- Some b;
+          b
+    in
+    Promote.batch_add b value
+  end
+
 (* Hand a Done future's value to [to_vproc], promoting it out of the
    owner's local heap first if it must cross vprocs.  The promotion is
    the owner's work. *)
@@ -181,8 +226,7 @@ let share t ~to_vproc (f : future) =
       let v = Roots.get cell in
       if to_vproc <> owner && Promote.is_local t.c t.vprocs.(owner).mut v then begin
         let g =
-          Promote.value ~reason:Obs.Gc_cause.Pval_sync t.c t.vprocs.(owner).mut
-            v
+          wb_promote t t.vprocs.(owner) ~reason:Obs.Gc_cause.Pval_sync v
         in
         Roots.set cell g;
         g
@@ -217,24 +261,35 @@ let complete t (v : vproc) (f : future) result =
   wake_waiters t f v.mut.Ctx.now_ns
 
 (* Claim a queued item's environment for executor [v], promoting it if it
-   crosses vprocs (lazy promotion at the steal, charged to the victim). *)
+   crosses vprocs (lazy promotion at the steal, charged to the victim).
+   The env cells of one steal are a natural write-buffer batch: all of
+   them are published in a single promotion cycle. *)
 let claim_env t (v : vproc) (item : work_item) =
   if item.env_owner <> v.v_id then begin
     let victim = t.vprocs.(item.env_owner) in
+    let before = victim.mut.Ctx.stats.Gc_stats.promoted_bytes in
+    let vals =
+      Array.map (fun c -> Ctx.resolve t.c victim.mut (Roots.get c)) item.env
+    in
     let moved =
-      Array.map
-        (fun c ->
-          let value = Ctx.resolve t.c victim.mut (Roots.get c) in
-          let before = victim.mut.Ctx.stats.Gc_stats.promoted_bytes in
-          let g = Promote.value ~reason:Obs.Gc_cause.Steal t.c victim.mut value in
-          t.st.steal_promoted_bytes <-
-            t.st.steal_promoted_bytes
-            + (victim.mut.Ctx.stats.Gc_stats.promoted_bytes - before);
+      if t.batch_promotions then
+        Promote.batch ~reason:Obs.Gc_cause.Steal t.c victim.mut vals
+      else
+        Array.map
+          (fun value -> Promote.value ~reason:Obs.Gc_cause.Steal t.c victim.mut value)
+          vals
+    in
+    t.st.steal_promoted_bytes <-
+      t.st.steal_promoted_bytes
+      + (victim.mut.Ctx.stats.Gc_stats.promoted_bytes - before);
+    let cells =
+      Array.mapi
+        (fun i c ->
           Roots.remove victim.mut.Ctx.roots c;
-          Roots.add v.mut.Ctx.roots g)
+          Roots.add v.mut.Ctx.roots moved.(i))
         item.env
     in
-    item.env <- moved;
+    item.env <- cells;
     item.env_owner <- v.v_id;
     (* The thief pays the handshake: a couple of remote line transfers. *)
     let topo = Numa.Cost_model.topology t.c.Ctx.cost in
@@ -279,10 +334,20 @@ let commit_writer t (v : vproc) (w : writer) =
 
 (* When one arm of a parked choice commits, every sibling arm's resources
    die: the recv arms' pre-built proxies and the send arms' rooted
-   messages.  The committed arm's own resources were consumed by the
-   commit path, so the removals are guarded. *)
-let release_choice (cleanups : (unit -> unit) list) =
-  List.iter (fun f -> try f () with Invalid_argument _ -> ()) cleanups
+   messages.  Each cleanup tracks whether its resource was already
+   consumed (by the commit path, or by an earlier release), so releasing
+   is idempotent and any other root-accounting error propagates instead
+   of being swallowed. *)
+type cleanup = { mutable consumed : bool; undo : unit -> unit }
+
+let release_choice (cleanups : cleanup list) =
+  List.iter
+    (fun c ->
+      if not c.consumed then begin
+        c.consumed <- true;
+        c.undo ()
+      end)
+    cleanups
 
 (* Execute a work item to completion (modulo suspensions) on vproc [v]
    under a fresh handler. *)
@@ -392,9 +457,14 @@ let start_fiber t (v : vproc) (item : work_item) =
                     match arm with
                     | Arm_send (ch, gmsg) ->
                         let cell = Roots.add t.c.Ctx.global_roots gmsg in
-                        cleanups :=
-                          (fun () -> Roots.remove t.c.Ctx.global_roots cell)
-                          :: !cleanups;
+                        let cl =
+                          {
+                            consumed = false;
+                            undo =
+                              (fun () -> Roots.remove t.c.Ctx.global_roots cell);
+                          }
+                        in
+                        cleanups := cl :: !cleanups;
                         Queue.add
                           {
                             s_vproc = v.v_id;
@@ -402,6 +472,8 @@ let start_fiber t (v : vproc) (item : work_item) =
                             s_claim = claim;
                             s_resume =
                               (fun () ->
+                                (* [commit_writer] took this arm's cell. *)
+                                cl.consumed <- true;
                                 release_choice !cleanups;
                                 enqueue_task v ~ready_ns:v.mut.Ctx.now_ns
                                   (fun () ->
@@ -409,9 +481,13 @@ let start_fiber t (v : vproc) (item : work_item) =
                           }
                           ch.writers
                     | Arm_recv (ch, pc) ->
-                        cleanups :=
-                          (fun () -> Roots.remove v.mut.Ctx.proxies pc)
-                          :: !cleanups;
+                        let cl =
+                          {
+                            consumed = false;
+                            undo = (fun () -> Roots.remove v.mut.Ctx.proxies pc);
+                          }
+                        in
+                        cleanups := cl :: !cleanups;
                         Queue.add
                           {
                             r_vproc = v.v_id;
@@ -419,6 +495,8 @@ let start_fiber t (v : vproc) (item : work_item) =
                             r_claim = claim;
                             r_resume =
                               (fun msg ->
+                                (* [commit_reader] unregistered this proxy. *)
+                                cl.consumed <- true;
                                 release_choice !cleanups;
                                 enqueue_resume_pair v ~ready_ns:v.mut.Ctx.now_ns
                                   k i msg);
@@ -451,7 +529,9 @@ let spawn t (m : Ctx.mutator) ~env fn =
   (* Eager promotion (the ablation of §3.1's lazy scheme): pay the
      promotion at every spawn instead of only at actual steals. *)
   let env =
-    if t.eager_promotion then Array.map (fun v -> Promote.value t.c m v) env
+    if t.eager_promotion then
+      if t.batch_promotions then Promote.batch t.c m env
+      else Array.map (fun v -> Promote.value t.c m v) env
     else env
   in
   let item =
@@ -491,6 +571,11 @@ let resolve_queued t (m : Ctx.mutator) (item : work_item) =
     if item.env_owner <> m.Ctx.id then begin
       t.st.steals <- t.st.steals + 1;
       Metrics.record_steal t.c.Ctx.metrics ~vproc:m.Ctx.id ~success:true;
+      (* The inline claim probed the victim's deque: one executed
+         attempt, immediately successful — keeps the ring's attempt
+         count equal to the metrics counter. *)
+      Obs.Recorder.record t.c.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+        (Obs.Event.Steal_attempt { victim = item.env_owner });
       Obs.Recorder.record t.c.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
         (Obs.Event.Steal_success { victim = item.env_owner })
     end
@@ -550,7 +635,10 @@ let yield _t _m = Effect.perform Ef_yield
 
 let new_channel t (m : Ctx.mutator) =
   (* The channel is materialized as a small global object so that channel
-     metadata traffic exists in the simulated heap. *)
+     metadata traffic exists in the simulated heap.  Its root lives only
+     as long as the channel: [close_channel] (or the end of [run])
+     removes it, so long-running programs don't accrete one permanent
+     global root per channel ever created. *)
   let local = Alloc.alloc_raw t.c m ~words:2 in
   let g = Promote.value ~reason:Obs.Gc_cause.Pval_sync t.c m local in
   let ch =
@@ -559,24 +647,52 @@ let new_channel t (m : Ctx.mutator) =
       ch_obj = Roots.add t.c.Ctx.global_roots g;
       readers = Queue.create ();
       writers = Queue.create ();
+      ch_open = true;
     }
   in
   t.next_chid <- t.next_chid + 1;
+  t.channels <- ch :: t.channels;
   ch
 
+let unroot_channel t ch =
+  ch.ch_open <- false;
+  Roots.remove t.c.Ctx.global_roots ch.ch_obj
+
+let close_channel t ch =
+  if ch.ch_open then begin
+    let live q claimed_of =
+      Queue.fold (fun n e -> if !(claimed_of e) then n else n + 1) 0 q
+    in
+    if
+      live ch.readers (fun r -> r.r_claim) > 0
+      || live ch.writers (fun w -> w.s_claim) > 0
+    then invalid_arg "Sched.close_channel: fibers still blocked on channel";
+    unroot_channel t ch;
+    t.channels <- List.filter (fun c -> c.ch_id <> ch.ch_id) t.channels
+  end
+
+let check_open ch who =
+  if not ch.ch_open then
+    invalid_arg (Printf.sprintf "Sched.%s: channel is closed" who)
+
 let send t (m : Ctx.mutator) ch value =
+  check_open ch "send";
   (* Root the message across the tick's possible collection. *)
   let value =
     Roots.protect m.Ctx.roots value (fun cv ->
         tick t m;
         Ctx.resolve t.c m (Roots.get cv))
   in
-  (* The sender promotes the message — the sharing point of §3.1. *)
-  let gmsg = Promote.value ~reason:Obs.Gc_cause.Pval_sync t.c m value in
+  (* The sender promotes the message — the sharing point of §3.1.  A run
+     of consecutive sends within one turn shares a batched cycle. *)
+  let gmsg =
+    wb_promote t t.vprocs.(m.Ctx.id) ~reason:Obs.Gc_cause.Pval_sync value
+  in
   Ctx.touch t.c m ~addr:(Value.to_ptr (Roots.get ch.ch_obj)) ~bytes:16;
   Effect.perform (Ef_send (ch, gmsg))
 
 let recv t (m : Ctx.mutator) ch =
+  check_open ch "recv";
   tick t m;
   (* Pre-build the proxy that will stand for this fiber if it blocks (the
      handler must not allocate). *)
@@ -603,6 +719,10 @@ let mk_proxy t (m : Ctx.mutator) =
 
 let sync t (m : Ctx.mutator) (events : event list) =
   if events = [] then invalid_arg "Sched.sync: empty choice";
+  List.iter
+    (function
+      | Send_evt (ch, _) | Recv_evt ch -> check_open ch "sync")
+    events;
   (* Root every message across the tick's possible collection, promote
      them (the sender side of each arm shares its message, §3.1), and
      pre-build the blocking proxies for receive arms. *)
@@ -614,23 +734,43 @@ let sync t (m : Ctx.mutator) (events : event list) =
       events
   in
   tick t m;
-  let arms =
-    List.map
-      (fun (ch, kind, cell) ->
-        let arm =
+  (* The send arms of one choice are a natural write-buffer batch: all
+     their messages publish in a single promotion cycle. *)
+  let gmsgs =
+    match
+      List.filter_map
+        (fun (_, kind, cell) ->
           match kind with
-          | `S ->
-              let gmsg =
-                Promote.value ~reason:Obs.Gc_cause.Pval_sync t.c m
-                  (Ctx.resolve t.c m (Roots.get cell))
-              in
-              Arm_send (ch, gmsg)
-          | `R -> Arm_recv (ch, mk_proxy t m)
+          | `S -> Some (Ctx.resolve t.c m (Roots.get cell))
+          | `R -> None)
+        cells
+    with
+    | [] -> []
+    | vals ->
+        let arr = Array.of_list vals in
+        let out =
+          if t.batch_promotions then
+            Promote.batch ~reason:Obs.Gc_cause.Pval_sync t.c m arr
+          else
+            Array.map
+              (fun v -> Promote.value ~reason:Obs.Gc_cause.Pval_sync t.c m v)
+              arr
+        in
+        Array.to_list out
+  in
+  let rec build gs = function
+    | [] -> []
+    | (ch, `S, cell) :: rest ->
+        let g, gs =
+          match gs with g :: gs -> (g, gs) | [] -> assert false
         in
         Roots.remove m.Ctx.roots cell;
-        arm)
-      cells
+        Arm_send (ch, g) :: build gs rest
+    | (ch, `R, cell) :: rest ->
+        Roots.remove m.Ctx.roots cell;
+        Arm_recv (ch, mk_proxy t m) :: build gs rest
   in
+  let arms = build gmsgs cells in
   Effect.perform (Ef_sync arms)
 
 let select t m chans = sync t m (List.map (fun ch -> Recv_evt ch) chans)
@@ -642,7 +782,9 @@ let select t m chans = sync t m (List.map (fun ch -> Recv_evt ch) chans)
 type move =
   | Run_task of vproc
   | Run_own of vproc
-  | Run_steal of vproc * vproc (* thief, victim *)
+  | Run_steal of vproc * vproc * int list
+      (* thief, victim, and the vprocs probed empty on the way to the
+         victim — counted as failed attempts only if this move executes *)
 
 let next_move t =
   let best = ref None in
@@ -686,30 +828,28 @@ let next_move t =
               in
               near @ far
         in
-        let rec hunt = function
+        (* The hunt is speculative: [next_move] may run it many times
+           before any state changes, and the chosen move may not be this
+           thief's.  So nothing is recorded here — the empty deques
+           probed on the way to the victim ride along in the move, and
+           [run_move] counts them exactly once, when the hunt is the
+           move that actually executes. *)
+        let rec hunt empties = function
           | [] -> ()
           | v :: rest -> begin
               let victim = t.vprocs.(v) in
-              match Deque.peek_front victim.deque with
-              | Some oldest when victim.v_id <> thief.v_id ->
-                  (* The steal cannot happen before the item existed. *)
-                  consider
-                    (Float.max thief.mut.Ctx.now_ns oldest.pushed_ns)
-                    (Run_steal (thief, victim))
-              | None when victim.v_id <> thief.v_id ->
-                  (* Probing an empty deque is a failed steal attempt: a
-                     real thief pays for the remote peek whether or not
-                     work is there, so the attempt counters must see it. *)
-                  Metrics.record_steal t.c.Ctx.metrics ~vproc:thief.v_id
-                    ~success:false;
-                  Obs.Recorder.record t.c.Ctx.obs ~vproc:thief.v_id
-                    ~t_ns:thief.mut.Ctx.now_ns
-                    (Obs.Event.Steal_attempt { victim = victim.v_id });
-                  hunt rest
-              | _ -> hunt rest
+              if victim.v_id = thief.v_id then hunt empties rest
+              else
+                match Deque.peek_front victim.deque with
+                | Some oldest ->
+                    (* The steal cannot happen before the item existed. *)
+                    consider
+                      (Float.max thief.mut.Ctx.now_ns oldest.pushed_ns)
+                      (Run_steal (thief, victim, List.rev empties))
+                | None -> hunt (victim.v_id :: empties) rest
             end
         in
-        hunt order
+        hunt [] order
       end)
     t.vprocs;
   !best
@@ -729,7 +869,17 @@ let run_move t = function
           v.mut.Ctx.now_ns <- Float.max v.mut.Ctx.now_ns item.pushed_ns;
           t.turn_start_ns <- v.mut.Ctx.now_ns;
           start_fiber t v item)
-  | Run_steal (thief, victim) -> (
+  | Run_steal (thief, victim, empty_probes) -> (
+      (* A real thief pays for the remote peek of every deque it probes,
+         empty or not; each executed probe is one attempt. *)
+      List.iter
+        (fun vid ->
+          Metrics.record_steal t.c.Ctx.metrics ~vproc:thief.v_id
+            ~success:false;
+          Obs.Recorder.record t.c.Ctx.obs ~vproc:thief.v_id
+            ~t_ns:thief.mut.Ctx.now_ns
+            (Obs.Event.Steal_attempt { victim = vid }))
+        empty_probes;
       Obs.Recorder.record t.c.Ctx.obs ~vproc:thief.v_id
         ~t_ns:thief.mut.Ctx.now_ns
         (Obs.Event.Steal_attempt { victim = victim.v_id });
@@ -752,6 +902,10 @@ let run t ~main =
   let v0 = t.vprocs.(0) in
   let fut = spawn t v0.mut ~env:[||] (fun m _ -> main m) in
   let rec loop () =
+    (* Turn boundary: publish every open write buffer before choosing
+       the next move, so a batch never spans turns or a stop-the-world
+       collection. *)
+    flush_wbufs t;
     match fut.fstate with
     | Done _ -> ()
     | _ ->
@@ -774,4 +928,10 @@ let run t ~main =
     Array.fold_left
       (fun acc v -> Float.max acc v.mut.Ctx.now_ns)
       0. t.vprocs;
-  share t ~to_vproc:0 fut
+  let r = share t ~to_vproc:0 fut in
+  flush_wbufs t;
+  (* Channels the program left open die with the run: drop their global
+     roots so a completed run leaks no channel objects. *)
+  List.iter (fun ch -> if ch.ch_open then unroot_channel t ch) t.channels;
+  t.channels <- [];
+  r

@@ -45,13 +45,19 @@ type steal_policy =
           link) *)
 
 val create :
-  ?quantum_ns:float -> ?eager_promotion:bool -> ?steal_policy:steal_policy ->
-  ?seed:int -> Ctx.t -> t
+  ?quantum_ns:float -> ?eager_promotion:bool -> ?batch_promotions:bool ->
+  ?steal_policy:steal_policy -> ?seed:int -> Ctx.t -> t
 (** Wrap a heap context; installs the scheduler's global-GC safe-point
     hook.  [quantum_ns] (default 50,000) bounds a fiber's run between
     yields at {!tick} points.  [eager_promotion] promotes every spawned
     environment immediately instead of lazily at steals — the ablation
-    of the paper's lazy scheme. *)
+    of the paper's lazy scheme.  [batch_promotions] (default [true])
+    routes the scheduler's sharing points through a promotion write
+    buffer ({!Manticore_gc.Promote.batch_begin}): the env cells of one
+    steal, the send arms of one {!sync}, and runs of consecutive
+    {!send}s within a turn each publish in a single batched promotion
+    cycle instead of one full cycle per object graph.  Disable it to
+    measure the singleton baseline. *)
 
 val ctx : t -> Ctx.t
 val stats : t -> stats
@@ -79,7 +85,15 @@ val yield : t -> Ctx.mutator -> unit
 
 val new_channel : t -> Ctx.mutator -> chan
 (** A CML-style synchronous channel, represented by a global-heap object
-    rooted with the runtime. *)
+    rooted with the runtime.  The root lives until {!close_channel} or
+    the end of {!run}, whichever comes first — channels are not
+    permanent global roots. *)
+
+val close_channel : t -> chan -> unit
+(** Drop the channel's global root and mark it closed; later operations
+    on it raise [Invalid_argument], as does closing while fibers are
+    still blocked on it.  Idempotent.  Channels left open are closed
+    automatically when {!run} returns. *)
 
 val send : t -> Ctx.mutator -> chan -> Value.t -> unit
 (** Synchronous send: promotes the message (the sharing point of §3.1)

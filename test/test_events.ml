@@ -139,6 +139,47 @@ let test_sync_messages_survive_gc () =
   Alcotest.(check int) "message intact" 21 (Value.to_int r);
   Gc_util.assert_invariants (Sched.ctx rt)
 
+let test_commit_releases_sibling_arms () =
+  (* A parked choice holds a global root per send arm and a proxy per
+     recv arm.  Committing one arm must release exactly the siblings' —
+     repeated rounds turn any leak into monotone growth of the counts. *)
+  let rt = mk_rt ~n_vprocs:2 () in
+  let c = Sched.ctx rt in
+  let count_proxies () =
+    Array.fold_left
+      (fun acc (mu : Ctx.mutator) -> acc + Roots.count mu.Ctx.proxies)
+      0 c.Ctx.muts
+  in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         let a = Sched.new_channel rt m in
+         let b = Sched.new_channel rt m in
+         let roots0 = Roots.count c.Ctx.global_roots in
+         let proxies0 = count_proxies () in
+         for i = 1 to 12 do
+           (* Park a mixed choice (no partner is ready for either arm). *)
+           let chooser =
+             Sched.spawn rt m ~env:[||] (fun m' _ ->
+                 let _, v =
+                   Sched.sync rt m'
+                     [ Sched.Send_evt (a, Value.of_int i); Sched.Recv_evt b ]
+                 in
+                 v)
+           in
+           Ctx.charge_work c m ~cycles:2_000_000.;
+           Sched.yield rt m;
+           (* Commit one arm, alternating which sibling gets released. *)
+           if i mod 2 = 0 then ignore (Sched.recv rt m a)
+           else Sched.send rt m b (Value.of_int (-i));
+           ignore (Sched.await rt m chooser);
+           Alcotest.(check int) "global roots back to baseline" roots0
+             (Roots.count c.Ctx.global_roots);
+           Alcotest.(check int) "proxies back to baseline" proxies0
+             (count_proxies ())
+         done;
+         Value.unit));
+  Gc_util.assert_invariants c
+
 let test_sync_empty_rejected () =
   let rt = mk_rt () in
   Alcotest.check_raises "empty" (Invalid_argument "Sched.sync: empty choice")
@@ -197,6 +238,8 @@ let suite =
       Alcotest.test_case "mixed send/recv choice" `Quick test_choice_send_or_recv;
       Alcotest.test_case "parked messages survive collections" `Quick
         test_sync_messages_survive_gc;
+      Alcotest.test_case "commit releases exactly the sibling arms" `Quick
+        test_commit_releases_sibling_arms;
       Alcotest.test_case "empty choice rejected" `Quick test_sync_empty_rejected;
       Alcotest.test_case "timeline anchored at first event" `Quick
         test_timeline_anchor_mid_run;

@@ -132,6 +132,116 @@ let test_channel_one_to_many () =
   let n = n_receivers * per in
   Alcotest.(check int) "conserved" (n * (n + 1) / 2) (Value.to_int r)
 
+(* --- Channel root lifetime (regression: new_channel leaked a
+       permanent global root per channel) --------------------------- *)
+
+let test_channel_roots_released () =
+  let rt = mk_rt ~n_vprocs:2 () in
+  let c = Sched.ctx rt in
+  let baseline = Roots.count c.Ctx.global_roots in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let chs = List.init 8 (fun _ -> Sched.new_channel rt m) in
+        let ch = List.hd chs in
+        let sender =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              Sched.send rt m' ch (Value.of_int 5);
+              Value.unit)
+        in
+        let v = Sched.recv rt m ch in
+        ignore (Sched.await rt m sender);
+        (* Close one explicitly; [run] must release the other seven. *)
+        Sched.close_channel rt ch;
+        v)
+  in
+  Alcotest.(check int) "message delivered" 5 (Value.to_int r);
+  Alcotest.(check int) "no channel root survives the run" baseline
+    (Roots.count c.Ctx.global_roots)
+
+let test_closed_channel_ops_raise () =
+  let rt = mk_rt ~n_vprocs:2 () in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let ch = Sched.new_channel rt m in
+        Sched.close_channel rt ch;
+        Sched.close_channel rt ch (* idempotent *);
+        let rejected f =
+          match f () with
+          | _ -> 0
+          | exception Invalid_argument _ -> 1
+        in
+        Value.of_int
+          (rejected (fun () -> Sched.send rt m ch (Value.of_int 1))
+          + rejected (fun () -> Sched.recv rt m ch)
+          + rejected (fun () ->
+                Sched.sync rt m [ Sched.Send_evt (ch, Value.of_int 2) ])))
+  in
+  Alcotest.(check int) "send/recv/sync all rejected" 3 (Value.to_int r)
+
+let test_close_refused_while_blocked () =
+  let rt = mk_rt ~n_vprocs:2 () in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let ch = Sched.new_channel rt m in
+        let receiver =
+          Sched.spawn rt m ~env:[||] (fun m' _ -> Sched.recv rt m' ch)
+        in
+        (* Let the receiver get stolen and park on the channel. *)
+        Ctx.charge_work (Sched.ctx rt) m ~cycles:2_000_000.;
+        Sched.yield rt m;
+        let refused =
+          match Sched.close_channel rt ch with
+          | () -> 0
+          | exception Invalid_argument _ -> 1
+        in
+        Sched.send rt m ch (Value.of_int 9);
+        let v = Sched.await rt m receiver in
+        Value.of_int (refused * Value.to_int v))
+  in
+  Alcotest.(check int) "close refused, rendezvous completed" 9 (Value.to_int r)
+
+(* --- Steal-counter exactness (regression: speculative next_move
+       probes were recorded per scheduling decision) ----------------- *)
+
+let test_no_thief_no_steal_attempts () =
+  (* One vproc: nobody ever hunts, so no scheduling decision — however
+     many the driver makes — may record an attempt. *)
+  let rt = mk_rt ~n_vprocs:1 () in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         let fut = Sched.spawn rt m ~env:[||] (fun _ _ -> Value.of_int 2) in
+         Sched.await rt m fut));
+  let agg = Metrics.aggregate (Sched.ctx rt).Ctx.metrics in
+  Alcotest.(check int) "no thief, no attempts" 0 agg.Metrics.steal_attempts;
+  Alcotest.(check int) "no successes" 0 agg.Metrics.steal_successes
+
+let test_steals_counted_exactly_once () =
+  (* Two vprocs: the hunt has a single candidate victim, so an executed
+     steal never probes an empty deque on the way — every recorded
+     attempt must be a success, and both must equal the scheduler's own
+     steal count.  The speculative-probe over-count this guards against
+     produced attempts far in excess of successes here. *)
+  let rt = mk_rt ~n_vprocs:2 () in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         let futs =
+           List.init 4 (fun i ->
+               Sched.spawn rt m ~env:[||] (fun m' _ ->
+                   Ctx.charge_work (Sched.ctx rt) m' ~cycles:100_000.;
+                   Value.of_int i))
+         in
+         (* Stay busy so the idle vproc performs the steals. *)
+         Ctx.charge_work (Sched.ctx rt) m ~cycles:4_000_000.;
+         List.iter (fun f -> ignore (Sched.await rt m f)) futs;
+         Value.unit));
+  let agg = Metrics.aggregate (Sched.ctx rt).Ctx.metrics in
+  let steals = (Sched.stats rt).Sched.steals in
+  Alcotest.(check bool) "steals happened" true (steals > 0);
+  Alcotest.(check int) "attempts = successes (no empty probes possible)"
+    agg.Metrics.steal_successes agg.Metrics.steal_attempts;
+  Alcotest.(check int) "metrics agree with scheduler stats" steals
+    agg.Metrics.steal_successes
+
 let test_exception_does_not_poison_scheduler () =
   let rt = mk_rt () in
   let r =
@@ -160,4 +270,14 @@ let suite =
       Alcotest.test_case "channels: one-to-many" `Quick test_channel_one_to_many;
       Alcotest.test_case "exception isolation" `Quick
         test_exception_does_not_poison_scheduler;
+      Alcotest.test_case "channel roots released" `Quick
+        test_channel_roots_released;
+      Alcotest.test_case "closed-channel ops raise" `Quick
+        test_closed_channel_ops_raise;
+      Alcotest.test_case "close refused while blocked" `Quick
+        test_close_refused_while_blocked;
+      Alcotest.test_case "no thief, no steal attempts" `Quick
+        test_no_thief_no_steal_attempts;
+      Alcotest.test_case "steals counted exactly once" `Quick
+        test_steals_counted_exactly_once;
     ] )
