@@ -578,6 +578,196 @@ let promote_main json_path =
       Printf.printf "wrote %s\n" path);
   if not !ok then exit 1
 
+(* --- --server: latency-SLO rate sweep (BENCH_7.json) --------------- *)
+
+(* Open-loop arrival-rate sweep of the server workload: per-request
+   latency percentiles next to GC pause percentiles at each swept rate,
+   plus the share of slow-request (>= p99) in-flight time that overlaps
+   a collection — reconstructed from the flight recorder exactly the
+   way gcprof does it.  Self-check: the sweep must reach a GC-bound
+   rate (slow requests mostly inside collections) while the lightest
+   rate stays comfortable; otherwise exit 1, so CI catches a collector
+   regression that either melts the SLO everywhere or never stresses
+   the collector at all. *)
+
+let server_load rate =
+  { Workloads.Server.rate_rps = rate;
+    n_requests = 768;
+    n_sessions = 8;
+    seed = 0xC0FFEE }
+
+let server_rates = [ 50_000.; 200_000.; 500_000.; 1_000_000. ]
+
+(* Collection windows per vproc from the event rings (begin/end pairs;
+   orphans from ring overwrite are skipped). *)
+let coll_windows (ctx : Ctx.t) =
+  let r = ctx.Ctx.obs in
+  let out = ref [] in
+  for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+    let pending = Array.make 4 [] in
+    let kindex = function
+      | Obs.Event.Minor -> 0 | Obs.Event.Major -> 1
+      | Obs.Event.Promotion -> 2 | Obs.Event.Global -> 3
+    in
+    List.iter
+      (fun (_, t_ns, ev) ->
+        match ev with
+        | Obs.Event.Coll_begin { kind; _ } ->
+            let k = kindex kind in
+            pending.(k) <- t_ns :: pending.(k)
+        | Obs.Event.Coll_end { kind; _ } -> (
+            let k = kindex kind in
+            match pending.(k) with
+            | t0 :: rest ->
+                pending.(k) <- rest;
+                out := (t0, t_ns) :: !out
+            | [] -> ())
+        | _ -> ())
+      (Obs.Recorder.events r ~vproc:v)
+  done;
+  !out
+
+(* Completed-request windows [t_done - latency, t_done]. *)
+let request_windows (ctx : Ctx.t) =
+  let r = ctx.Ctx.obs in
+  let out = ref [] in
+  for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+    List.iter
+      (fun (_, t_ns, ev) ->
+        match ev with
+        | Obs.Event.Req_done { latency_ns } ->
+            out := (t_ns -. float_of_int latency_ns, t_ns) :: !out
+        | _ -> ())
+      (Obs.Recorder.events r ~vproc:v)
+  done;
+  !out
+
+(* Share of the slow (>= p99 latency) requests' in-flight time covered
+   by the union of collection windows on any vproc. *)
+let slow_gc_share ctx reqs =
+  let lats = Array.of_list (List.map (fun (lo, hi) -> hi -. lo) reqs) in
+  Array.sort compare lats;
+  let n = Array.length lats in
+  if n = 0 then 0.
+  else begin
+    let p99 = lats.(max 0 (min (n - 1) ((99 * n / 100) + 1 - 1))) in
+    let slow = List.filter (fun (lo, hi) -> hi -. lo >= p99) reqs in
+    let colls = List.sort compare (coll_windows ctx) in
+    let overlap (lo, hi) =
+      let covered, _ =
+        List.fold_left
+          (fun (acc, cursor) (s, e) ->
+            let s = Float.max (Float.max s cursor) lo
+            and e = Float.min e hi in
+            if e > s then (acc +. (e -. s), e) else (acc, cursor))
+          (0., lo) colls
+      in
+      covered
+    in
+    let total = List.fold_left (fun a (lo, hi) -> a +. (hi -. lo)) 0. slow in
+    let inside = List.fold_left (fun a w -> a +. overlap w) 0. slow in
+    if total > 0. then inside /. total else 0.
+  end
+
+let server_main json_path =
+  print_endline
+    "Latency-SLO server: open-loop arrival-rate sweep (virtual time):";
+  Printf.printf "  %-12s %10s %10s %10s %10s %10s %8s\n" "rate_rps" "p50"
+    "p90" "p99" "p99.9" "pause_p99" "gc_share";
+  let merged = Metrics.create ~n_vprocs:0 in
+  let rows = ref [] in
+  let gc_bound = ref None in
+  let light_p99 = ref nan in
+  List.iter
+    (fun rate ->
+      let load = server_load rate in
+      let ctx = mk_ctx ~n_vprocs:8 () in
+      let rt = Sched.create ~seed:5 ctx in
+      let sum = ref 0. in
+      ignore
+        (Sched.run rt ~main:(fun m ->
+             sum := Workloads.Server.run_load rt m load;
+             Value.unit));
+      if Float.abs (!sum -. Workloads.Server.expected_load load) > 1e-6 then begin
+        Printf.eprintf "  checksum mismatch at rate %.0f\n" rate;
+        exit 1
+      end;
+      let agg = Metrics.aggregate ctx.Ctx.metrics in
+      let req = agg.Metrics.requests in
+      if req.Metrics.count <> load.Workloads.Server.n_requests then begin
+        Printf.eprintf "  dropped requests at rate %.0f: %d of %d\n" rate
+          req.Metrics.count load.Workloads.Server.n_requests;
+        exit 1
+      end;
+      (* Whole-machine pause distribution: merge the four kinds. *)
+      let pause_p99 =
+        List.fold_left
+          (fun acc (ks : Metrics.kind_stats) ->
+            Float.max acc ks.Metrics.pause_ns.Metrics.p99)
+          0.
+          [ agg.Metrics.minor; agg.Metrics.major; agg.Metrics.promotion;
+            agg.Metrics.global ]
+      in
+      let share = slow_gc_share ctx (request_windows ctx) in
+      Metrics.merge ~into:merged ctx.Ctx.metrics;
+      if Float.is_nan !light_p99 then light_p99 := req.Metrics.p99;
+      if share >= 0.5 && !gc_bound = None then gc_bound := Some rate;
+      Printf.printf
+        "  %-12.0f %8.1fus %8.1fus %8.1fus %8.1fus %8.1fus %7.0f%%\n" rate
+        (req.Metrics.p50 /. 1e3) (req.Metrics.p90 /. 1e3)
+        (req.Metrics.p99 /. 1e3) (req.Metrics.p999 /. 1e3)
+        (pause_p99 /. 1e3) (100. *. share);
+      rows :=
+        ( Printf.sprintf "%.0f" rate,
+          Metrics.Json.Obj
+            [ ("rate_rps", Metrics.Json.Num rate);
+              ("n_requests", Metrics.Json.Num (float_of_int req.Metrics.count));
+              ("p50_ns", Metrics.Json.Num req.Metrics.p50);
+              ("p90_ns", Metrics.Json.Num req.Metrics.p90);
+              ("p99_ns", Metrics.Json.Num req.Metrics.p99);
+              ("p999_ns", Metrics.Json.Num req.Metrics.p999);
+              ("pause_p99_ns", Metrics.Json.Num pause_p99);
+              ("gc_overlap_share_slow", Metrics.Json.Num share) ])
+        :: !rows)
+    server_rates;
+  let ok =
+    match !gc_bound with
+    | Some r ->
+        Printf.printf
+          "  overall: PASS (GC-bound from %.0f rps: slow requests spend >= \
+           50%% of their in-flight time inside collections)\n"
+          r;
+        true
+    | None ->
+        Printf.printf
+          "  overall: FAIL (no swept rate is GC-bound — collector never \
+           dominates the latency tail)\n";
+        false
+  in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let snap = Metrics.snapshot merged in
+      let json =
+        match Metrics.Json.parse (Metrics.snapshot_to_json snap) with
+        | Ok (Metrics.Json.Obj fields) ->
+            Metrics.Json.Obj
+              (fields
+              @ [ ("bench", Metrics.Json.Str "server");
+                  ( "gc_bound_rate",
+                    match !gc_bound with
+                    | Some r -> Metrics.Json.Num r
+                    | None -> Metrics.Json.Null );
+                  ("rates", Metrics.Json.Obj (List.rev !rows)) ])
+        | _ -> assert false
+      in
+      let oc = open_out path in
+      output_string oc (Metrics.Json.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  if not ok then exit 1
+
 (* --- --obs-overhead: flight-recorder cost ------------------------- *)
 
 (* Host wall-clock with the recorder on vs off over the same workloads.
@@ -654,8 +844,10 @@ let () =
   | [| _; "--obs-overhead" |] -> obs_overhead_main ()
   | [| _; "--promote" |] -> promote_main None
   | [| _; "--promote"; "--metrics-json"; path |] -> promote_main (Some path)
+  | [| _; "--server" |] -> server_main None
+  | [| _; "--server"; "--metrics-json"; path |] -> server_main (Some path)
   | _ ->
       prerr_endline
         "usage: main.exe [--metrics-json FILE | --classify | --obs-overhead \
-         | --promote [--metrics-json FILE]]";
+         | --promote [--metrics-json FILE] | --server [--metrics-json FILE]]";
       exit 2

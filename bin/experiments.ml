@@ -68,6 +68,8 @@ let experiments =
      fun ~fast ~progress:_ -> Harness.Figures.baseline ~fast ());
     ("footnote3", "Footnote 3: two-socket single-node collapse",
      fun ~fast ~progress:_ -> Harness.Figures.footnote3 ~fast ());
+    ("server", "Server latency-SLO rate sweep",
+     fun ~fast ~progress -> Harness.Figures.server_report ~fast ~progress ());
   ]
 
 let run_one name fast verbose =

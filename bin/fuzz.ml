@@ -102,7 +102,8 @@ let main seed ops programs replay_file shrink no_shrink chaos fail_dir profile
         seed
         (match profile with
         | Fuzz.Gen.Default -> ""
-        | Fuzz.Gen.Steal_message -> " (steal/message-weighted)")
+        | Fuzz.Gen.Steal_message -> " (steal/message-weighted)"
+        | Fuzz.Gen.Sessions -> " (session-lifecycle-weighted)")
         (if chaos > 0 then
            Printf.sprintf " (chaos: corrupt every %d-th evacuation)" chaos
          else "");
@@ -167,12 +168,15 @@ let profile =
     & opt
         (enum
            [ ("default", Fuzz.Gen.Default);
-             ("steal-message", Fuzz.Gen.Steal_message) ])
+             ("steal-message", Fuzz.Gen.Steal_message);
+             ("sessions", Fuzz.Gen.Sessions) ])
         Fuzz.Gen.Default
     & info [ "weights" ] ~docv:"PROFILE"
         ~doc:
-          "Op-weight profile: $(b,default), or $(b,steal-message) to \
-           hammer the scheduler's steal/message promotion paths.")
+          "Op-weight profile: $(b,default); $(b,steal-message) to hammer \
+           the scheduler's steal/message promotion paths; or \
+           $(b,sessions) to hammer the server session lifecycle \
+           (open, request/response round trips, in-flight teardown).")
 
 let cmd =
   let info_ =

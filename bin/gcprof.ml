@@ -113,11 +113,13 @@ let reconstruct r =
       (Obs.Recorder.events r ~vproc:v);
     Array.iter (fun l -> orphans := !orphans + List.length l) pending
   done;
-  List.iter (Trace.record tr)
-    (List.sort
-       (fun a b -> compare a.Trace.t_start_ns b.Trace.t_start_ns)
-       !recorded);
-  (tr, !orphans)
+  let records =
+    List.sort
+      (fun a b -> compare a.Trace.t_start_ns b.Trace.t_start_ns)
+      !recorded
+  in
+  List.iter (Trace.record tr) records;
+  (tr, !orphans, records)
 
 let print_counters r =
   let attempts = ref 0
@@ -142,7 +144,7 @@ let print_counters r =
         | Event.Alloc_sample { bytes } ->
             incr samples;
             sampled_bytes := !sampled_bytes + bytes
-        | Event.Coll_begin _ | Event.Coll_end _ -> ())
+        | Event.Req_done _ | Event.Coll_begin _ | Event.Coll_end _ -> ())
       (Obs.Recorder.events r ~vproc:v)
   done;
   Printf.printf "scheduler: %d steal attempts, %d successes%s\n" !attempts
@@ -155,6 +157,129 @@ let print_counters r =
   Printf.printf "alloc samples: %d (1 in %d, ~%d bytes sampled)\n" !samples
     (Obs.Recorder.sample_every r)
     !sampled_bytes
+
+(* --- Request latencies (server workload) --------------------------- *)
+
+(* Exact percentile over a sorted array: the smallest sample with at
+   least [p] of the mass at or below it (offline, so no bucketing). *)
+let pctl sorted p =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (p *. float_of_int n)) - 1)))
+
+(* Completion events carry end time and latency, i.e. the request's
+   in-flight window [t_done - latency, t_done]. *)
+let request_windows r =
+  let ws = ref [] in
+  for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+    List.iter
+      (fun (_, t_ns, ev) ->
+        match ev with
+        | Event.Req_done { latency_ns } ->
+            ws := (t_ns -. float_of_int latency_ns, t_ns) :: !ws
+        | _ -> ())
+      (Obs.Recorder.events r ~vproc:v)
+  done;
+  !ws
+
+(* Share of [lo,hi] covered by the union of the collections' intervals —
+   pauses on any vproc count, since a parked request fiber can be held
+   up by whichever vproc its session or partner is running on. *)
+let gc_overlap_share colls (lo, hi) =
+  let clipped =
+    List.filter_map
+      (fun c ->
+        let s = Float.max lo c.Trace.t_start_ns
+        and e = Float.min hi c.Trace.t_end_ns in
+        if e > s then Some (s, e) else None)
+      colls
+  in
+  let sorted = List.sort compare clipped in
+  let covered, _ =
+    List.fold_left
+      (fun (acc, cursor) (s, e) ->
+        let s = Float.max s cursor in
+        if e > s then (acc +. (e -. s), e) else (acc, cursor))
+      (0., lo) sorted
+  in
+  if hi > lo then covered /. (hi -. lo) else 0.
+
+let print_request_latencies r colls =
+  let ws = request_windows r in
+  let n = List.length ws in
+  if n = 0 then
+    print_string "request latencies: none recorded (not a server run)\n"
+  else begin
+    let lats =
+      Array.of_list (List.map (fun (lo, hi) -> hi -. lo) ws)
+    in
+    Array.sort compare lats;
+    let us x = x /. 1_000. in
+    Printf.printf
+      "request latencies: %d requests\n\
+      \  p50 %8.1fus  p90 %8.1fus  p99 %8.1fus  p99.9 %8.1fus  max %8.1fus\n"
+      n
+      (us (pctl lats 0.50))
+      (us (pctl lats 0.90))
+      (us (pctl lats 0.99))
+      (us (pctl lats 0.999))
+      (us lats.(Array.length lats - 1));
+    (* Slow tail: everything at or above p99 (at least one request). *)
+    let thresh = pctl lats 0.99 in
+    let slow = List.filter (fun (lo, hi) -> hi -. lo >= thresh) ws in
+    let n_slow = List.length slow in
+    let slow_lat = List.fold_left (fun a (lo, hi) -> a +. (hi -. lo)) 0. slow in
+    let slow_gc =
+      List.fold_left
+        (fun a w -> a +. (gc_overlap_share colls w *. (snd w -. fst w)))
+        0. slow
+    in
+    Printf.printf
+      "slow requests (latency >= p99): %d, mean %.1fus, %.0f%% of their \
+       in-flight time overlaps GC\n"
+      n_slow
+      (us (slow_lat /. float_of_int (max 1 n_slow)))
+      (100. *. slow_gc /. Float.max 1. slow_lat);
+    (* Which collections those windows overlap, by kind x cause: the
+       bridge from a latency SLO miss back to its GC origin. *)
+    let counts = Array.make_matrix (Array.length kinds) Cause.n_codes 0 in
+    let overlap_ns = Array.make_matrix (Array.length kinds) Cause.n_codes 0. in
+    List.iter
+      (fun c ->
+        let touched =
+          List.fold_left
+            (fun acc (lo, hi) ->
+              let s = Float.max lo c.Trace.t_start_ns
+              and e = Float.min hi c.Trace.t_end_ns in
+              if e > s then acc +. (e -. s) else acc)
+            0. slow
+        in
+        if touched > 0. then begin
+          let k = kind_index c.Trace.kind and cc = Cause.code c.Trace.cause in
+          counts.(k).(cc) <- counts.(k).(cc) + 1;
+          overlap_ns.(k).(cc) <- overlap_ns.(k).(cc) +. touched
+        end)
+      colls;
+    let any = ref false in
+    Array.iteri
+      (fun k kind ->
+        for c = 0 to Cause.n_codes - 1 do
+          if counts.(k).(c) > 0 then begin
+            if not !any then begin
+              any := true;
+              Printf.printf "  %-10s %-22s %8s %12s %7s\n" "kind" "cause"
+                "pauses" "overlap_us" "share"
+            end;
+            Printf.printf "  %-10s %-22s %8d %12.1f %6.1f%%\n"
+              (Event.kind_to_string kind)
+              (Cause.code_name c) counts.(k).(c)
+              (us overlap_ns.(k).(c))
+              (100. *. overlap_ns.(k).(c) /. Float.max 1. slow_lat)
+          end
+        done)
+      kinds;
+    if not !any then
+      print_string "  (no collections overlap the slow requests)\n"
+  end
 
 let traffic_matrix r =
   let n = Obs.Recorder.n_nodes r in
@@ -190,7 +315,7 @@ let main dump_path chrome tail =
          else "");
       print_attribution r;
       print_newline ();
-      let tr, orphans = reconstruct r in
+      let tr, orphans, colls = reconstruct r in
       if orphans > 0 then
         Printf.printf
           "(%d begin/end orphans skipped: pair lost to ring overwrite or dump \
@@ -199,6 +324,8 @@ let main dump_path chrome tail =
       print_string (Trace.summary tr);
       print_newline ();
       print_string (Trace.render_timeline tr ~n_vprocs);
+      print_newline ();
+      print_request_latencies r colls;
       print_newline ();
       print_counters r;
       print_newline ();

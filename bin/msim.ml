@@ -88,7 +88,8 @@ let name_arg =
     & pos 0 (some string) None
     & info [] ~docv:"BENCHMARK"
         ~doc:
-          "One of dmm, raytracer, quicksort, smvm, barnes-hut, synthetic.")
+          "One of dmm, raytracer, quicksort, smvm, barnes-hut, synthetic, \
+           server.")
 
 let machine_arg =
   Arg.(value & opt string "amd48" & info [ "m"; "machine" ] ~doc:"amd48 | intel32 | tiny4.")

@@ -300,7 +300,15 @@ let hist_merge ~into h =
 let hist_percentile h p =
   if h.n = 0 then 0.
   else begin
-    let target = Stdlib.max 1 (int_of_float (Float.ceil (p *. float_of_int h.n))) in
+    (* Rank of the p-th percentile among n samples, 1-based.  [p *. n]
+       can land a hair above the exact product (0.55 * 20 is
+       11.000000000000002), and taking the ceiling of that would skip to
+       the next sample, so shave a relative epsilon first.  Clamping to
+       [1, n] keeps p <= 0 at the first sample and p >= 1 at the last
+       instead of walking past the populated buckets. *)
+    let x = p *. float_of_int h.n in
+    let target = int_of_float (Float.ceil (x -. (Float.abs x *. 1e-12))) in
+    let target = Stdlib.min h.n (Stdlib.max 1 target) in
     let rec go i cum =
       if i >= n_buckets then h.vmax
       else begin
@@ -327,6 +335,7 @@ let kind_index = function
 type vrec = {
   pause : hist array; (* indexed by kind_index *)
   bytes : hist array;
+  req : hist; (* per-request latency, same scale as pauses (ns) *)
   v_causes : int array; (* indexed by Obs.Gc_cause.code *)
   mutable v_chunk_acquires : int;
   mutable v_steal_attempts : int;
@@ -337,6 +346,7 @@ let vrec_create () =
   {
     pause = Array.init n_kinds (fun _ -> hist_create ());
     bytes = Array.init n_kinds (fun _ -> hist_create ());
+    req = hist_create ();
     v_causes = Array.make Obs.Gc_cause.n_codes 0;
     v_chunk_acquires = 0;
     v_steal_attempts = 0;
@@ -368,6 +378,12 @@ let record_pause ?cause t ~vproc ~kind ~ns ~bytes =
         r.v_causes.(i) <- r.v_causes.(i) + 1
   end
 
+let record_request t ~vproc ~ns =
+  if vproc >= 0 then begin
+    ensure t vproc;
+    hist_add t.vrecs.(vproc).req ns
+  end
+
 let record_chunk_acquire t ~vproc =
   if vproc >= 0 then begin
     ensure t vproc;
@@ -387,6 +403,7 @@ let vrec_merge ~into r =
     hist_merge ~into:into.pause.(k) r.pause.(k);
     hist_merge ~into:into.bytes.(k) r.bytes.(k)
   done;
+  hist_merge ~into:into.req r.req;
   Array.iteri (fun i c -> into.v_causes.(i) <- into.v_causes.(i) + c) r.v_causes;
   into.v_chunk_acquires <- into.v_chunk_acquires + r.v_chunk_acquires;
   into.v_steal_attempts <- into.v_steal_attempts + r.v_steal_attempts;
@@ -411,6 +428,7 @@ type dist = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
 }
 
 type kind_stats = { pause_ns : dist; copied_bytes : dist }
@@ -421,6 +439,7 @@ type vproc_stats = {
   major : kind_stats;
   promotion : kind_stats;
   global : kind_stats;
+  requests : dist;
   causes : (string * int) list;
   chunk_acquires : int;
   steal_attempts : int;
@@ -438,6 +457,7 @@ let dist_of_hist h =
     p50 = hist_percentile h 0.50;
     p90 = hist_percentile h 0.90;
     p99 = hist_percentile h 0.99;
+    p999 = hist_percentile h 0.999;
   }
 
 let kind_stats_of r k =
@@ -455,6 +475,7 @@ let vproc_stats_of ~vproc r =
     major = kind_stats_of r 1;
     promotion = kind_stats_of r 2;
     global = kind_stats_of r 3;
+    requests = dist_of_hist r.req;
     causes = !causes;
     chunk_acquires = r.v_chunk_acquires;
     steal_attempts = r.v_steal_attempts;
@@ -489,6 +510,7 @@ let json_of_dist d =
       ("p50", Json.Num d.p50);
       ("p90", Json.Num d.p90);
       ("p99", Json.Num d.p99);
+      ("p999", Json.Num d.p999);
     ]
 
 let json_of_kind ks =
@@ -506,6 +528,7 @@ let json_of_vproc vs =
       ("major", json_of_kind vs.major);
       ("promotion", json_of_kind vs.promotion);
       ("global", json_of_kind vs.global);
+      ("requests", json_of_dist vs.requests);
       ( "causes",
         Json.Obj
           (List.map (fun (name, n) -> (name, Json.Num (float_of_int n))) vs.causes)
@@ -542,6 +565,7 @@ let dist_of_json j =
     p50 = num_field "p50" j;
     p90 = num_field "p90" j;
     p99 = num_field "p99" j;
+    p999 = num_field "p999" j;
   }
 
 let kind_of_json j =
@@ -568,6 +592,7 @@ let vproc_of_json j =
     major = kind_of_json (field "major" j);
     promotion = kind_of_json (field "promotion" j);
     global = kind_of_json (field "global" j);
+    requests = dist_of_json (field "requests" j);
     causes = causes_of_json j;
     chunk_acquires = int_field "chunk_acquires" j;
     steal_attempts = int_field "steal_attempts" j;
@@ -595,7 +620,16 @@ let kind_names = [| "minor"; "major"; "promotion"; "global" |]
 let snapshot_to_csv s =
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes\n";
+    "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,p999_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes\n";
+  let row vs name p by =
+    Buffer.add_string b
+      (Printf.sprintf
+         "%d,%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%d,%d,%d\n"
+         vs.vproc name p.count p.sum p.min p.max p.p50 p.p90 p.p99 p.p999
+         by.sum by.p50 by.p99 vs.chunk_acquires vs.steal_attempts
+         vs.steal_successes)
+  in
+  let zero = dist_of_hist (hist_create ()) in
   List.iter
     (fun vs ->
       Array.iteri
@@ -607,20 +641,17 @@ let snapshot_to_csv s =
             | 2 -> vs.promotion
             | _ -> vs.global
           in
-          let p = ks.pause_ns and by = ks.copied_bytes in
-          Buffer.add_string b
-            (Printf.sprintf "%d,%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%d,%d,%d\n"
-               vs.vproc name p.count p.sum p.min p.max p.p50 p.p90 p.p99 by.sum
-               by.p50 by.p99 vs.chunk_acquires vs.steal_attempts
-               vs.steal_successes))
-        kind_names)
+          row vs name ks.pause_ns ks.copied_bytes)
+        kind_names;
+      (* Request latency rides in the pause columns; it copies no bytes. *)
+      row vs "request" vs.requests zero)
     s.vprocs;
   Buffer.contents b
 
 let pp_summary ppf s =
   Format.fprintf ppf "@[<v>per-vproc collector pauses:@,";
-  Format.fprintf ppf "  %-6s %-10s %7s  %10s %10s %10s %10s  %10s@," "vproc"
-    "kind" "count" "p50" "p90" "p99" "max" "copied";
+  Format.fprintf ppf "  %-6s %-10s %7s  %10s %10s %10s %10s %10s  %10s@,"
+    "vproc" "kind" "count" "p50" "p90" "p99" "p99.9" "max" "copied";
   List.iter
     (fun vs ->
       Array.iteri
@@ -634,12 +665,21 @@ let pp_summary ppf s =
           in
           let p = ks.pause_ns in
           if p.count > 0 then
-            Format.fprintf ppf "  %-6s %-10s %7d  %10s %10s %10s %10s  %10s@,"
+            Format.fprintf ppf
+              "  %-6s %-10s %7d  %10s %10s %10s %10s %10s  %10s@,"
               (if vs.vproc < 0 then "all" else Printf.sprintf "v%02d" vs.vproc)
               name p.count (Units.ns_to_string p.p50) (Units.ns_to_string p.p90)
-              (Units.ns_to_string p.p99) (Units.ns_to_string p.max)
+              (Units.ns_to_string p.p99) (Units.ns_to_string p.p999)
+              (Units.ns_to_string p.max)
               (Units.bytes_to_string (int_of_float ks.copied_bytes.sum)))
         kind_names;
+      (let p = vs.requests in
+       if p.count > 0 then
+         Format.fprintf ppf "  %-6s %-10s %7d  %10s %10s %10s %10s %10s  %10s@,"
+           (if vs.vproc < 0 then "all" else Printf.sprintf "v%02d" vs.vproc)
+           "request" p.count (Units.ns_to_string p.p50)
+           (Units.ns_to_string p.p90) (Units.ns_to_string p.p99)
+           (Units.ns_to_string p.p999) (Units.ns_to_string p.max) "-");
       if vs.steal_attempts > 0 || vs.chunk_acquires > 0 then
         Format.fprintf ppf "  %-6s steals %d/%d, chunk acquires %d@,"
           (if vs.vproc < 0 then "all" else Printf.sprintf "v%02d" vs.vproc)

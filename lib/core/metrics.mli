@@ -58,6 +58,12 @@ val record_pause :
     it copied/promoted, attributed to [cause] when given.  Out-of-range
     vprocs are ignored. *)
 
+val record_request : t -> vproc:int -> ns:float -> unit
+(** One completed request on [vproc] (the vproc that finished it):
+    end-to-end latency from arrival to response, in the same log-bucket
+    histogram family as pauses so SLO percentiles sit next to GC
+    percentiles.  Out-of-range vprocs are ignored. *)
+
 val record_chunk_acquire : t -> vproc:int -> unit
 val record_steal : t -> vproc:int -> success:bool -> unit
 (** A steal attempt by thief [vproc]; [success] if it yielded an item. *)
@@ -77,6 +83,7 @@ type dist = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
 }
 (** Summary of one distribution.  Percentiles are bucket-resolved (log
     buckets, ~19% relative width) and clamped to the observed
@@ -90,6 +97,8 @@ type vproc_stats = {
   major : kind_stats;
   promotion : kind_stats;
   global : kind_stats;
+  requests : dist;
+      (** per-request latency recorded via {!record_request} (ns) *)
   causes : (string * int) list;
       (** collection counts by cause name ({!Obs.Gc_cause.to_string}),
           nonzero entries only, in cause-code order *)
@@ -116,8 +125,8 @@ val snapshot_of_json : string -> (snapshot, string) result
     = Ok s] for any snapshot (floats are printed round-trippably). *)
 
 val snapshot_to_csv : snapshot -> string
-(** One row per vproc x kind:
-    [vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,
+(** One row per vproc x kind (plus a [request] latency row per vproc):
+    [vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,p999_ns,
     bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,
     steal_successes]. *)
 

@@ -268,6 +268,66 @@ let chan_phase s ~seed ~msgs ~src ~dst =
     (Shadow.vec s.sh
        (List.init msgs (fun i -> Shadow.vec s.sh [ Shadow.Imm i; ssrc ])))
 
+let session_phase s ~seed ~reqs ~src ~dst =
+  let reqs = 1 + (abs reqs mod 5) in
+  let ssrc = s.sregs.(0).(src) in
+  let sched = Sched.create ~seed s.ctx in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Global_gc.install_sync_hook s.ctx)
+      (fun () ->
+        Sched.run sched ~main:(fun m ->
+            let req_ch = Sched.new_channel sched m in
+            let resp_ch = Sched.new_channel sched m in
+            let session =
+              Sched.spawn sched m
+                ~env:[| Roots.get s.regs.(0).(src) |]
+                (fun fm env ->
+                  (* Serve round trips until the request channel is
+                     torn down under us: the session is parked on its
+                     next recv when the close lands, so the parked
+                     entry must fail cleanly with [Closed]. *)
+                  let state = Roots.add fm.Ctx.roots env.(0) in
+                  (try
+                     while true do
+                       let req = Sched.recv sched fm req_ch in
+                       let cell = Roots.add fm.Ctx.roots req in
+                       let resp =
+                         Alloc.alloc_vector s.ctx fm
+                           [| Roots.get cell; Roots.get state |]
+                       in
+                       Roots.remove fm.Ctx.roots cell;
+                       Sched.send sched fm resp_ch resp
+                     done
+                   with Sched.Closed -> ());
+                  Roots.remove fm.Ctx.roots state;
+                  Value.unit)
+            in
+            let cells = ref [] in
+            for i = 0 to reqs - 1 do
+              let msg = Alloc.alloc_vector s.ctx m [| Value.of_int i |] in
+              Sched.send sched m req_ch msg;
+              let v = Sched.recv sched m resp_ch in
+              cells := Roots.add m.Ctx.roots v :: !cells
+            done;
+            Sched.close_channel sched req_ch;
+            ignore (Sched.await sched m session);
+            Sched.close_channel sched resp_ch;
+            let vals =
+              Array.of_list
+                (List.rev_map
+                   (fun c -> Ctx.resolve s.ctx m (Roots.get c))
+                   !cells)
+            in
+            let out = Alloc.alloc_vector s.ctx m vals in
+            List.iter (fun c -> Roots.remove m.Ctx.roots c) !cells;
+            out))
+  in
+  set_reg s 0 dst result
+    (Shadow.vec s.sh
+       (List.init reqs (fun i ->
+            Shadow.vec s.sh [ Shadow.vec s.sh [ Shadow.Imm i ]; ssrc ])))
+
 let apply s (op : Op.t) =
   match op with
   | Alloc_vec { vproc; dst; srcs } ->
@@ -362,6 +422,8 @@ let apply s (op : Op.t) =
       sched_phase s ~seed ~fibers ~src:(rg src) ~dst:(rg dst)
   | Chan_phase { seed; msgs; src; dst } ->
       chan_phase s ~seed ~msgs ~src:(rg src) ~dst:(rg dst)
+  | Session_phase { seed; reqs; src; dst } ->
+      session_phase s ~seed ~reqs ~src:(rg src) ~dst:(rg dst)
   | Check -> check s
 
 (* ------------------------------------------------------------------ *)

@@ -30,6 +30,11 @@ type profile =
       (** shift weight onto the sharing ops — promote, share, sched and
           chan phases — to hammer the scheduler's steal/message
           promotion paths (the batched write-buffer publish) *)
+  | Sessions
+      (** shift weight onto session/chan phases to hammer the server
+          workload's lifecycle: open a channel pair, serve
+          request/response round trips, and tear down with a recv still
+          parked *)
 
 (* Cumulative percent thresholds for the op classes, in draw order.
    [Default] is the historical mix; [Steal_message] keeps every class
@@ -53,26 +58,39 @@ type weights = {
   w_global : int;
   w_reqglobal : int;
   w_sched : int;
-  w_chan : int; (* the rest up to 100 is Check *)
+  w_chan : int;
+  w_session : int; (* the rest up to 100 is Check *)
 }
 
 let default_weights =
   { w_vec = 22; w_raw_small = 30; w_raw_global = 34; w_raw_large = 37;
     w_fillvec = 41; w_ref = 47; w_setf = 59; w_copy = 65; w_drop = 71;
     w_promote = 76; w_share = 81; w_mkproxy = 85; w_dropproxy = 87;
-    w_minor = 92; w_major = 95; w_global = 96; w_reqglobal = 97;
-    w_sched = 98; w_chan = 99 }
+    w_minor = 91; w_major = 94; w_global = 95; w_reqglobal = 96;
+    w_sched = 97; w_chan = 98; w_session = 99 }
 
 let steal_message_weights =
   { w_vec = 12; w_raw_small = 17; w_raw_global = 19; w_raw_large = 21;
     w_fillvec = 25; w_ref = 29; w_setf = 35; w_copy = 39; w_drop = 45;
     w_promote = 56; w_share = 70; w_mkproxy = 72; w_dropproxy = 74;
     w_minor = 77; w_major = 79; w_global = 80; w_reqglobal = 81;
-    w_sched = 90; w_chan = 99 }
+    w_sched = 88; w_chan = 94; w_session = 99 }
+
+(* Spend roughly a third of the budget on the scheduler phases, with
+   session lifecycles dominating: every op class stays reachable, but
+   the generated programs open, serve and tear down sessions over and
+   over, interleaved with forced collections. *)
+let sessions_weights =
+  { w_vec = 10; w_raw_small = 14; w_raw_global = 16; w_raw_large = 18;
+    w_fillvec = 21; w_ref = 24; w_setf = 30; w_copy = 33; w_drop = 38;
+    w_promote = 43; w_share = 49; w_mkproxy = 51; w_dropproxy = 53;
+    w_minor = 57; w_major = 60; w_global = 62; w_reqglobal = 63;
+    w_sched = 68; w_chan = 78; w_session = 96 }
 
 let weights_of = function
   | Default -> default_weights
   | Steal_message -> steal_message_weights
+  | Sessions -> sessions_weights
 
 let op ?(sizes = default_sizes) ?(profile = Default) st ~n_vprocs : Op.t =
   let w = weights_of profile in
@@ -131,6 +149,10 @@ let op ?(sizes = default_sizes) ?(profile = Default) st ~n_vprocs : Op.t =
   else if r < w.w_chan then
     Chan_phase
       { seed = Random.State.bits st; msgs = 1 + Random.State.int st 6;
+        src = reg st; dst = reg st }
+  else if r < w.w_session then
+    Session_phase
+      { seed = Random.State.bits st; reqs = 1 + Random.State.int st 5;
         src = reg st; dst = reg st }
   else Check
 

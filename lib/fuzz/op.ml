@@ -56,6 +56,13 @@ type t =
          as a choice across two channels; the main fiber selects them
          all, closes the channels, and gathers the messages into
          register [dst] — the message-promotion (write-buffer) path *)
+  | Session_phase of { seed : int; reqs : int; src : int; dst : int }
+      (* run a Runtime.Sched session through the server lifecycle: a
+         session fiber holding register [src] as state serves [reqs]
+         request/response round trips over a channel pair, then the
+         request channel is closed while the session is parked on its
+         next recv — the in-flight teardown path — and the responses
+         are gathered into register [dst] *)
   | Check (* full differential + invariant check, mid-program *)
 
 (* ------------------------------------------------------------------ *)
@@ -89,6 +96,8 @@ let to_string = function
       Printf.sprintf "sched %d %d %d %d" seed fibers src dst
   | Chan_phase { seed; msgs; src; dst } ->
       Printf.sprintf "chan %d %d %d %d" seed msgs src dst
+  | Session_phase { seed; reqs; src; dst } ->
+      Printf.sprintf "session %d %d %d %d" seed reqs src dst
   | Check -> "check"
 
 let of_string line =
@@ -160,6 +169,11 @@ let of_string line =
       match (int se, int ms, int s, int d) with
       | Some seed, Some msgs, Some src, Some dst ->
           Ok (Chan_phase { seed; msgs; src; dst })
+      | _ -> fail ())
+  | [ "session"; se; rq; s; d ] -> (
+      match (int se, int rq, int s, int d) with
+      | Some seed, Some reqs, Some src, Some dst ->
+          Ok (Session_phase { seed; reqs; src; dst })
       | _ -> fail ())
   | [ "check" ] -> Ok Check
   | _ -> fail ()

@@ -488,3 +488,82 @@ let footnote3 ?(fast = false) () =
    the exact change GHC needed — while NUMA-aware local allocation\n\
    continues to the full 24.\n"
   ^ Table.render ~header ~rows
+
+let server_report ?(fast = false) ?(progress = fun _ -> ()) () =
+  let module M = Manticore_gc.Metrics in
+  (* Tight heaps (as in the metrics runs) so the latency tail has a GC
+     component to expose; the sweep drives the same open-loop load the
+     bench's BENCH_7.json gate uses, at figure-friendly sizes. *)
+  let base_cfg = Run_config.default ~machine:Numa.Machines.amd48 ~n_vprocs:8 in
+  let base_cfg =
+    { base_cfg with
+      Run_config.params =
+        { base_cfg.Run_config.params with
+          Manticore_gc.Params.local_heap_bytes = 32 * 1024;
+          chunk_bytes = 8 * 1024;
+          nursery_min_bytes = 4 * 1024;
+          global_budget_per_vproc = 128 * 1024 } }
+  in
+  let rates =
+    if fast then [ 50_000.; 200_000.; 1_000_000. ]
+    else [ 50_000.; 100_000.; 200_000.; 500_000.; 1_000_000. ]
+  in
+  let n_requests = if fast then 384 else 1536 in
+  let runs =
+    List.map
+      (fun rate ->
+        progress (Printf.sprintf "server %.0f rps x8 (latency)" rate);
+        (rate, Run_config.execute_server base_cfg ~rate_rps:rate ~n_requests))
+      rates
+  in
+  let header =
+    [ "rate (rps)"; "p50"; "p90"; "p99"; "p99.9"; "max"; "pause p99" ]
+  in
+  let rows =
+    List.map
+      (fun (rate, (o : Run_config.outcome)) ->
+        let agg = M.aggregate o.Run_config.metrics in
+        let req = agg.M.requests in
+        let pause_p99 =
+          List.fold_left
+            (fun acc (ks : M.kind_stats) ->
+              Float.max acc ks.M.pause_ns.M.p99)
+            0.
+            [ agg.M.minor; agg.M.major; agg.M.promotion; agg.M.global ]
+        in
+        [
+          Printf.sprintf "%.0f" rate;
+          Manticore_gc.Units.ns_to_string req.M.p50;
+          Manticore_gc.Units.ns_to_string req.M.p90;
+          Manticore_gc.Units.ns_to_string req.M.p99;
+          Manticore_gc.Units.ns_to_string req.M.p999;
+          Manticore_gc.Units.ns_to_string req.M.max;
+          Manticore_gc.Units.ns_to_string pause_p99;
+        ])
+      runs
+  in
+  let series =
+    List.map
+      (fun (pname, pick) ->
+        {
+          Ascii_plot.label = pname;
+          points =
+            List.map
+              (fun (rate, (o : Run_config.outcome)) ->
+                let agg = M.aggregate o.Run_config.metrics in
+                ( int_of_float (rate /. 1000.),
+                  pick agg.M.requests /. 1000. ))
+              runs;
+        })
+      [ ("p50", fun (d : M.dist) -> d.M.p50);
+        ("p99", fun d -> d.M.p99);
+        ("p99.9", fun d -> d.M.p999) ]
+  in
+  "Latency-SLO server under open-loop load (amd48 x8, tight heaps):\n\
+   request-latency percentiles vs arrival rate — the tail saturates\n\
+   first as collections stack up under the heavier rates.\n"
+  ^ Table.render ~header ~rows
+  ^ "\n"
+  ^ Ascii_plot.render ~title:"request latency vs arrival rate"
+      ~xlabel:"arrival rate (krps)" ~ylabel:"latency (us)" ~ideal:false
+      series

@@ -95,3 +95,10 @@ val ablations : ?fast:bool -> unit -> string
 (** The ablation study of DESIGN.md §5: chunk node-affinity, young-data
     exclusion, and lazy promotion each disabled in isolation, measured
     by simulated time and collector traffic. *)
+
+val server_report : ?fast:bool -> ?progress:(string -> unit) -> unit -> string
+(** The latency-SLO rate sweep: open-loop server load at increasing
+    arrival rates on tight heaps, reporting request-latency percentiles
+    (p50/p90/p99/p99.9) against the worst collection-kind pause p99,
+    with an ASCII latency-vs-rate chart — the experiments counterpart
+    of [bench --server]. *)

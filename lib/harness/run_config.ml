@@ -57,7 +57,7 @@ type outcome = {
   census_report : string option;
 }
 
-let execute spec t =
+let execute_with t run =
   let machine = Numa.Machines.with_scaled_caches t.cache_scale t.machine in
   let ctx =
     Ctx.create ~params:t.params ~cap_scale:(float_of_int t.bw_scale) ~machine
@@ -72,7 +72,7 @@ let execute spec t =
   in
   if t.trace then Gc_trace.enable ctx.Ctx.trace;
   Obs.Recorder.set_enabled ctx.Ctx.obs t.obs_enabled;
-  let checksum = Workloads.Registry.run spec rt ~scale:t.scale in
+  let checksum = run ctx rt in
   let gc =
     Gc_stats.total
       (Array.init t.n_vprocs (fun i -> (Ctx.mutator ctx i).Ctx.stats))
@@ -96,6 +96,41 @@ let execute spec t =
     census_report =
       (if t.census then Some (Heap.Census.render (Ctx.census ctx)) else None);
   }
+
+let execute spec t =
+  execute_with t (fun _ctx rt -> Workloads.Registry.run spec rt ~scale:t.scale)
+
+(* The server workload at an explicit operating point: the registry
+   entry only covers its default load, while the latency experiments
+   sweep arrival rates.  Raises [Failure] on a checksum mismatch or a
+   dropped request. *)
+let execute_server t ~rate_rps ~n_requests =
+  let load =
+    {
+      Workloads.Server.rate_rps;
+      n_requests;
+      n_sessions = max 2 (t.n_vprocs / 2);
+      seed = 0xC0FFEE;
+    }
+  in
+  execute_with t (fun ctx rt ->
+      let sum = ref 0. in
+      ignore
+        (Runtime.Sched.run rt ~main:(fun m ->
+             sum := Workloads.Server.run_load rt m load;
+             Heap.Value.unit));
+      let expected = Workloads.Server.expected_load load in
+      if Float.abs (!sum -. expected) > 1e-6 then
+        failwith
+          (Printf.sprintf
+             "server: checksum %.9g failed validation at %.0f rps" !sum
+             rate_rps);
+      let agg = Metrics.aggregate ctx.Ctx.metrics in
+      if agg.Metrics.requests.Metrics.count <> n_requests then
+        failwith
+          (Printf.sprintf "server: %d of %d requests completed at %.0f rps"
+             agg.Metrics.requests.Metrics.count n_requests rate_rps);
+      !sum)
 
 let metrics_block o =
   Format.asprintf "%a" Metrics.pp_summary (Metrics.snapshot o.metrics)

@@ -55,6 +55,12 @@ val execute : Workloads.Registry.spec -> t -> outcome
 (** Build the context and scheduler, run the benchmark, validate its
     checksum, and collect statistics. *)
 
+val execute_server : t -> rate_rps:float -> n_requests:int -> outcome
+(** Run the server workload at an explicit open-loop arrival rate
+    ([t.scale] is ignored; sessions scale with [t.n_vprocs]).  Raises
+    [Failure] if the checksum fails or any request did not complete —
+    the request-latency percentiles then live in [outcome.metrics]. *)
+
 val metrics_block : outcome -> string
 (** The run's per-vproc pause-percentile table, rendered. *)
 

@@ -15,6 +15,7 @@ type t =
   | Steal_success of { victim : int }
   | Global_phase of { phase : global_phase }
   | Alloc_sample of { bytes : int }
+  | Req_done of { latency_ns : int }
 
 let kind_code = function Minor -> 0 | Major -> 1 | Promotion -> 2 | Global -> 3
 
@@ -85,6 +86,7 @@ let encode = function
   | Steal_success { victim } -> (5, victim, 0, 0)
   | Global_phase { phase } -> (6, phase_code phase, 0, 0)
   | Alloc_sample { bytes } -> (7, bytes, 0, 0)
+  | Req_done { latency_ns } -> (8, latency_ns, 0, 0)
 
 let decode ~tag ~a ~b ~c =
   match tag with
@@ -105,6 +107,7 @@ let decode ~tag ~a ~b ~c =
       | Some phase -> Some (Global_phase { phase })
       | None -> None)
   | 7 -> Some (Alloc_sample { bytes = a })
+  | 8 -> Some (Req_done { latency_ns = a })
   | _ -> None
 
 (* Text form used by the dump codec: a name followed by its operands. *)
@@ -124,6 +127,7 @@ let to_strings = function
   | Steal_success { victim } -> [ "steal-success"; string_of_int victim ]
   | Global_phase { phase } -> [ "global-phase"; phase_to_string phase ]
   | Alloc_sample { bytes } -> [ "alloc-sample"; string_of_int bytes ]
+  | Req_done { latency_ns } -> [ "req-done"; string_of_int latency_ns ]
 
 let of_strings words =
   let int s =
@@ -165,5 +169,8 @@ let of_strings words =
   | [ "alloc-sample"; b ] ->
       let* bytes = int b in
       Ok (Alloc_sample { bytes })
+  | [ "req-done"; l ] ->
+      let* latency_ns = int l in
+      Ok (Req_done { latency_ns })
   | w :: _ -> Error (Printf.sprintf "unknown event %S" w)
   | [] -> Error "empty event"

@@ -21,6 +21,11 @@ type t =
   | Global_phase of { phase : global_phase }
   | Alloc_sample of { bytes : int }
       (** Sampled allocation (1-in-[sample_every] objects). *)
+  | Req_done of { latency_ns : int }
+      (** A server-workload request completed on this vproc;
+          [latency_ns] is its end-to-end latency from (virtual) arrival
+          to response.  Lets gcprof correlate slow requests with the
+          collections that ran during them. *)
 
 val kind_code : coll_kind -> int
 val kind_of_code : int -> coll_kind option

@@ -51,15 +51,20 @@ type vproc = {
          scheduler turn share a single batched cycle *)
 }
 
+exception Closed
+
 (* Blocked channel partners.  A plain send/recv uses a fresh claim ref;
    the arms of one [sync] choice share a claim ref, so committing any arm
    atomically invalidates its siblings (the two-phase commit of Parallel
-   CML, simplified by the cooperative scheduler). *)
+   CML, simplified by the cooperative scheduler).  The fail path releases
+   the entry's rooted resources and discontinues the parked fiber — it is
+   how [close_channel] tears down a channel with fibers still blocked. *)
 type reader = {
   r_vproc : int;
   r_proxy : Roots.cell; (* in the receiver's proxy list *)
   r_claim : bool ref;
   r_resume : Value.t -> unit; (* deliver the message, reschedule the fiber *)
+  r_fail : exn -> unit; (* release resources, discontinue the fiber *)
 }
 
 type writer = {
@@ -67,6 +72,7 @@ type writer = {
   s_val : Roots.cell; (* promoted message, rooted with the runtime *)
   s_claim : bool ref;
   s_resume : unit -> unit;
+  s_fail : exn -> unit;
 }
 
 type chan = {
@@ -399,6 +405,11 @@ let start_fiber t (v : vproc) (item : work_item) =
                       (fun () ->
                         enqueue_task v ~ready_ns:v.mut.Ctx.now_ns (fun () ->
                             Effect.Deep.continue k ()));
+                    s_fail =
+                      (fun e ->
+                        Roots.remove t.c.Ctx.global_roots cell;
+                        enqueue_task v ~ready_ns:v.mut.Ctx.now_ns (fun () ->
+                            Effect.Deep.discontinue k e));
                   }
                   ch.writers)
     | Ef_recv (ch, proxy_cell) ->
@@ -418,6 +429,11 @@ let start_fiber t (v : vproc) (item : work_item) =
                     r_claim = ref false;
                     r_resume =
                       (fun msg -> enqueue_resume v ~ready_ns:v.mut.Ctx.now_ns k msg);
+                    r_fail =
+                      (fun e ->
+                        Roots.remove v.mut.Ctx.proxies proxy_cell;
+                        enqueue_task v ~ready_ns:v.mut.Ctx.now_ns (fun () ->
+                            Effect.Deep.discontinue k e));
                   }
                   ch.readers)
     | Ef_sync arms ->
@@ -478,6 +494,14 @@ let start_fiber t (v : vproc) (item : work_item) =
                                 enqueue_task v ~ready_ns:v.mut.Ctx.now_ns
                                   (fun () ->
                                     Effect.Deep.continue k (i, Value.unit)));
+                            s_fail =
+                              (fun e ->
+                                (* This arm's cell is still unconsumed:
+                                   releasing the choice drops it along
+                                   with every sibling's resource. *)
+                                release_choice !cleanups;
+                                enqueue_task v ~ready_ns:v.mut.Ctx.now_ns
+                                  (fun () -> Effect.Deep.discontinue k e));
                           }
                           ch.writers
                     | Arm_recv (ch, pc) ->
@@ -500,6 +524,11 @@ let start_fiber t (v : vproc) (item : work_item) =
                                 release_choice !cleanups;
                                 enqueue_resume_pair v ~ready_ns:v.mut.Ctx.now_ns
                                   k i msg);
+                            r_fail =
+                              (fun e ->
+                                release_choice !cleanups;
+                                enqueue_task v ~ready_ns:v.mut.Ctx.now_ns
+                                  (fun () -> Effect.Deep.discontinue k e));
                           }
                           ch.readers)
                   arms)
@@ -660,23 +689,35 @@ let unroot_channel t ch =
 
 let close_channel t ch =
   if ch.ch_open then begin
-    let live q claimed_of =
-      Queue.fold (fun n e -> if !(claimed_of e) then n else n + 1) 0 q
-    in
-    if
-      live ch.readers (fun r -> r.r_claim) > 0
-      || live ch.writers (fun w -> w.s_claim) > 0
-    then invalid_arg "Sched.close_channel: fibers still blocked on channel";
     unroot_channel t ch;
-    t.channels <- List.filter (fun c -> c.ch_id <> ch.ch_id) t.channels
+    t.channels <- List.filter (fun c -> c.ch_id <> ch.ch_id) t.channels;
+    (* Fail every fiber still parked on the channel: release its rooted
+       resources and discontinue it with [Closed].  Claiming before
+       failing keeps a sync choice with several arms on this channel
+       from failing twice, and marks the choice dead for
+       [take_unclaimed] on any other channel holding a sibling arm. *)
+    Queue.iter
+      (fun r ->
+        if not !(r.r_claim) then begin
+          r.r_claim := true;
+          r.r_fail Closed
+        end)
+      ch.readers;
+    Queue.iter
+      (fun w ->
+        if not !(w.s_claim) then begin
+          w.s_claim := true;
+          w.s_fail Closed
+        end)
+      ch.writers;
+    Queue.clear ch.readers;
+    Queue.clear ch.writers
   end
 
-let check_open ch who =
-  if not ch.ch_open then
-    invalid_arg (Printf.sprintf "Sched.%s: channel is closed" who)
+let check_open ch = if not ch.ch_open then raise Closed
 
 let send t (m : Ctx.mutator) ch value =
-  check_open ch "send";
+  check_open ch;
   (* Root the message across the tick's possible collection. *)
   let value =
     Roots.protect m.Ctx.roots value (fun cv ->
@@ -692,7 +733,7 @@ let send t (m : Ctx.mutator) ch value =
   Effect.perform (Ef_send (ch, gmsg))
 
 let recv t (m : Ctx.mutator) ch =
-  check_open ch "recv";
+  check_open ch;
   tick t m;
   (* Pre-build the proxy that will stand for this fiber if it blocks (the
      handler must not allocate). *)
@@ -719,10 +760,7 @@ let mk_proxy t (m : Ctx.mutator) =
 
 let sync t (m : Ctx.mutator) (events : event list) =
   if events = [] then invalid_arg "Sched.sync: empty choice";
-  List.iter
-    (function
-      | Send_evt (ch, _) | Recv_evt ch -> check_open ch "sync")
-    events;
+  List.iter (function Send_evt (ch, _) | Recv_evt ch -> check_open ch) events;
   (* Root every message across the tick's possible collection, promote
      them (the sender side of each arm shares its message, §3.1), and
      pre-build the blocking proxies for receive arms. *)
@@ -818,15 +856,23 @@ let next_move t =
           match t.steal_policy with
           | Random_victim -> List.init n (fun i -> (start + i) mod n)
           | Near_first ->
+              (* Three-tier preference (ROADMAP item 3): same-node
+                 victims first, then the rest of the thief's package,
+                 then remote packages — each tier in the rotated
+                 deterministic order. *)
               let all = List.init n (fun i -> (start + i) mod n) in
-              let near, far =
-                List.partition
-                  (fun v ->
-                    Numa.Topology.same_package topo thief.mut.Ctx.node
-                      t.vprocs.(v).mut.Ctx.node)
-                  all
+              let tier v =
+                match
+                  Numa.Topology.distance_class topo thief.mut.Ctx.node
+                    t.vprocs.(v).mut.Ctx.node
+                with
+                | `Local -> 0
+                | `Same_package -> 1
+                | `Cross_package -> 2
               in
-              near @ far
+              let near, rest = List.partition (fun v -> tier v = 0) all in
+              let mid, far = List.partition (fun v -> tier v = 1) rest in
+              near @ mid @ far
         in
         (* The hunt is speculative: [next_move] may run it many times
            before any state changes, and the chosen move may not be this

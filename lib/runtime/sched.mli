@@ -40,9 +40,10 @@ type stats = {
 type steal_policy =
   | Random_victim  (** uniformly random victims — the paper's scheduler *)
   | Near_first
-      (** prefer victims in the thief's own package (extension: stolen
-          work's promoted data then crosses the cheap intra-package
-          link) *)
+      (** prefer victims by NUMA distance — same node first, then the
+          rest of the thief's package, then remote packages (ROADMAP
+          item 3: stolen work's promoted data then crosses the cheapest
+          available link) *)
 
 val create :
   ?quantum_ns:float -> ?eager_promotion:bool -> ?batch_promotions:bool ->
@@ -89,19 +90,28 @@ val new_channel : t -> Ctx.mutator -> chan
     the end of {!run}, whichever comes first — channels are not
     permanent global roots. *)
 
+exception Closed
+(** Raised by {!send}, {!recv} and {!sync} on a closed channel, and
+    delivered to fibers still parked on a channel when it is closed. *)
+
 val close_channel : t -> chan -> unit
-(** Drop the channel's global root and mark it closed; later operations
-    on it raise [Invalid_argument], as does closing while fibers are
-    still blocked on it.  Idempotent.  Channels left open are closed
-    automatically when {!run} returns. *)
+(** Drop the channel's global root and mark it closed.  Safe while
+    fibers are still blocked on the channel: each parked fiber's rooted
+    resources (sender messages, receiver proxies, and — for a {!sync}
+    choice with an arm here — every sibling arm's resources) are
+    released and the fiber is woken with {!Closed}.  Later operations on
+    the channel raise {!Closed}.  Idempotent.  Channels left open are
+    closed automatically when {!run} returns. *)
 
 val send : t -> Ctx.mutator -> chan -> Value.t -> unit
 (** Synchronous send: promotes the message (the sharing point of §3.1)
-    and blocks until a receiver takes it. *)
+    and blocks until a receiver takes it.  Raises {!Closed} on (or
+    after) {!close_channel}. *)
 
 val recv : t -> Ctx.mutator -> chan -> Value.t
 (** Synchronous receive: blocks by publishing a proxy (footnote 1) that
-    stands for this fiber until a sender claims it. *)
+    stands for this fiber until a sender claims it.  Raises {!Closed} on
+    (or after) {!close_channel}. *)
 
 (** {2 First-class events (Parallel CML, §2.1)} *)
 
@@ -114,7 +124,8 @@ val sync : t -> Ctx.mutator -> event list -> int * Value.t
     arm and, for a receive, the message ([Value.unit] for a send).  Arms
     of one choice commit atomically — a partner taking one arm
     invalidates the siblings.  Raises [Invalid_argument] on an empty
-    list. *)
+    list and {!Closed} if any arm's channel is already closed (or closes
+    while parked). *)
 
 val select : t -> Ctx.mutator -> chan list -> int * Value.t
 (** [sync] over receive events only. *)

@@ -68,6 +68,13 @@ let all =
       fiber = Synthetic.main;
       check = (fun ~scale v -> close v (Synthetic.expected ~scale));
     };
+    {
+      name = "server";
+      description =
+        "latency-SLO server: open-loop Poisson requests over CML sessions";
+      fiber = Server.main;
+      check = (fun ~scale v -> close v (Server.expected ~scale));
+    };
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

@@ -20,6 +20,30 @@ let test_smoke_batch () =
       Alcotest.failf "seed %d diverged at op %d: %s" f.Fuzz.Driver.seed
         f.Fuzz.Driver.op_index f.Fuzz.Driver.message
 
+let test_sessions_profile () =
+  (* The sessions weight profile must actually generate session
+     lifecycles, and the lifecycle op — open, serve, close with a recv
+     parked — must pass the differential checker. *)
+  let ops =
+    Fuzz.Gen.program ~profile:Fuzz.Gen.Sessions ~seed:7100 ~n_ops:200
+      ~n_vprocs:default_vprocs ()
+  in
+  let sessions =
+    List.length
+      (List.filter
+         (function Fuzz.Op.Session_phase _ -> true | _ -> false)
+         ops)
+  in
+  Alcotest.(check bool) "many session phases" true (sessions > 10);
+  match
+    Fuzz.Driver.campaign ~profile:Fuzz.Gen.Sessions ~shrink:false ~seed:7100
+      ~programs:3 ~n_ops:120 ()
+  with
+  | Ok n -> Alcotest.(check int) "all programs pass" 3 n
+  | Error f ->
+      Alcotest.failf "seed %d diverged at op %d: %s" f.Fuzz.Driver.seed
+        f.Fuzz.Driver.op_index f.Fuzz.Driver.message
+
 let test_collections_exercised () =
   (* The smoke batch is only meaningful if programs actually reach the
      collectors and the checker actually runs. *)
@@ -191,6 +215,8 @@ let suite =
   ( "fuzz",
     [
       Alcotest.test_case "smoke batch passes" `Quick test_smoke_batch;
+      Alcotest.test_case "sessions profile passes" `Quick
+        test_sessions_profile;
       Alcotest.test_case "collections exercised" `Quick
         test_collections_exercised;
       Alcotest.test_case "generation deterministic" `Quick

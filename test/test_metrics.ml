@@ -70,6 +70,8 @@ let mk_recorder () =
   Metrics.record_chunk_acquire t ~vproc:0;
   Metrics.record_steal t ~vproc:1 ~success:true;
   Metrics.record_steal t ~vproc:1 ~success:false;
+  Metrics.record_request t ~vproc:0 ~ns:42_000.;
+  Metrics.record_request t ~vproc:1 ~ns:7_000.;
   t
 
 let test_percentiles () =
@@ -99,6 +101,115 @@ let test_percentiles () =
   Alcotest.(check int) "steal successes" 1 v1.Metrics.steal_successes;
   Alcotest.(check int) "chunk acquires" 1 v0.Metrics.chunk_acquires
 
+(* Exact-value percentile edge cases: request-latency SLOs are read off
+   these numbers, so every degenerate histogram shape must stay inside
+   the true sample range. *)
+
+let minor_dist t =
+  let s = Metrics.snapshot t in
+  (List.hd s.Metrics.vprocs).Metrics.minor.Metrics.pause_ns
+
+let test_percentile_empty () =
+  let t = Metrics.create ~n_vprocs:1 in
+  let d = minor_dist t in
+  Alcotest.(check int) "count" 0 d.Metrics.count;
+  List.iter
+    (fun (name, v) -> Alcotest.(check (float 0.)) name 0. v)
+    [ ("min", d.Metrics.min); ("max", d.Metrics.max); ("p50", d.Metrics.p50);
+      ("p90", d.Metrics.p90); ("p99", d.Metrics.p99);
+      ("p99.9", d.Metrics.p999) ]
+
+let test_percentile_single_sample () =
+  let t = Metrics.create ~n_vprocs:1 in
+  Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:777. ~bytes:0;
+  let d = minor_dist t in
+  (* One sample: every percentile is that sample, exactly. *)
+  List.iter
+    (fun (name, v) -> Alcotest.(check (float 0.)) name 777. v)
+    [ ("p50", d.Metrics.p50); ("p90", d.Metrics.p90); ("p99", d.Metrics.p99);
+      ("p99.9", d.Metrics.p999); ("max", d.Metrics.max) ]
+
+let test_percentile_one_bucket () =
+  (* All samples identical: vmin = vmax clamps every bucket
+     representative to the one true value. *)
+  let t = Metrics.create ~n_vprocs:1 in
+  for _ = 1 to 50 do
+    Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:123_456. ~bytes:0
+  done;
+  let d = minor_dist t in
+  List.iter
+    (fun (name, v) -> Alcotest.(check (float 0.)) name 123_456. v)
+    [ ("p50", d.Metrics.p50); ("p90", d.Metrics.p90); ("p99", d.Metrics.p99);
+      ("p99.9", d.Metrics.p999) ]
+
+let test_percentile_above_top_bucket () =
+  (* Samples beyond the last log bucket (2^63-ish) collapse into it; the
+     reported percentiles must still stay inside [min, max]. *)
+  let t = Metrics.create ~n_vprocs:1 in
+  Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:1e30 ~bytes:0;
+  Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:2e30 ~bytes:0;
+  let d = minor_dist t in
+  Alcotest.(check (float 0.)) "min exact" 1e30 d.Metrics.min;
+  Alcotest.(check (float 0.)) "max exact" 2e30 d.Metrics.max;
+  (* Both land in the top bucket, whose representative is ~1.4e19 — far
+     below the samples — so only the vmin clamp keeps p50 truthful. *)
+  Alcotest.(check (float 0.)) "p50 clamped up to min" 1e30 d.Metrics.p50;
+  Alcotest.(check bool) "all percentiles within range" true
+    (List.for_all
+       (fun v -> v >= d.Metrics.min && v <= d.Metrics.max)
+       [ d.Metrics.p50; d.Metrics.p90; d.Metrics.p99; d.Metrics.p999 ])
+
+let test_percentile_float_ceil_rank () =
+  (* Regression: with 10 samples, 0.9 *. 10. = 9.000000000000002, and a
+     bare ceiling asked for rank 10 — reporting the outlier max as p90
+     instead of the true ninth sample. *)
+  let t = Metrics.create ~n_vprocs:1 in
+  for _ = 1 to 9 do
+    Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:1_000. ~bytes:0
+  done;
+  Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:1e6 ~bytes:0;
+  let d = minor_dist t in
+  Alcotest.(check (float 0.)) "p90 is the 9th sample, not the outlier"
+    1_000. d.Metrics.p90;
+  (* p99 (rank 10) lands in the outlier's bucket: far above the other
+     nine samples, though only bucket-resolved. *)
+  Alcotest.(check bool) "p99 reaches the outlier's bucket" true
+    (d.Metrics.p99 > 500_000. && d.Metrics.p99 <= 1e6)
+
+let test_percentile_merged_clamp () =
+  (* Merging widens [vmin, vmax], so the clamp is looser — percentiles
+     must still fall inside the union range and stay monotone. *)
+  let a = Metrics.create ~n_vprocs:1 in
+  let b = Metrics.create ~n_vprocs:1 in
+  Metrics.record_pause a ~vproc:0 ~kind:Gc_trace.Minor ~ns:1. ~bytes:0;
+  Metrics.record_pause b ~vproc:0 ~kind:Gc_trace.Minor ~ns:1_000. ~bytes:0;
+  Metrics.merge ~into:a b;
+  let d = minor_dist a in
+  Alcotest.(check int) "count" 2 d.Metrics.count;
+  Alcotest.(check bool) "within merged range" true
+    (List.for_all
+       (fun v -> v >= 1. && v <= 1_000.)
+       [ d.Metrics.p50; d.Metrics.p90; d.Metrics.p99; d.Metrics.p999 ]);
+  Alcotest.(check bool) "monotone" true
+    (d.Metrics.p50 <= d.Metrics.p90
+    && d.Metrics.p90 <= d.Metrics.p99
+    && d.Metrics.p99 <= d.Metrics.p999
+    && d.Metrics.p999 <= d.Metrics.max)
+
+let test_request_latency_recorded () =
+  let t = Metrics.create ~n_vprocs:2 in
+  for i = 1 to 10 do
+    Metrics.record_request t ~vproc:(i mod 2) ~ns:(float_of_int (i * 500))
+  done;
+  Metrics.record_request t ~vproc:(-1) ~ns:1e9 (* ignored *);
+  let agg = Metrics.aggregate t in
+  let d = agg.Metrics.requests in
+  Alcotest.(check int) "all requests counted" 10 d.Metrics.count;
+  Alcotest.(check (float 0.)) "min" 500. d.Metrics.min;
+  Alcotest.(check (float 0.)) "max" 5_000. d.Metrics.max;
+  Alcotest.(check bool) "p50 in range" true
+    (d.Metrics.p50 >= 500. && d.Metrics.p50 <= 5_000.)
+
 let test_snapshot_json_roundtrip () =
   let s = Metrics.snapshot (mk_recorder ()) in
   match Metrics.snapshot_of_json (Metrics.snapshot_to_json s) with
@@ -117,13 +228,17 @@ let test_csv () =
   let s = Metrics.snapshot (mk_recorder ()) in
   let lines = String.split_on_char '\n' (Metrics.snapshot_to_csv s) in
   Alcotest.(check string) "header"
-    "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes"
+    "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,p999_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes"
     (List.nth lines 0);
-  (* 2 vprocs x 4 kinds + header + trailing newline. *)
-  Alcotest.(check int) "row count" 10 (List.length lines);
+  (* 2 vprocs x (4 kinds + 1 request row) + header + trailing newline. *)
+  Alcotest.(check int) "row count" 12 (List.length lines);
   Alcotest.(check bool) "v0 minor row present" true
     (List.exists
        (fun l -> String.length l > 8 && String.sub l 0 8 = "0,minor,")
+       lines);
+  Alcotest.(check bool) "v1 request row present" true
+    (List.exists
+       (fun l -> String.length l > 10 && String.sub l 0 10 = "1,request,")
        lines)
 
 let test_merge () =
@@ -276,6 +391,19 @@ let suite =
       Alcotest.test_case "json escapes, exponents, nesting" `Quick
         test_json_edge_cases;
       Alcotest.test_case "histogram percentiles" `Quick test_percentiles;
+      Alcotest.test_case "percentiles: empty" `Quick test_percentile_empty;
+      Alcotest.test_case "percentiles: single sample" `Quick
+        test_percentile_single_sample;
+      Alcotest.test_case "percentiles: one bucket" `Quick
+        test_percentile_one_bucket;
+      Alcotest.test_case "percentiles: above top bucket" `Quick
+        test_percentile_above_top_bucket;
+      Alcotest.test_case "percentiles: float-ceil rank regression" `Quick
+        test_percentile_float_ceil_rank;
+      Alcotest.test_case "percentiles: merged clamp" `Quick
+        test_percentile_merged_clamp;
+      Alcotest.test_case "request latency recorded" `Quick
+        test_request_latency_recorded;
       Alcotest.test_case "snapshot JSON round-trip" `Quick
         test_snapshot_json_roundtrip;
       Alcotest.test_case "snapshot JSON shape errors" `Quick

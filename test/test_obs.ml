@@ -58,6 +58,7 @@ let sample_events =
     Event.Steal_success { victim = 1 };
     Event.Global_phase { phase = Event.Cheney };
     Event.Alloc_sample { bytes = 128 };
+    Event.Req_done { latency_ns = 1_234_567 };
   ]
 
 let test_event_codec () =

@@ -168,7 +168,7 @@ let test_closed_channel_ops_raise () =
         let rejected f =
           match f () with
           | _ -> 0
-          | exception Invalid_argument _ -> 1
+          | exception Sched.Closed -> 1
         in
         Value.of_int
           (rejected (fun () -> Sched.send rt m ch (Value.of_int 1))
@@ -178,8 +178,10 @@ let test_closed_channel_ops_raise () =
   in
   Alcotest.(check int) "send/recv/sync all rejected" 3 (Value.to_int r)
 
-let test_close_refused_while_blocked () =
+let test_close_wakes_blocked_receiver () =
   let rt = mk_rt ~n_vprocs:2 () in
+  let c = Sched.ctx rt in
+  let baseline = Roots.count c.Ctx.global_roots in
   let r =
     Sched.run rt ~main:(fun m ->
         let ch = Sched.new_channel rt m in
@@ -189,16 +191,169 @@ let test_close_refused_while_blocked () =
         (* Let the receiver get stolen and park on the channel. *)
         Ctx.charge_work (Sched.ctx rt) m ~cycles:2_000_000.;
         Sched.yield rt m;
-        let refused =
-          match Sched.close_channel rt ch with
-          | () -> 0
-          | exception Invalid_argument _ -> 1
+        Sched.close_channel rt ch;
+        let woken =
+          match Sched.await rt m receiver with
+          | _ -> 0
+          | exception Sched.Closed -> 1
         in
-        Sched.send rt m ch (Value.of_int 9);
-        let v = Sched.await rt m receiver in
-        Value.of_int (refused * Value.to_int v))
+        let rejected =
+          match Sched.recv rt m ch with
+          | _ -> 0
+          | exception Sched.Closed -> 1
+        in
+        Value.of_int ((10 * woken) + rejected))
   in
-  Alcotest.(check int) "close refused, rendezvous completed" 9 (Value.to_int r)
+  Alcotest.(check int) "parked receiver woken with Closed, later recv rejected"
+    11 (Value.to_int r);
+  Alcotest.(check int) "no leaked global roots" baseline
+    (Roots.count c.Ctx.global_roots)
+
+let test_close_during_in_flight_session () =
+  (* A per-session teardown under fire: one fiber parked mid-[send], one
+     parked on a [sync] choice spanning two channels.  Closing the
+     channels they are parked on must fail both cleanly — releasing the
+     sender's rooted message and the whole choice's proxies — while the
+     choice's surviving sibling channel stays usable. *)
+  let rt = mk_rt ~n_vprocs:2 () in
+  let c = Sched.ctx rt in
+  let baseline = Roots.count c.Ctx.global_roots in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let req = Sched.new_channel rt m in
+        let a = Sched.new_channel rt m in
+        let b = Sched.new_channel rt m in
+        let sender =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              Sched.send rt m' req (Value.of_int 7);
+              Value.unit)
+        in
+        let chooser =
+          Sched.spawn rt m ~env:[||] (fun m' _ ->
+              let _, v = Sched.sync rt m' [ Sched.Recv_evt a; Sched.Recv_evt b ] in
+              v)
+        in
+        (* Let both get stolen and park. *)
+        Ctx.charge_work (Sched.ctx rt) m ~cycles:4_000_000.;
+        Sched.yield rt m;
+        Sched.close_channel rt req;
+        Sched.close_channel rt a;
+        let failed f =
+          match f () with _ -> 0 | exception Sched.Closed -> 1
+        in
+        let n =
+          failed (fun () -> Sched.await rt m sender)
+          + failed (fun () -> Sched.await rt m chooser)
+        in
+        (* [b] outlived the choice: it must still rendezvous. *)
+        let s2 =
+          Sched.spawn rt m ~env:[||] (fun m' _ -> Sched.recv rt m' b)
+        in
+        Sched.send rt m b (Value.of_int 5);
+        let v = Value.to_int (Sched.await rt m s2) in
+        Value.of_int ((n * 100) + v))
+  in
+  Alcotest.(check int) "both parked fibers fail cleanly; sibling channel live"
+    205 (Value.to_int r);
+  Alcotest.(check int) "no leaked global roots" baseline
+    (Roots.count c.Ctx.global_roots)
+
+(* --- Near_first steal ordering (regression: victims were only
+       partitioned by same_package, ignoring the same-node tier) ------ *)
+
+let steal_traffic ~near =
+  (* Two-package amd24 with 8 vprocs: two vprocs per node, so every
+     Near_first tier (same node / same package / remote) is populated.
+     A steal promotes the stolen env on the *victim's* node (the victim
+     services the promotion), and the thief then holds the global object
+     rooted; the tiny global budget forces global collections, whose
+     evacuation copies each rooted object onto the *holder's* node.  So
+     a cross-node steal turns into off-diagonal copy bytes at the next
+     global GC, while a same-node steal stays on the diagonal — a
+     correct three-tier Near_first hunt measurably shifts the traffic
+     matrix toward the diagonal versus Random_victim. *)
+  let params =
+    {
+      Params.default with
+      Params.capacity_bytes = 64 * 1024 * 1024;
+      local_heap_bytes = 512 * 1024;
+      chunk_bytes = 4 * 1024;
+      global_budget_per_vproc = 4 * 1024;
+    }
+  in
+  let ctx =
+    Ctx.create ~params ~machine:Numa.Machines.amd24 ~n_vprocs:8
+      ~policy:Sim_mem.Page_policy.Local ()
+  in
+  let policy = if near then Sched.Near_first else Sched.Random_victim in
+  let rt = Sched.create ~steal_policy:policy ~seed:11 ctx in
+  let c = Sched.ctx rt in
+  (* A fork-join tree whose children each carry a freshly allocated list
+     env: every steal promotes the payload across the machine. *)
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         let rec tree m depth =
+           if depth = 0 then begin
+             Ctx.charge_work c m ~cycles:30_000.;
+             Value.of_int 1
+           end
+           else begin
+             let kids =
+               List.init 2 (fun _ ->
+                   let payload =
+                     Gc_util.build_list c m (List.init 96 (fun i -> i))
+                   in
+                   Sched.spawn rt m ~env:[| payload |] (fun m' env ->
+                       (* Hold the (possibly stolen) payload rooted across
+                          the subtree: it stays live through any global
+                          collection, whose evacuation pulls it onto this
+                          vproc's node — that is the traffic under test. *)
+                       let cell = Roots.add m'.Ctx.roots env.(0) in
+                       Ctx.charge_work c m' ~cycles:30_000.;
+                       let sub = tree m' (depth - 1) in
+                       Roots.remove m'.Ctx.roots cell;
+                       sub))
+             in
+             Value.of_int
+               (List.fold_left
+                  (fun acc f -> acc + Value.to_int (Sched.await rt m f))
+                  0 kids)
+           end
+         in
+         tree m 9));
+  let steals = (Sched.stats rt).Sched.steals in
+  let r = ctx.Ctx.obs in
+  let topo = Numa.Cost_model.topology ctx.Ctx.cost in
+  let n = Numa.Topology.n_nodes topo in
+  let same_node = ref 0 and cross_pkg = ref 0 in
+  for s = 0 to n - 1 do
+    for d = 0 to n - 1 do
+      let b = Obs.Recorder.matrix_get r ~src_node:s ~dst_node:d in
+      if s = d then same_node := !same_node + b
+      else if not (Numa.Topology.same_package topo s d) then
+        cross_pkg := !cross_pkg + b
+    done
+  done;
+  let total = Obs.Recorder.matrix_total r in
+  ( steals,
+    float_of_int !same_node /. float_of_int (max 1 total),
+    float_of_int !cross_pkg /. float_of_int (max 1 total) )
+
+let test_near_first_shifts_traffic_to_diagonal () =
+  let near_steals, near_diag, near_cross = steal_traffic ~near:true in
+  let rand_steals, rand_diag, rand_cross = steal_traffic ~near:false in
+  Alcotest.(check bool) "both runs actually steal" true
+    (near_steals > 20 && rand_steals > 20);
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "same-node share grows under Near_first (%.3f -> %.3f)" rand_diag
+       near_diag)
+    true (near_diag > rand_diag);
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "cross-package share shrinks under Near_first (%.3f -> %.3f)"
+       rand_cross near_cross)
+    true (near_cross <= rand_cross)
 
 (* --- Steal-counter exactness (regression: speculative next_move
        probes were recorded per scheduling decision) ----------------- *)
@@ -274,8 +429,12 @@ let suite =
         test_channel_roots_released;
       Alcotest.test_case "closed-channel ops raise" `Quick
         test_closed_channel_ops_raise;
-      Alcotest.test_case "close refused while blocked" `Quick
-        test_close_refused_while_blocked;
+      Alcotest.test_case "close wakes blocked receiver" `Quick
+        test_close_wakes_blocked_receiver;
+      Alcotest.test_case "close during in-flight session" `Quick
+        test_close_during_in_flight_session;
+      Alcotest.test_case "near-first shifts traffic to diagonal" `Quick
+        test_near_first_shifts_traffic_to_diagonal;
       Alcotest.test_case "no thief, no steal attempts" `Quick
         test_no_thief_no_steal_attempts;
       Alcotest.test_case "steals counted exactly once" `Quick

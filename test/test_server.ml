@@ -1,0 +1,121 @@
+(* The latency-SLO server workload: checksum validation, request-count
+   accounting, and — the point of the design — bit-identical results
+   across steal policies and promotion ablations. *)
+
+open Manticore_gc
+open Runtime
+
+let mk_ctx ?(n_vprocs = 8) () =
+  let params =
+    {
+      Params.default with
+      Params.capacity_bytes = 32 * 1024 * 1024;
+      local_heap_bytes = 16 * 1024;
+      chunk_bytes = 4 * 1024;
+      nursery_min_bytes = 2 * 1024;
+      global_budget_per_vproc = 32 * 1024;
+    }
+  in
+  Ctx.create ~params ~machine:Numa.Machines.amd48 ~n_vprocs
+    ~policy:Sim_mem.Page_policy.Local ()
+
+let run_server ?(steal_policy = Sched.Random_victim)
+    ?(batch_promotions = true) load =
+  let ctx = mk_ctx () in
+  let rt = Sched.create ~steal_policy ~batch_promotions ~seed:7 ctx in
+  let checksum =
+    ref 0. in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         checksum := Workloads.Server.run_load rt m load;
+         Heap.Value.unit));
+  let agg = Metrics.aggregate ctx.Ctx.metrics in
+  (!checksum, agg.Metrics.requests.Metrics.count, agg.Metrics.requests)
+
+let load = { (Workloads.Server.default_load ~scale:1.) with seed = 42 }
+
+let test_checksum_and_count () =
+  let sum, count, _ = run_server load in
+  Alcotest.(check (float 1e-9))
+    "checksum matches the analytic fold"
+    (Workloads.Server.expected_load load)
+    sum;
+  Alcotest.(check int) "every request completed" load.n_requests count
+
+let test_registry_validates () =
+  let ctx = mk_ctx () in
+  let rt = Sched.create ~seed:3 ctx in
+  match Workloads.Registry.find "server" with
+  | None -> Alcotest.fail "server workload not registered"
+  | Some spec ->
+      let v = Workloads.Registry.run spec rt ~scale:0.5 in
+      Alcotest.(check (float 1e-9))
+        "registry checksum" (Workloads.Server.expected ~scale:0.5) v
+
+let test_deterministic_across_ablations () =
+  (* Same load, four runtime configurations: the checksum and the
+     request count may not move.  (Latency percentiles may — that is
+     what the configurations are for.) *)
+  let base_sum, base_count, _ = run_server load in
+  List.iter
+    (fun (steal_policy, batch_promotions) ->
+      let sum, count, _ = run_server ~steal_policy ~batch_promotions load in
+      Alcotest.(check (float 0.)) "checksum identical" base_sum sum;
+      Alcotest.(check int) "count identical" base_count count)
+    [
+      (Sched.Random_victim, false);
+      (Sched.Near_first, true);
+      (Sched.Near_first, false);
+    ]
+
+let test_latencies_sane () =
+  let _, count, dist = run_server load in
+  Alcotest.(check bool) "count positive" true (count > 0);
+  Alcotest.(check bool) "min latency non-negative" true (dist.Metrics.min >= 0.);
+  Alcotest.(check bool) "percentiles ordered" true
+    (dist.Metrics.p50 <= dist.Metrics.p90
+    && dist.Metrics.p90 <= dist.Metrics.p99
+    && dist.Metrics.p99 <= dist.Metrics.p999
+    && dist.Metrics.p999 <= dist.Metrics.max)
+
+let test_req_done_events_recorded () =
+  let ctx = mk_ctx () in
+  let rt = Sched.create ~seed:7 ctx in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         ignore (Workloads.Server.run_load rt m load);
+         Heap.Value.unit));
+  let n = ref 0 in
+  for v = 0 to 7 do
+    List.iter
+      (fun (_, _, ev) ->
+        match ev with Obs.Event.Req_done _ -> incr n | _ -> ())
+      (Obs.Recorder.events ctx.Ctx.obs ~vproc:v)
+  done;
+  (* The ring can overwrite old entries, but a test-sized run fits. *)
+  Alcotest.(check int) "one Req_done per request" load.n_requests !n
+
+let test_arrival_plan_deterministic () =
+  let p1 = Workloads.Server.arrival_plan load in
+  let p2 = Workloads.Server.arrival_plan load in
+  Alcotest.(check bool) "same plan" true (p1 = p2);
+  Alcotest.(check bool) "strictly increasing" true
+    (let ok = ref true in
+     Array.iteri (fun i t -> if i > 0 then ok := !ok && t > p1.(i - 1)) p1;
+     !ok)
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "checksum and request count" `Quick
+        test_checksum_and_count;
+      Alcotest.test_case "registry entry validates" `Quick
+        test_registry_validates;
+      Alcotest.test_case "deterministic across ablations" `Quick
+        test_deterministic_across_ablations;
+      Alcotest.test_case "latency percentiles sane" `Quick test_latencies_sane;
+      Alcotest.test_case "req-done events recorded" `Quick
+        test_req_done_events_recorded;
+      Alcotest.test_case "arrival plan deterministic" `Quick
+        test_arrival_plan_deterministic;
+    ] )

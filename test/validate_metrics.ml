@@ -67,15 +67,72 @@ let validate_chrome path body =
       Printf.printf "%s: OK (%d collection events, all with cause+node args)\n"
         path (List.length xs)
 
+(* BENCH_7.json: a --server rate sweep.  The snapshot part must be a
+   valid metrics export with request latencies recorded; the sweep part
+   must have ordered percentiles per rate and a GC-bound rate — the
+   regression gate for the latency-SLO experiment. *)
+let validate_server path body =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "%s: INVALID server bench: %s\n" path m;
+        exit 1)
+      fmt
+  in
+  (match Metrics.snapshot_of_json body with
+  | Error m -> fail "snapshot part: %s" m
+  | Ok snap ->
+      let requests =
+        List.fold_left
+          (fun acc vs -> acc + vs.Metrics.requests.Metrics.count)
+          0 snap.Metrics.vprocs
+      in
+      if requests = 0 then fail "no request latencies recorded");
+  match J.parse body with
+  | Error m -> fail "%s" m
+  | Ok j ->
+      (match J.member "bench" j with
+      | Some (J.Str "server") -> ()
+      | _ -> fail "bench field missing or not \"server\"");
+      let rates =
+        match J.member "rates" j with
+        | Some (J.Obj ((_ :: _) as rs)) -> rs
+        | _ -> fail "rates missing or empty"
+      in
+      let num r k =
+        match J.member k r with
+        | Some (J.Num v) -> v
+        | _ -> fail "rate entry without numeric %s" k
+      in
+      List.iter
+        (fun (name, r) ->
+          if num r "rate_rps" <= 0. then fail "rate %s: non-positive rate" name;
+          if num r "n_requests" <= 0. then fail "rate %s: no requests" name;
+          let p50 = num r "p50_ns" and p90 = num r "p90_ns" in
+          let p99 = num r "p99_ns" and p999 = num r "p999_ns" in
+          if not (p50 <= p90 && p90 <= p99 && p99 <= p999) then
+            fail "rate %s: percentiles out of order" name;
+          if num r "pause_p99_ns" < 0. then fail "rate %s: bad pause" name;
+          let s = num r "gc_overlap_share_slow" in
+          if s < 0. || s > 1. then fail "rate %s: share out of [0,1]" name)
+        rates;
+      (match J.member "gc_bound_rate" j with
+      | Some (J.Num r) when r > 0. -> ()
+      | _ -> fail "no GC-bound rate: the sweep never stressed the collector");
+      Printf.printf "%s: OK (server sweep, %d rates, GC-bound)\n" path
+        (List.length rates)
+
 let () =
   let path, mode =
     match Sys.argv with
     | [| _; p |] -> (p, `Metrics false)
     | [| _; p; "--require-all-kinds" |] -> (p, `Metrics true)
     | [| _; p; "--chrome" |] -> (p, `Chrome)
+    | [| _; p; "--server" |] -> (p, `Server)
     | _ ->
         prerr_endline
-          "usage: validate_metrics.exe FILE [--require-all-kinds | --chrome]";
+          "usage: validate_metrics.exe FILE [--require-all-kinds | --chrome \
+           | --server]";
         exit 2
   in
   let body =
@@ -89,6 +146,7 @@ let () =
   in
   match mode with
   | `Chrome -> validate_chrome path body
+  | `Server -> validate_server path body
   | `Metrics require_all -> (
   match Metrics.snapshot_of_json body with
   | Error m ->
