@@ -604,10 +604,11 @@ let coll_windows (ctx : Ctx.t) =
   let r = ctx.Ctx.obs in
   let out = ref [] in
   for v = 0 to Obs.Recorder.n_vprocs r - 1 do
-    let pending = Array.make 4 [] in
+    let pending = Array.make 5 [] in
     let kindex = function
       | Obs.Event.Minor -> 0 | Obs.Event.Major -> 1
       | Obs.Event.Promotion -> 2 | Obs.Event.Global -> 3
+      | Obs.Event.Barrier -> 4
     in
     List.iter
       (fun (_, t_ns, ev) ->
@@ -768,6 +769,219 @@ let server_main json_path =
       Printf.printf "wrote %s\n" path);
   if not ok then exit 1
 
+(* --- --global: stop-the-world vs concurrent global collection ----- *)
+
+(* The headline bounded-pause comparison (BENCH_8.json): the same work
+   under both global-collection modes.  Each mode gets one machine that
+   first retains a multi-megabyte global linked structure — built
+   round-robin across the vprocs so every clock advances together and
+   the budget-triggered global cycles have real data to move — and then
+   serves a saturating request load with the budget tightened so at
+   least one full cycle lands mid-load.  The collector choice must not
+   change program results: the ballast traversal sum and the server
+   checksum are asserted identical across modes.  The gate is the
+   whole-machine p99.9 pause (max over all pause kinds, barrier waits
+   included): concurrent must cut it by at least 5x while both modes
+   run real cycles over the same heap. *)
+
+(* ~10 MB of retained cons cells: 8 chains, 100 cells per rotation. *)
+let global_ballast_rotations = 4_380
+let global_server_rate = 1_000_000.
+
+let global_run_mode mode =
+  let n_vprocs = 8 in
+  let params =
+    {
+      small_params with
+      Params.global_gc_mode = mode;
+      (* Start tight so cycles fire early; each ratify re-arms the
+         budget at 2x the live bytes, spreading cycles across the
+         build. *)
+      global_budget_per_vproc = 8 * 1024;
+    }
+  in
+  let ctx =
+    Ctx.create ~params ~machine:Numa.Machines.amd48 ~n_vprocs
+      ~policy:Sim_mem.Page_policy.Local ()
+  in
+  Global_gc.install_sync_hook ctx;
+  (* Phase 1: build the ballast.  Direct mutator turns, round-robin, so
+     all eight clocks stay within one turn of each other — a barrier
+     sync then measures collector work, not simulated idleness. *)
+  let keeps =
+    Array.init n_vprocs (fun v ->
+        let m = Ctx.mutator ctx v in
+        Roots.add m.Ctx.roots (Value.of_int 0))
+  in
+  let build_sum = ref 0. in
+  for turn = 0 to global_ballast_rotations - 1 do
+    let v = turn mod n_vprocs in
+    let m = Ctx.mutator ctx v in
+    for i = 1 to 100 do
+      build_sum := !build_sum +. float_of_int i;
+      Roots.set keeps.(v)
+        (Alloc.alloc_vector ctx m [| Value.of_int i; Roots.get keeps.(v) |])
+    done;
+    Roots.set keeps.(v) (Promote.value ctx m (Roots.get keeps.(v)))
+  done;
+  (* Complete any in-flight cycle so both modes traverse a quiesced
+     heap. *)
+  if Concurrent_gc.active ctx then Concurrent_gc.finish ctx;
+  (* Phase 2: traverse every chain through whatever the cycles left
+     behind — the sum must match what was built, or evacuation lost
+     data. *)
+  let traverse_sum = ref 0. in
+  Array.iteri
+    (fun v keep ->
+      let m = Ctx.mutator ctx v in
+      let cursor = ref (Roots.get keep) in
+      while Value.is_ptr !cursor do
+        let p = Value.to_ptr (Ctx.resolve ctx m !cursor) in
+        let f0 = Value.of_word (Ctx.read_word ctx m (Obj_repr.field_addr p 0)) in
+        traverse_sum := !traverse_sum +. float_of_int (Value.to_int f0);
+        cursor := Value.of_word (Ctx.read_word ctx m (Obj_repr.field_addr p 1))
+      done)
+    keeps;
+  if Float.abs (!traverse_sum -. !build_sum) > 1e-6 then begin
+    Printf.eprintf "  ballast traversal mismatch: built %.0f, found %.0f\n"
+      !build_sum !traverse_sum;
+    exit 1
+  end;
+  (* Phase 3: tighten the budget back down so the request load triggers
+     full cycles over the live ballast — the headline scenario: a
+     multi-megabyte collection landing mid-service. *)
+  Ctx.set_global_budget ctx
+    (Global_heap.in_use_bytes ctx.Ctx.global + (64 * 1024));
+  let load = server_load global_server_rate in
+  let rt = Sched.create ~seed:5 ctx in
+  let sum = ref 0. in
+  ignore
+    (Sched.run rt ~main:(fun m ->
+         sum := Workloads.Server.run_load rt m load;
+         Value.unit));
+  if Float.abs (!sum -. Workloads.Server.expected_load load) > 1e-6 then begin
+    Printf.eprintf "  server checksum mismatch\n";
+    exit 1
+  end;
+  let agg = Metrics.aggregate ctx.Ctx.metrics in
+  let req = agg.Metrics.requests in
+  if req.Metrics.count <> load.Workloads.Server.n_requests then begin
+    Printf.eprintf "  dropped requests: %d of %d\n" req.Metrics.count
+      load.Workloads.Server.n_requests;
+    exit 1
+  end;
+  let pause_p999 =
+    List.fold_left
+      (fun acc (ks : Metrics.kind_stats) ->
+        Float.max acc ks.Metrics.pause_ns.Metrics.p999)
+      0.
+      [ agg.Metrics.minor; agg.Metrics.major; agg.Metrics.promotion;
+        agg.Metrics.global; agg.Metrics.barrier ]
+  in
+  if Sys.getenv_opt "GLOBAL_BENCH_DEBUG" <> None then
+    Printf.printf
+      "    minor %.1f major %.1f promo %.1f global %.1f barrier %.1f (us, \
+       p999)\n"
+      (agg.Metrics.minor.Metrics.pause_ns.Metrics.p999 /. 1e3)
+      (agg.Metrics.major.Metrics.pause_ns.Metrics.p999 /. 1e3)
+      (agg.Metrics.promotion.Metrics.pause_ns.Metrics.p999 /. 1e3)
+      (agg.Metrics.global.Metrics.pause_ns.Metrics.p999 /. 1e3)
+      (agg.Metrics.barrier.Metrics.pause_ns.Metrics.p999 /. 1e3);
+  let makespan =
+    Array.fold_left
+      (fun acc (m : Ctx.mutator) -> Float.max acc m.Ctx.now_ns)
+      0. ctx.Ctx.muts
+  in
+  ( [ !traverse_sum; !sum ],
+    ctx.Ctx.stats.Gc_stats.global_count,
+    pause_p999,
+    agg.Metrics.global.Metrics.pause_ns.Metrics.max,
+    req.Metrics.p999,
+    makespan,
+    ctx.Ctx.metrics )
+
+let global_main json_path =
+  print_endline
+    "Global collection: stop-the-world vs concurrent (virtual time):";
+  Printf.printf "  %-12s %8s %14s %14s %14s %12s\n" "mode" "cycles"
+    "pause_p99.9" "global_max" "req_p99.9" "makespan";
+  let report name (_, cycles, p999, gmax, req999, mk, _) =
+    Printf.printf "  %-12s %8d %12.1fus %12.1fus %12.1fus %10.1fms\n" name
+      cycles (p999 /. 1e3) (gmax /. 1e3) (req999 /. 1e3) (mk /. 1e6)
+  in
+  let stw = global_run_mode Params.Stw in
+  report "stw" stw;
+  let conc = global_run_mode Params.Concurrent in
+  report "concurrent" conc;
+  let sums_s, cyc_s, p999_s, gmax_s, req_s, mk_s, metrics_s = stw in
+  let sums_c, cyc_c, p999_c, gmax_c, req_c, mk_c, metrics_c = conc in
+  let sums_equal =
+    List.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-6) sums_s sums_c
+  in
+  let ratio = if p999_c > 0. then p999_s /. p999_c else infinity in
+  Printf.printf "  pause p99.9 ratio (stw/concurrent): %.1fx\n" ratio;
+  let ok =
+    if not sums_equal then begin
+      print_endline "  overall: FAIL (modes computed different checksums)";
+      false
+    end
+    else if cyc_s = 0 || cyc_c = 0 then begin
+      Printf.printf
+        "  overall: FAIL (a mode ran no global cycles: stw=%d concurrent=%d)\n"
+        cyc_s cyc_c;
+      false
+    end
+    else if ratio < 5. then begin
+      Printf.printf
+        "  overall: FAIL (concurrent p99.9 pause only %.1fx below STW, \
+         need >= 5x)\n"
+        ratio;
+      false
+    end
+    else begin
+      print_endline
+        "  overall: PASS (same results, both modes collected, concurrent \
+         p99.9 pause >= 5x lower)";
+      true
+    end
+  in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let mode_obj cycles p999 gmax req999 mk metrics =
+        let snap =
+          match
+            Metrics.Json.parse
+              (Metrics.snapshot_to_json (Metrics.snapshot metrics))
+          with
+          | Ok j -> j
+          | Error _ -> assert false
+        in
+        Metrics.Json.Obj
+          [ ("global_cycles", Metrics.Json.Num (float_of_int cycles));
+            ("pause_p999_ns", Metrics.Json.Num p999);
+            ("global_pause_max_ns", Metrics.Json.Num gmax);
+            ("request_p999_ns", Metrics.Json.Num req999);
+            ("makespan_ns", Metrics.Json.Num mk);
+            ("metrics", snap) ]
+      in
+      let json =
+        Metrics.Json.Obj
+          [ ("bench", Metrics.Json.Str "global");
+            ("rate_rps", Metrics.Json.Num global_server_rate);
+            ("checksums_equal", Metrics.Json.Bool sums_equal);
+            ("pause_p999_ratio", Metrics.Json.Num ratio);
+            ("stw", mode_obj cyc_s p999_s gmax_s req_s mk_s metrics_s);
+            ("concurrent", mode_obj cyc_c p999_c gmax_c req_c mk_c metrics_c)
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (Metrics.Json.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+  if not ok then exit 1
+
 (* --- --obs-overhead: flight-recorder cost ------------------------- *)
 
 (* Host wall-clock with the recorder on vs off over the same workloads.
@@ -846,8 +1060,11 @@ let () =
   | [| _; "--promote"; "--metrics-json"; path |] -> promote_main (Some path)
   | [| _; "--server" |] -> server_main None
   | [| _; "--server"; "--metrics-json"; path |] -> server_main (Some path)
+  | [| _; "--global" |] -> global_main None
+  | [| _; "--global"; "--metrics-json"; path |] -> global_main (Some path)
   | _ ->
       prerr_endline
         "usage: main.exe [--metrics-json FILE | --classify | --obs-overhead \
-         | --promote [--metrics-json FILE] | --server [--metrics-json FILE]]";
+         | --promote [--metrics-json FILE] | --server [--metrics-json FILE] \
+         | --global [--metrics-json FILE]]";
       exit 2

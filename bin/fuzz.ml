@@ -24,8 +24,14 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
-let cfg_of ~chaos =
-  { Fuzz.Engine.default_cfg with Fuzz.Engine.corrupt_copy = chaos }
+let cfg_of ~chaos ~mode =
+  let base = Fuzz.Engine.default_cfg in
+  {
+    base with
+    Fuzz.Engine.corrupt_copy = chaos;
+    params =
+      { base.Fuzz.Engine.params with Manticore_gc.Params.global_gc_mode = mode };
+  }
 
 let report_failure ~fail_dir (f : Fuzz.Driver.failure) =
   Printf.printf "FAILURE: seed %d, op %d: %s\n" f.Fuzz.Driver.seed
@@ -91,19 +97,23 @@ let replay ~cfg ~shrink path =
           1)
 
 let main seed ops programs replay_file shrink no_shrink chaos fail_dir profile
-    =
-  let cfg = cfg_of ~chaos in
+    mode =
+  let cfg = cfg_of ~chaos ~mode in
   match replay_file with
   | Some path -> replay ~cfg ~shrink path
   | None -> (
       let log m = Printf.printf "%s\n%!" m in
       Printf.printf
-        "fuzzing: %d program(s) x %d ops, base seed %d%s%s\n%!" programs ops
-        seed
+        "fuzzing: %d program(s) x %d ops, base seed %d, %s global GC%s%s\n%!"
+        programs ops seed
+        (match mode with
+        | Manticore_gc.Params.Stw -> "stop-the-world"
+        | Manticore_gc.Params.Concurrent -> "concurrent")
         (match profile with
         | Fuzz.Gen.Default -> ""
         | Fuzz.Gen.Steal_message -> " (steal/message-weighted)"
-        | Fuzz.Gen.Sessions -> " (session-lifecycle-weighted)")
+        | Fuzz.Gen.Sessions -> " (session-lifecycle-weighted)"
+        | Fuzz.Gen.Global_heavy -> " (global-collection-weighted)")
         (if chaos > 0 then
            Printf.sprintf " (chaos: corrupt every %d-th evacuation)" chaos
          else "");
@@ -169,14 +179,32 @@ let profile =
         (enum
            [ ("default", Fuzz.Gen.Default);
              ("steal-message", Fuzz.Gen.Steal_message);
-             ("sessions", Fuzz.Gen.Sessions) ])
+             ("sessions", Fuzz.Gen.Sessions);
+             ("global-heavy", Fuzz.Gen.Global_heavy) ])
         Fuzz.Gen.Default
     & info [ "weights" ] ~docv:"PROFILE"
         ~doc:
           "Op-weight profile: $(b,default); $(b,steal-message) to hammer \
-           the scheduler's steal/message promotion paths; or \
+           the scheduler's steal/message promotion paths; \
            $(b,sessions) to hammer the server session lifecycle \
-           (open, request/response round trips, in-flight teardown).")
+           (open, request/response round trips, in-flight teardown); or \
+           $(b,global-heavy) to force global collections constantly and \
+           mutate while evacuation is in flight (pair with \
+           $(b,--global-mode concurrent)).")
+
+let mode =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("stw", Manticore_gc.Params.Stw);
+             ("concurrent", Manticore_gc.Params.Concurrent) ])
+        Manticore_gc.Params.Stw
+    & info [ "global-mode" ] ~docv:"MODE"
+        ~doc:
+          "Global collector under test: $(b,stw) (default) or \
+           $(b,concurrent) (incremental chunk evacuation with bounded \
+           pauses).")
 
 let cmd =
   let info_ =
@@ -186,6 +214,6 @@ let cmd =
   Cmd.v info_
     Term.(
       const main $ seed $ ops $ programs $ replay_file $ shrink $ no_shrink
-      $ chaos $ fail_dir $ profile)
+      $ chaos $ fail_dir $ profile $ mode)
 
 let () = exit (Cmd.eval' cmd)

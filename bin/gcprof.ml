@@ -26,13 +26,15 @@ let write_file path s =
   close_out oc;
   Printf.eprintf "wrote %s\n" path
 
-let kinds = [| Event.Minor; Event.Major; Event.Promotion; Event.Global |]
+let kinds =
+  [| Event.Minor; Event.Major; Event.Promotion; Event.Global; Event.Barrier |]
 
 let kind_index = function
   | Event.Minor -> 0
   | Event.Major -> 1
   | Event.Promotion -> 2
   | Event.Global -> 3
+  | Event.Barrier -> 4
 
 (* Every collection's cause rides in its [Coll_end] event, so attribution
    survives ring overwrite of the matching [Coll_begin]. *)
@@ -140,7 +142,7 @@ let print_counters r =
             incr acquires;
             if f then incr fresh
         | Event.Chunk_release _ -> incr releases
-        | Event.Global_phase _ -> incr phases
+        | Event.Global_phase _ | Event.Conc_phase _ -> incr phases
         | Event.Alloc_sample { bytes } ->
             incr samples;
             sampled_bytes := !sampled_bytes + bytes
@@ -157,6 +159,62 @@ let print_counters r =
   Printf.printf "alloc samples: %d (1 in %d, ~%d bytes sampled)\n" !samples
     (Obs.Recorder.sample_every r)
     !sampled_bytes
+
+(* --- Concurrent-collection phase attribution ------------------------ *)
+
+(* [Conc_phase] events are emitted once per slice by the concurrent
+   global collector, carrying the slice's duration split by phase; sum
+   them per vproc x phase.  Only the four incremental phases appear in
+   Conc_phase events (the STW phase markers are separate, duration-free
+   Global_phase events). *)
+let conc_phases = [| Event.Mark; Event.Claim; Event.Evacuate; Event.Handshake |]
+
+let conc_phase_index = function
+  | Event.Mark -> 0
+  | Event.Claim -> 1
+  | Event.Evacuate -> 2
+  | Event.Handshake -> 3
+  | _ -> -1
+
+let print_conc_phases r =
+  let n_vprocs = Obs.Recorder.n_vprocs r in
+  let sums = Array.make_matrix n_vprocs (Array.length conc_phases) 0 in
+  let total = ref 0 in
+  for v = 0 to n_vprocs - 1 do
+    List.iter
+      (fun (_, _, ev) ->
+        match ev with
+        | Event.Conc_phase { phase; dur_ns } ->
+            let p = conc_phase_index phase in
+            if p >= 0 then begin
+              sums.(v).(p) <- sums.(v).(p) + dur_ns;
+              total := !total + dur_ns
+            end
+        | _ -> ())
+      (Obs.Recorder.events r ~vproc:v)
+  done;
+  if !total = 0 then
+    print_string
+      "concurrent collection: no slices recorded (STW mode, or no global \
+       collection ran)\n"
+  else begin
+    let us ns = float_of_int ns /. 1_000. in
+    print_string "concurrent collection phase attribution (slice time, us):\n";
+    Printf.printf "  %-6s %10s %10s %10s %10s %10s\n" "vproc" "mark" "claim"
+      "evacuate" "handshake" "total";
+    let col_totals = Array.make (Array.length conc_phases) 0 in
+    for v = 0 to n_vprocs - 1 do
+      let row_total = Array.fold_left ( + ) 0 sums.(v) in
+      Array.iteri (fun p d -> col_totals.(p) <- col_totals.(p) + d) sums.(v);
+      if row_total > 0 then
+        Printf.printf "  %-6d %10.1f %10.1f %10.1f %10.1f %10.1f\n" v
+          (us sums.(v).(0)) (us sums.(v).(1)) (us sums.(v).(2))
+          (us sums.(v).(3)) (us row_total)
+    done;
+    Printf.printf "  %-6s %10.1f %10.1f %10.1f %10.1f %10.1f\n" "all"
+      (us col_totals.(0)) (us col_totals.(1)) (us col_totals.(2))
+      (us col_totals.(3)) (us !total)
+  end
 
 (* --- Request latencies (server workload) --------------------------- *)
 
@@ -324,6 +382,8 @@ let main dump_path chrome tail =
       print_string (Trace.summary tr);
       print_newline ();
       print_string (Trace.render_timeline tr ~n_vprocs);
+      print_newline ();
+      print_conc_phases r;
       print_newline ();
       print_request_latencies r colls;
       print_newline ();

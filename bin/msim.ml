@@ -10,8 +10,8 @@ let write_file path s =
   close_out oc;
   Printf.eprintf "wrote %s\n" path
 
-let run name machine_name threads policy_str scale cache_scale bw_scale trace
-    trace_json metrics_json events census seed verbose =
+let run name machine_name threads policy_str global_mode_str scale cache_scale
+    bw_scale trace trace_json metrics_json events census seed verbose =
   let spec =
     match Workloads.Registry.find name with
     | Some s -> s
@@ -35,9 +35,18 @@ let run name machine_name threads policy_str scale cache_scale bw_scale trace
         prerr_endline e;
         exit 1
   in
+  let global_gc_mode =
+    match global_mode_str with
+    | "stw" -> Manticore_gc.Params.Stw
+    | "concurrent" -> Manticore_gc.Params.Concurrent
+    | s ->
+        Printf.eprintf "unknown global-mode %S (stw | concurrent)\n" s;
+        exit 1
+  in
+  let base = Harness.Run_config.default ~machine ~n_vprocs:threads in
   let cfg =
     {
-      (Harness.Run_config.default ~machine ~n_vprocs:threads) with
+      base with
       Harness.Run_config.policy;
       scale;
       cache_scale;
@@ -45,6 +54,8 @@ let run name machine_name threads policy_str scale cache_scale bw_scale trace
       trace = trace || trace_json <> None;
       census;
       seed;
+      params =
+        { base.Harness.Run_config.params with Manticore_gc.Params.global_gc_mode };
     }
   in
   let o = Harness.Run_config.execute spec cfg in
@@ -101,6 +112,15 @@ let policy_arg =
   Arg.(
     value & opt string "local"
     & info [ "p"; "policy" ] ~doc:"local | interleaved | single-node[:N].")
+
+let global_mode_arg =
+  Arg.(
+    value & opt string "stw"
+    & info [ "global-mode" ]
+        ~doc:
+          "Global-collection mode: $(b,stw) (the paper's parallel \
+           stop-the-world collection) or $(b,concurrent) (incremental chunk \
+           evacuation with bounded slices and a short ratify barrier).")
 
 let scale_arg =
   Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~doc:"Workload scale factor.")
@@ -163,6 +183,6 @@ let () =
        (Cmd.v info
           Term.(
             const run $ name_arg $ machine_arg $ threads_arg $ policy_arg
-            $ scale_arg $ cache_scale_arg $ bw_scale_arg $ trace_arg
-            $ trace_json_arg $ metrics_json_arg $ events_arg $ census_arg
-            $ seed_arg $ verbose_arg)))
+            $ global_mode_arg $ scale_arg $ cache_scale_arg $ bw_scale_arg
+            $ trace_arg $ trace_json_arg $ metrics_json_arg $ events_arg
+            $ census_arg $ seed_arg $ verbose_arg)))

@@ -1,0 +1,530 @@
+(* Concurrent global collection: incremental chunk evacuation with
+   bounded pauses.
+
+   The STW collector (Global_gc) stops every vproc behind one barrier for
+   the whole copy phase.  Here the cycle is split into bounded slices
+   that interleave with mutator execution in virtual time:
+
+   - [start] condemns every in-use chunk (from-space), forwards the
+     runtime's global roots, and leaves the mutators running;
+   - each [step] runs one slice on the vproc with the smallest clock:
+     first a per-vproc *handshake* (evacuate that vproc's roots, proxies
+     and local-heap referents into to-space), then *evacuation* slices
+     (claim a to-space chunk and Cheney-scan at most
+     [Params.conc_slice_bytes] of it), then *drains* of the mutation log
+     the {!Mut} write barrier fills;
+   - when no work remains, a short *ratify* barrier stops all vprocs
+     once: the log is drained, roots and local heaps are rescanned (the
+     mutators may have spread from-space pointers since their
+     handshakes), residual to-space data is scanned, local forwarding
+     chains are retargeted, and from-space is released.
+
+   Soundness leans on the simulator's step-atomicity: a slice runs to
+   completion before any mutator move, so mutators never observe a
+   half-evacuated object.  Mutators can hold and copy from-space
+   pointers freely between slices — reads resolve forwarding words, the
+   write barrier logs global stores, and the ratify rescan re-forwards
+   whatever the handshakes missed.  Termination: mutators cannot create
+   new from-space objects (all allocation goes to local heaps or
+   to-space), so evacuation is monotone. *)
+
+open Heap
+open Sim_mem
+
+let paranoid =
+  match Sys.getenv_opt "MANTICORE_PARANOID" with
+  | Some ("1" | "true") -> true
+  | _ -> false
+
+let active = Ctx.conc_active
+
+(* From-space test: condemned chunks and large objects.  Large objects
+   are marked (not copied); "evacuating" an already-marked one is a
+   no-op, and fresh larges allocated mid-cycle get marked the first time
+   a live reference to them is forwarded. *)
+let in_from ctx addr =
+  match Global_heap.find_chunk ctx.Ctx.global addr with
+  | Some c -> c.Chunk.from_space
+  | None -> Global_heap.is_large ctx.Ctx.global addr
+
+let min_clock_vproc ctx =
+  let muts = ctx.Ctx.muts in
+  let best = ref 0 in
+  Array.iteri
+    (fun i (m : Ctx.mutator) ->
+      if m.Ctx.now_ns < muts.(!best).Ctx.now_ns then best := i)
+    muts;
+  muts.(!best)
+
+let dest_for ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  Forward.global_dest ctx m ~on_copy:(fun dst bytes ->
+      if Global_heap.is_large ctx.Ctx.global dst then
+        Queue.add dst st.Ctx.cg_large
+      else begin
+        st.Ctx.cg_copied_by.(m.Ctx.id) <- st.Ctx.cg_copied_by.(m.Ctx.id) + bytes;
+        m.Ctx.stats.Gc_stats.global_copied_bytes <-
+          m.Ctx.stats.Gc_stats.global_copied_bytes + bytes
+      end)
+
+(* Scan one to-space object, evacuating its from-space targets.  A
+   proxy's referent may legitimately point into its owner's local heap
+   and is left to the owner's local collections. *)
+let scan_tospace_object ctx ~dest (m : Ctx.mutator) addr =
+  let store = ctx.Ctx.store in
+  let h = Ctx.read_word ctx m addr in
+  Ctx.charge_work ctx m ~cycles:ctx.Ctx.params.Params.gc_obj_cycles;
+  let inf = in_from ctx in
+  (if Header.id h = Header.proxy_id then begin
+     let r = Proxy.referent store addr in
+     if Value.is_ptr r then
+       match Heap_index.local_owner store.Store.index (Value.to_ptr r) with
+       | Some _ -> ()
+       | None ->
+           Forward.forward_field ctx m ~dest ~in_from:inf
+             (Obj_repr.field_addr addr 0)
+   end
+   else
+     Obj_repr.iter_pointer_slots store addr (fun fa ->
+         Forward.forward_field ctx m ~dest ~in_from:inf fa));
+  (Header.length_words h + 1) * 8
+
+(* To-space scanning work: the queue of marked large objects plus any
+   chunk whose scan pointer trails its allocation pointer (promotions
+   during the cycle reopen chunks, which is exactly what keeps
+   mid-cycle-promoted data reachable). *)
+let chunk_pending c = c.Chunk.scan_ptr < c.Chunk.alloc_ptr
+
+let pick_chunk ctx (m : Ctx.mutator) =
+  let to_chunks = Global_heap.in_use ctx.Ctx.global in
+  let own_current =
+    match Global_heap.current ctx.Ctx.global ~vproc:m.Ctx.id with
+    | Some c when chunk_pending c -> Some c
+    | _ -> None
+  in
+  match own_current with
+  | Some c -> Some c
+  | None -> (
+      match
+        List.find_opt
+          (fun c -> chunk_pending c && c.Chunk.home_node = m.Ctx.node)
+          to_chunks
+      with
+      | Some c -> Some c
+      | None -> List.find_opt chunk_pending to_chunks)
+
+let work_pending ctx (st : Ctx.conc_state) =
+  (not (Queue.is_empty st.Ctx.cg_large))
+  || List.exists chunk_pending (Global_heap.in_use ctx.Ctx.global)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let record_barrier_wait ctx (m : Ctx.mutator) ~cause ~t_from ~t_to =
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:t_from
+    (Obs.Event.Coll_begin { kind = Barrier; cause });
+  Gc_trace.record ctx.Ctx.trace
+    {
+      Gc_trace.vproc = m.Ctx.id;
+      kind = Gc_trace.Barrier;
+      cause;
+      node = m.Ctx.node;
+      t_start_ns = t_from;
+      t_end_ns = t_to;
+      bytes = 0;
+    };
+  Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
+    ~kind:Gc_trace.Barrier ~ns:(t_to -. t_from) ~bytes:0;
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:t_to
+    (Obs.Event.Coll_end { kind = Barrier; cause; bytes = 0 })
+
+(* One finished slice on [m]: a Global begin/end pair (so the pause
+   distributions and gcprof see each slice as its own bounded pause)
+   plus Conc_phase duration events for per-phase attribution.  The
+   per-slice pauses deliberately omit the cause — it is counted once per
+   collection, on the ratify records. *)
+let record_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) ~t_start
+    ~phases ~bytes =
+  let cause = st.Ctx.cg_cause in
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:t_start
+    (Obs.Event.Coll_begin { kind = Global; cause });
+  List.iter
+    (fun (phase, dur_ns) ->
+      if dur_ns > 0. then
+        Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+          (Obs.Event.Conc_phase { phase; dur_ns = int_of_float dur_ns }))
+    phases;
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+    (Obs.Event.Coll_end { kind = Global; cause; bytes });
+  Gc_trace.record ctx.Ctx.trace
+    {
+      Gc_trace.vproc = m.Ctx.id;
+      kind = Gc_trace.Global;
+      cause;
+      node = m.Ctx.node;
+      t_start_ns = t_start;
+      t_end_ns = m.Ctx.now_ns;
+      bytes;
+    };
+  Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id ~kind:Gc_trace.Global
+    ~ns:(m.Ctx.now_ns -. t_start) ~bytes
+
+(* ------------------------------------------------------------------ *)
+(* Slices                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let forward_roots ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  let dest = dest_for ctx st m in
+  let inf = in_from ctx in
+  let store = ctx.Ctx.store in
+  Roots.iter m.Ctx.roots (fun c -> Forward.forward_cell ctx m ~dest ~in_from:inf c);
+  Roots.iter m.Ctx.proxies (fun c ->
+      Forward.forward_cell ctx m ~dest ~in_from:inf c);
+  (* Unlike the STW entry (which runs a minor first), the nursery is live
+     here: walk both local regions for from-space referents. *)
+  let lh = m.Ctx.lh in
+  Major_gc.walk_objects store ~lo:lh.Local_heap.base ~hi:lh.Local_heap.old_top
+    (fun addr -> Forward.scan_fields ctx m ~dest ~in_from:inf addr);
+  Major_gc.walk_objects store ~lo:lh.Local_heap.nursery_base
+    ~hi:lh.Local_heap.alloc_ptr (fun addr ->
+      Forward.scan_fields ctx m ~dest ~in_from:inf addr)
+
+let handshake ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  let t0 = m.Ctx.now_ns in
+  m.Ctx.in_gc <- true;
+  Ctx.charge_work ctx m ~cycles:ctx.Ctx.params.Params.handshake_cycles;
+  let b0 = st.Ctx.cg_copied_by.(m.Ctx.id) in
+  (* Run this vproc's local collections first, exactly as the STW entry
+     does — bounded and per-vproc, no barrier.  This consumes every
+     pre-cycle forwarding word in the local heap (the major empties the
+     old region; its prerequisite minor resets the nursery), so the only
+     local references into from-space after the handshake are real
+     fields and roots, all rescanned below.  Survivors the major
+     promotes land past [scan_ptr] in to-space chunks, so the cycle's
+     Cheney scan greys them automatically. *)
+  Major_gc.run ~cause:st.Ctx.cg_cause ctx m;
+  forward_roots ctx st m;
+  st.Ctx.cg_entered.(m.Ctx.id) <- true;
+  m.Ctx.in_gc <- false;
+  record_slice ctx st m ~t_start:t0
+    ~phases:[ (Obs.Event.Handshake, m.Ctx.now_ns -. t0) ]
+    ~bytes:(st.Ctx.cg_copied_by.(m.Ctx.id) - b0)
+
+let evacuate_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  let t0 = m.Ctx.now_ns in
+  m.Ctx.in_gc <- true;
+  let b0 = st.Ctx.cg_copied_by.(m.Ctx.id) in
+  let dest = dest_for ctx st m in
+  let budget = ref ctx.Ctx.params.Params.conc_slice_bytes in
+  let claim_ns = ref 0. in
+  while !budget > 0 && work_pending ctx st do
+    match Queue.take_opt st.Ctx.cg_large with
+    | Some addr -> budget := !budget - scan_tospace_object ctx ~dest m addr
+    | None -> (
+        match pick_chunk ctx m with
+        | None ->
+            (* Pending work exists but only on chunks this helper cannot
+               see as its own current; any_pending covered it above, so
+               this is the fallback claim of an arbitrary chunk — the
+               find_opt above already did that, meaning nothing is left
+               for this slice. *)
+            budget := 0
+        | Some c ->
+            (* Claiming a chunk is a node-local synchronization; track
+               its cost separately for phase attribution. *)
+            if c.Chunk.scan_ptr = c.Chunk.base then begin
+              let t = m.Ctx.now_ns in
+              Ctx.charge_work ctx m
+                ~cycles:ctx.Ctx.params.Params.chunk_local_sync_cycles;
+              claim_ns := !claim_ns +. (m.Ctx.now_ns -. t)
+            end;
+            while !budget > 0 && chunk_pending c do
+              let sz = scan_tospace_object ctx ~dest m c.Chunk.scan_ptr in
+              c.Chunk.scan_ptr <- c.Chunk.scan_ptr + sz;
+              budget := !budget - sz
+            done)
+  done;
+  m.Ctx.in_gc <- false;
+  let total = m.Ctx.now_ns -. t0 in
+  record_slice ctx st m ~t_start:t0
+    ~phases:
+      [ (Obs.Event.Claim, !claim_ns); (Obs.Event.Evacuate, total -. !claim_ns) ]
+    ~bytes:(st.Ctx.cg_copied_by.(m.Ctx.id) - b0)
+
+(* Drain the mutation log: stores during the cycle may have put
+   from-space values into already-scanned slots; re-forward them.  The
+   log is iterated in address order (deterministic evacuation order). *)
+let drain_log ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  let dest = dest_for ctx st m in
+  let inf = in_from ctx in
+  Remember.iter st.Ctx.cg_log (fun slot ->
+      Ctx.charge_work ctx m ~cycles:2.;
+      Forward.forward_field ctx m ~dest ~in_from:inf slot);
+  Remember.clear st.Ctx.cg_log
+
+let drain_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  let t0 = m.Ctx.now_ns in
+  m.Ctx.in_gc <- true;
+  let b0 = st.Ctx.cg_copied_by.(m.Ctx.id) in
+  drain_log ctx st m;
+  m.Ctx.in_gc <- false;
+  record_slice ctx st m ~t_start:t0
+    ~phases:[ (Obs.Event.Mark, m.Ctx.now_ns -. t0) ]
+    ~bytes:(st.Ctx.cg_copied_by.(m.Ctx.id) - b0)
+
+(* ------------------------------------------------------------------ *)
+(* Ratify: the one short barrier that finishes the cycle               *)
+(* ------------------------------------------------------------------ *)
+
+let ratify ctx (st : Ctx.conc_state) =
+  let cause = st.Ctx.cg_cause in
+  let muts = ctx.Ctx.muts in
+  let store = ctx.Ctx.store in
+  let arrivals = Array.map (fun (m : Ctx.mutator) -> m.Ctx.now_ns) muts in
+  let copied_before = Array.copy st.Ctx.cg_copied_by in
+  Array.iter
+    (fun (m : Ctx.mutator) ->
+      Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+        (Obs.Event.Coll_begin { kind = Global; cause }))
+    muts;
+  let t_sync =
+    Array.fold_left
+      (fun acc (m : Ctx.mutator) -> Float.max acc m.Ctx.now_ns)
+      0. muts
+  in
+  Array.iter
+    (fun (m : Ctx.mutator) ->
+      record_barrier_wait ctx m ~cause ~t_from:m.Ctx.now_ns ~t_to:t_sync;
+      m.Ctx.now_ns <- t_sync;
+      Ctx.charge_work ctx m ~cycles:ctx.Ctx.params.Params.barrier_cycles;
+      m.Ctx.in_gc <- true)
+    muts;
+  (* With every mutator stopped, one pass suffices: the log and the
+     rescan find everything the handshakes missed, and the Cheney loop
+     closes the transitive to-space scan. *)
+  drain_log ctx st (min_clock_vproc ctx);
+  Array.iter
+    (fun (m : Ctx.mutator) ->
+      forward_roots ctx st m;
+      if m.Ctx.id = 0 then begin
+        let dest = dest_for ctx st m in
+        Roots.iter ctx.Ctx.global_roots (fun c ->
+            Forward.forward_cell ctx m ~dest ~in_from:(in_from ctx) c)
+      end)
+    muts;
+  let fixpoint () =
+    while work_pending ctx st do
+      let m = min_clock_vproc ctx in
+      match Queue.take_opt st.Ctx.cg_large with
+      | Some addr ->
+          ignore (scan_tospace_object ctx ~dest:(dest_for ctx st m) m addr)
+      | None -> (
+          match pick_chunk ctx m with
+          | None -> Ctx.charge_work ctx m ~cycles:100.
+          | Some c ->
+              let dest = dest_for ctx st m in
+              let stop = c.Chunk.alloc_ptr in
+              while c.Chunk.scan_ptr < stop do
+                let sz = scan_tospace_object ctx ~dest m c.Chunk.scan_ptr in
+                c.Chunk.scan_ptr <- c.Chunk.scan_ptr + sz
+              done)
+    done
+  in
+  fixpoint ();
+  (* Conservative keep: unlike the STW collector — whose entry
+     minor+major empty the locals, so every surviving local forwarding
+     word targets just-promoted (live) data — the concurrent cycle keeps
+     both local regions live, so they may hold promotion forwards whose
+     condemned target the rescan never reached.  Those targets can still
+     be aliased (a register or field holding the stale local address
+     resolves through the word), so they are evacuated rather than
+     dropped: floating garbage for one cycle, the standard trade of a
+     concurrent collector. *)
+  let condemned a =
+    match Global_heap.find_chunk ctx.Ctx.global a with
+    | Some c -> c.Chunk.from_space
+    | None -> false
+  in
+  let walk_forward_words (m : Ctx.mutator) f =
+    let lh = m.Ctx.lh in
+    let region lo hi =
+      let addr = ref lo in
+      while !addr < hi do
+        let h = Ctx.read_word ctx m !addr in
+        if Header.is_forward h then begin
+          f !addr (Header.forward_addr h);
+          (* Skip by the final copy's size: promotion leaves the body in
+             place, so source and target footprints are identical. *)
+          let th = Ctx.read_word ctx m (Header.forward_addr h) in
+          let final =
+            if Header.is_forward th then Header.forward_addr th
+            else Header.forward_addr h
+          in
+          addr := !addr + Obj_repr.total_bytes store final
+        end
+        else addr := !addr + ((Header.length_words h + 1) * 8)
+      done
+    in
+    region lh.Local_heap.base lh.Local_heap.old_top;
+    region lh.Local_heap.nursery_base lh.Local_heap.alloc_ptr
+  in
+  Array.iter
+    (fun (m : Ctx.mutator) ->
+      walk_forward_words m (fun _src target ->
+          if condemned target
+             && not (Header.is_forward (Ctx.read_word ctx m target))
+          then ignore (Forward.evacuate ctx m ~dest:(dest_for ctx st m) target)))
+    muts;
+  fixpoint ();
+  (* Retarget local forwarding words at the final to-space addresses so
+     stale aliases stay resolvable once from-space is recycled.  After
+     the keep pass every condemned target carries a forwarding word, so
+     chasing one hop always lands in to-space. *)
+  Array.iter
+    (fun (m : Ctx.mutator) ->
+      walk_forward_words m (fun src target ->
+          let th = Ctx.read_word ctx m target in
+          if Header.is_forward th then
+            Ctx.write_word ctx m src (Header.forward (Header.forward_addr th))))
+    muts;
+  (* Release from-space and sweep large objects. *)
+  let lead = (min_clock_vproc ctx).Ctx.id in
+  List.iter
+    (fun c ->
+      c.Chunk.from_space <- false;
+      Obs.Recorder.record ctx.Ctx.obs ~vproc:lead
+        ~t_ns:muts.(lead).Ctx.now_ns
+        (Obs.Event.Chunk_release { node = c.Chunk.home_node });
+      Chunk.release (Global_heap.pool ctx.Ctx.global) c)
+    st.Ctx.cg_from;
+  st.Ctx.cg_from <- [];
+  ignore (Global_heap.sweep_large ctx.Ctx.global);
+  let t_exit =
+    Array.fold_left
+      (fun acc (m : Ctx.mutator) -> Float.max acc m.Ctx.now_ns)
+      0. muts
+  in
+  Array.iter
+    (fun (m : Ctx.mutator) ->
+      record_barrier_wait ctx m ~cause ~t_from:m.Ctx.now_ns ~t_to:t_exit;
+      m.Ctx.now_ns <- t_exit;
+      m.Ctx.in_gc <- false)
+    muts;
+  Array.iter
+    (fun (m : Ctx.mutator) ->
+      let bytes = st.Ctx.cg_copied_by.(m.Ctx.id) - copied_before.(m.Ctx.id) in
+      Gc_trace.record ctx.Ctx.trace
+        {
+          Gc_trace.vproc = m.Ctx.id;
+          kind = Gc_trace.Global;
+          cause;
+          node = m.Ctx.node;
+          t_start_ns = arrivals.(m.Ctx.id);
+          t_end_ns = m.Ctx.now_ns;
+          bytes;
+        };
+      Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
+        ~kind:Gc_trace.Global
+        ~ns:(m.Ctx.now_ns -. arrivals.(m.Ctx.id))
+        ~bytes;
+      Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
+        (Obs.Event.Coll_end { kind = Global; cause; bytes }))
+    muts;
+  let copied_total = Array.fold_left ( + ) 0 st.Ctx.cg_copied_by in
+  ctx.Ctx.stats.Gc_stats.global_count <-
+    ctx.Ctx.stats.Gc_stats.global_count + 1;
+  ctx.Ctx.stats.Gc_stats.global_copied_bytes <-
+    ctx.Ctx.stats.Gc_stats.global_copied_bytes + copied_total;
+  ctx.Ctx.global_gc_pending <- false;
+  let in_use = Global_heap.in_use_bytes ctx.Ctx.global in
+  if in_use * 3 / 2 > ctx.Ctx.global_budget_bytes then
+    Ctx.set_global_budget ctx (in_use * 2);
+  ctx.Ctx.conc <- None;
+  Ctx.exit_collection ctx Gc_trace.Global;
+  if paranoid then begin
+    match Ctx.check_invariants ctx with
+    | Ok _ -> ()
+    | Error errs ->
+        prerr_string (Obs.Recorder.dump_tail ctx.Ctx.obs);
+        failwith
+          ("concurrent GC paranoid check failed:\n" ^ String.concat "\n" errs)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let start ?(cause = Obs.Gc_cause.Forced) ctx =
+  if not (active ctx) then begin
+    Ctx.enter_collection ctx;
+    let m = min_clock_vproc ctx in
+    let t0 = m.Ctx.now_ns in
+    m.Ctx.in_gc <- true;
+    let from = Global_heap.take_all_in_use ctx.Ctx.global in
+    List.iter (fun c -> c.Chunk.from_space <- true) from;
+    (* Condemning is a flag flip per chunk plus one pool-level sync. *)
+    Ctx.charge_work ctx m
+      ~cycles:
+        (ctx.Ctx.params.Params.chunk_local_sync_cycles
+        +. (4. *. float_of_int (List.length from)));
+    let st =
+      {
+        Ctx.cg_cause = cause;
+        cg_from = from;
+        cg_large = Queue.create ();
+        cg_log = Remember.create ();
+        cg_copied_by = Array.make (Ctx.n_vprocs ctx) 0;
+        cg_entered = Array.make (Ctx.n_vprocs ctx) false;
+        cg_t_start = t0;
+        cg_slices = 0;
+      }
+    in
+    ctx.Ctx.conc <- Some st;
+    m.Ctx.in_gc <- false;
+    record_slice ctx st m ~t_start:t0
+      ~phases:[ (Obs.Event.Mark, m.Ctx.now_ns -. t0) ]
+      ~bytes:0
+  end
+
+let step ctx =
+  match ctx.Ctx.conc with
+  | None -> false
+  | Some st ->
+      st.Ctx.cg_slices <- st.Ctx.cg_slices + 1;
+      let m = min_clock_vproc ctx in
+      if not st.Ctx.cg_entered.(m.Ctx.id) then begin
+        handshake ctx st m;
+        true
+      end
+      else if work_pending ctx st then begin
+        evacuate_slice ctx st m;
+        true
+      end
+      else if Remember.cardinal st.Ctx.cg_log > 0 then begin
+        drain_slice ctx st m;
+        true
+      end
+      else begin
+        (* A vproc whose clock never became the minimum may still be
+           unhandshaken; bring it in before ratifying. *)
+        match
+          Array.find_opt
+            (fun (mm : Ctx.mutator) -> not st.Ctx.cg_entered.(mm.Ctx.id))
+            ctx.Ctx.muts
+        with
+        | Some mm ->
+            handshake ctx st mm;
+            true
+        | None ->
+            ratify ctx st;
+            false
+      end
+
+let finish ctx =
+  while step ctx do
+    ()
+  done
+
+let run ?cause ctx =
+  start ?cause ctx;
+  finish ctx

@@ -1,0 +1,51 @@
+(** Concurrent global collection: the bounded-pause alternative to
+    {!Global_gc}, selectable via {!Params.global_gc_mode}.
+
+    Instead of one all-vproc barrier covering the whole copy phase, the
+    cycle runs as a sequence of bounded slices interleaved with mutator
+    execution.  [start] condemns every in-use global chunk and forwards
+    the runtime's global roots; each [step] then runs one slice on the
+    vproc with the smallest virtual clock:
+
+    - a {e handshake} for a vproc that has not yet entered the cycle —
+      its roots, proxies, and local-heap referents are forwarded into
+      to-space (pairwise, no barrier; piggy-backed on the safe-point
+      poll when driven through {!Global_gc.install_sync_hook});
+    - an {e evacuation} slice — claim a to-space chunk and Cheney-scan
+      at most {!Params.conc_slice_bytes} of it;
+    - a {e drain} of the mutation log that the {!Mut} write barrier
+      fills for stores into global objects while the cycle is active.
+
+    When no work remains the cycle {e ratifies}: one short all-vproc
+    barrier drains the log, rescans every root set and local heap,
+    closes the residual to-space scan, retargets local forwarding
+    chains, and releases from-space.  The ratify barrier does O(live
+    roots + mutated slots) work, not O(live global data) — that is
+    where the bounded-pause claim comes from.
+
+    Telemetry: every slice and the ratify span are recorded as their own
+    [Global] pauses (the per-slice pause is the headline metric), with
+    [Conc_phase] events attributing slice time to
+    mark/claim/evacuate/handshake and barrier waits recorded under the
+    [Barrier] pause kind, exactly as in the STW collector. *)
+
+val active : Ctx.t -> bool
+(** A concurrent cycle is in flight (between [start] and the ratify). *)
+
+val start : ?cause:Obs.Gc_cause.t -> Ctx.t -> unit
+(** Begin a cycle: condemn the in-use chunks, forward the global roots.
+    No-op if a cycle is already active.  [cause] defaults to [Forced]. *)
+
+val step : Ctx.t -> bool
+(** Run one bounded slice on the minimum-clock vproc.  Returns [true]
+    while the cycle is still in flight; the call that finds no work left
+    performs the ratify barrier and returns [false].  Returns [false]
+    immediately if no cycle is active. *)
+
+val finish : Ctx.t -> unit
+(** Step until the cycle ratifies.  No-op if no cycle is active. *)
+
+val run : ?cause:Obs.Gc_cause.t -> Ctx.t -> unit
+(** [start] followed by [finish]: a complete collection, for callers
+    that need run-to-completion semantics (tests, the fuzzer's [Global]
+    op). *)

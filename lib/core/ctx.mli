@@ -29,6 +29,25 @@ type mutator = {
   stats : Gc_stats.t;
 }
 
+type conc_state = {
+  cg_cause : Obs.Gc_cause.t;  (** why this collection was requested *)
+  mutable cg_from : Sim_mem.Chunk.t list;
+      (** condemned (from-space) chunks still awaiting evacuation; their
+          [Chunk.from_space] flags are set for the cycle's duration *)
+  cg_large : int Queue.t;
+      (** marked large objects whose fields still need scanning *)
+  cg_log : Remember.t;
+      (** mutation log: global slots the write barrier saw stores to
+          while evacuation was in progress *)
+  cg_copied_by : int array;  (** bytes evacuated, per vproc *)
+  cg_entered : bool array;  (** per-vproc root handshake done *)
+  cg_t_start : float;  (** virtual time the collection started *)
+  mutable cg_slices : int;  (** collector slices run so far *)
+}
+(** In-flight concurrent global collection (see {!Concurrent_gc}).  Kept
+    here so the {!Mut} write barrier, the scheduler, and the checkers can
+    consult it without a dependency cycle. *)
+
 type t = {
   store : Store.t;
   cost : Numa.Cost_model.t;
@@ -56,6 +75,9 @@ type t = {
       (** observer fired each time the {e outermost} collection finishes
           — a deterministic trigger point at which the whole heap is
           consistent (used by the model-differential fuzzer) *)
+  mutable conc : conc_state option;
+      (** the in-flight concurrent global collection, if any; owned by
+          {!Concurrent_gc} *)
   stats : Gc_stats.t;  (** aggregate of completed phases (global GCs) *)
   trace : Gc_trace.t;  (** collector event trace (disabled by default) *)
   metrics : Metrics.t;
@@ -80,6 +102,15 @@ val create :
 
 val mutator : t -> int -> mutator
 val n_vprocs : t -> int
+
+val conc_active : t -> bool
+(** Is a concurrent global collection in flight? *)
+
+val conc_from_chunks : t -> Sim_mem.Chunk.t list
+(** Condemned chunks of the in-flight concurrent collection ([[]] when
+    none is active).  Checkers use this to account for pages that are
+    still tagged global but no longer in the heap's in-use set. *)
+
 val set_safe_point_hook : t -> (t -> mutator -> unit) -> unit
 val request_global_gc : t -> unit
 val set_global_budget : t -> int -> unit

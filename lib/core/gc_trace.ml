@@ -1,6 +1,6 @@
 (* The trace's kind is the same enumeration the flight recorder uses —
    the type equation keeps the two telemetry layers in sync. *)
-type kind = Obs.Event.coll_kind = Minor | Major | Promotion | Global
+type kind = Obs.Event.coll_kind = Minor | Major | Promotion | Global | Barrier
 
 type event = {
   vproc : int;
@@ -27,11 +27,22 @@ let kind_to_string = function
   | Major -> "major"
   | Promotion -> "promotion"
   | Global -> "global"
+  | Barrier -> "barrier"
 
-let glyph = function Minor -> '.' | Major -> 'M' | Promotion -> 'p' | Global -> 'G'
+let glyph = function
+  | Minor -> '.'
+  | Major -> 'M'
+  | Promotion -> 'p'
+  | Global -> 'G'
+  | Barrier -> 'b'
 
 (* Later (more significant) phases win a shared bucket. *)
-let rank = function Minor -> 0 | Promotion -> 1 | Major -> 2 | Global -> 3
+let rank = function
+  | Minor -> 0
+  | Promotion -> 1
+  | Major -> 2
+  | Barrier -> 3
+  | Global -> 4
 
 let render_timeline ?(width = 72) t ~n_vprocs =
   match events t with
@@ -65,14 +76,11 @@ let render_timeline ?(width = 72) t ~n_vprocs =
               (int_of_float (float_of_int width *. (ns -. t_begin) /. span))
           in
           let c0 = col e.t_start_ns and c1 = col e.t_end_ns in
-          (* A global collection is stop-the-world: every vproc is
-             paused for its span, so mark it across all lanes, not just
-             the lane that recorded the event. *)
-          if e.kind = Global then
-            for v = 0 to n_vprocs - 1 do
-              paint v Global c0 c1
-            done
-          else paint e.vproc e.kind c0 c1)
+          (* Global events are recorded per vproc (under STW every vproc
+             records the full span, so the old all-lanes painting falls
+             out; under the concurrent collector each lane shows only
+             its own slices and handshakes). *)
+          paint e.vproc e.kind c0 c1)
         evs;
       let buf = Buffer.create 2048 in
       Buffer.add_string buf
@@ -83,7 +91,7 @@ let render_timeline ?(width = 72) t ~n_vprocs =
           Buffer.add_string buf (Printf.sprintf "  v%02d |%s|\n" v (String.init width (Array.get lane))))
         lanes;
       Buffer.add_string buf
-        "  legend: . minor   M major   p promotion   G global (stop-the-world, all lanes)\n";
+        "  legend: . minor   M major   p promotion   G global   b barrier wait\n";
       Buffer.contents buf
 
 (* Chrome trace-event JSON (the `about:tracing` / Perfetto format):
@@ -148,6 +156,7 @@ let summary t =
   Buffer.add_string buf (line Major);
   Buffer.add_string buf (line Promotion);
   Buffer.add_string buf (line Global);
+  Buffer.add_string buf (line Barrier);
   (* Per-vproc breakdown: only vprocs that recorded events, in order. *)
   let vprocs =
     List.sort_uniq compare (List.map (fun e -> e.vproc) evs)
@@ -164,7 +173,7 @@ let summary t =
             | Some (n, b) ->
                 Buffer.add_string buf
                   (Printf.sprintf " %s %d (%d bytes)" (kind_to_string k) n b))
-          [ Minor; Major; Promotion; Global ];
+          [ Minor; Major; Promotion; Global; Barrier ];
         Buffer.add_char buf '\n')
       vprocs
   end;

@@ -9,7 +9,11 @@ type kind = Obs.Event.coll_kind =
   | Minor
   | Major
   | Promotion
-  | Global  (** the stop-the-world phase, recorded once per vproc *)
+  | Global  (** global collection span, recorded once per vproc *)
+  | Barrier
+      (** time spent *waiting* at a global-collection synchronization
+          point (entry/exit barrier or concurrent ratify), recorded in
+          addition to the enclosing [Global] span *)
 
 type event = {
   vproc : int;
@@ -40,12 +44,14 @@ val clear : t -> unit
 val kind_to_string : kind -> string
 
 val render_timeline : ?width:int -> t -> n_vprocs:int -> string
-(** ASCII lanes, one per vproc: ['.'] minor, ['M'] major, ['p'] promotion
-    and ['G'] global collection, bucketed over the trace's time span.
-    Global collections are stop-the-world, so their spans are painted
-    across every lane.  The axis is anchored at the earliest recorded
-    start — a trace enabled mid-run begins at its first event, with the
-    real start/end labelled in the header. *)
+(** ASCII lanes, one per vproc: ['.'] minor, ['M'] major, ['p'] promotion,
+    ['G'] global collection and ['b'] barrier wait, bucketed over the
+    trace's time span.  Global events are recorded per vproc, so an STW
+    collection (every vproc records the full span) still fills all lanes
+    while a concurrent one shows only each lane's own slices.  The axis
+    is anchored at the earliest recorded start — a trace enabled mid-run
+    begins at its first event, with the real start/end labelled in the
+    header. *)
 
 val to_chrome_json : t -> string
 (** The trace as Chrome trace-event JSON: one complete ("X") event per

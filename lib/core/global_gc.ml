@@ -15,7 +15,33 @@ let leader ctx =
 let local_owner ctx addr =
   Heap_index.local_owner ctx.Ctx.store.Store.index addr
 
+(* A vproc waited at a synchronization point from [t_from] to [t_to]:
+   record the wait as its own pause kind (nested inside the enclosing
+   Global span) so gcprof can attribute wait vs copy time. *)
+let record_barrier_wait ctx (m : Ctx.mutator) ~cause ~t_from ~t_to =
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:t_from
+    (Obs.Event.Coll_begin { kind = Barrier; cause });
+  Gc_trace.record ctx.Ctx.trace
+    {
+      Gc_trace.vproc = m.Ctx.id;
+      kind = Gc_trace.Barrier;
+      cause;
+      node = m.Ctx.node;
+      t_start_ns = t_from;
+      t_end_ns = t_to;
+      bytes = 0;
+    };
+  Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
+    ~kind:Gc_trace.Barrier ~ns:(t_to -. t_from) ~bytes:0;
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:t_to
+    (Obs.Event.Coll_end { kind = Barrier; cause; bytes = 0 })
+
 let run ?(cause = Obs.Gc_cause.Forced) ctx =
+  (* Stop-the-world collection over a half-evacuated heap would treat
+     to-space as from-space and double-copy live data: the in-flight
+     cycle must ratify first. *)
+  if Ctx.conc_active ctx then
+    failwith "Global_gc.run: concurrent collection already in flight";
   Ctx.enter_collection ctx;
   let store = ctx.Ctx.store in
   let muts = ctx.Ctx.muts in
@@ -47,11 +73,17 @@ let run ?(cause = Obs.Gc_cause.Forced) ctx =
       Minor_gc.run ~cause ctx m;
       Major_gc.run ~cause ctx m)
     muts;
-  (* Barrier: nobody proceeds until the slowest vproc arrives. *)
+  (* Barrier: nobody proceeds until the slowest vproc arrives.  The gap
+     between a vproc's own arrival and the barrier opening is dead wait,
+     recorded as its own pause kind. *)
   let t_entry =
     Array.fold_left (fun acc (m : Ctx.mutator) -> Float.max acc m.Ctx.now_ns) 0. muts
   in
-  Array.iter (fun (m : Ctx.mutator) -> m.Ctx.now_ns <- t_entry) muts;
+  Array.iter
+    (fun (m : Ctx.mutator) ->
+      record_barrier_wait ctx m ~cause ~t_from:m.Ctx.now_ns ~t_to:t_entry;
+      m.Ctx.now_ns <- t_entry)
+    muts;
   phase Obs.Event.Roots;
   (* All in-use chunks become from-space (gathered per node for the
      affinity statistics the claim loop relies on). *)
@@ -217,6 +249,7 @@ let run ?(cause = Obs.Gc_cause.Forced) ctx =
   in
   Array.iter
     (fun (m : Ctx.mutator) ->
+      record_barrier_wait ctx m ~cause ~t_from:m.Ctx.now_ns ~t_to:t_exit;
       m.Ctx.now_ns <- t_exit;
       Ctx.charge_work ctx m ~cycles:ctx.Ctx.params.Params.barrier_cycles;
       m.Ctx.in_gc <- false)
@@ -277,6 +310,19 @@ let run ?cause ctx =
           ("global GC paranoid check failed:\n" ^ String.concat "\n" errs)
   end
 
+(* The safe-point response depends on the configured collector: STW runs
+   a full collection on the spot; concurrent starts a cycle and then
+   advances it by one bounded slice per safe point (the handshake
+   piggy-backs on the allocation-limit poll). *)
 let install_sync_hook ctx =
   Ctx.set_safe_point_hook ctx (fun ctx _m ->
-      run ~cause:Obs.Gc_cause.Global_threshold ctx)
+      (* An in-flight concurrent cycle always takes precedence over the
+         configured mode: evacuation can re-arm [global_gc_pending]
+         mid-cycle (budget overflow in [Forward.global_dest]), and a
+         stop-the-world run over a half-evacuated heap is unsound. *)
+      if Concurrent_gc.active ctx then ignore (Concurrent_gc.step ctx)
+      else
+        match ctx.Ctx.params.Params.global_gc_mode with
+        | Params.Stw -> run ~cause:Obs.Gc_cause.Global_threshold ctx
+        | Params.Concurrent ->
+            Concurrent_gc.start ~cause:Obs.Gc_cause.Global_threshold ctx)

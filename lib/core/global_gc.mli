@@ -27,9 +27,12 @@ val run : ?cause:Obs.Gc_cause.t -> Ctx.t -> unit
     trace, metrics, and flight recorder. *)
 
 val install_sync_hook : Ctx.t -> unit
-(** Make allocation safe points run the global collection synchronously —
-    appropriate for single-threaded use and tests.  The scheduler
-    installs its own barrier-based hook instead. *)
+(** Make allocation safe points advance the configured global collector
+    synchronously — appropriate for single-threaded use and tests.  Under
+    {!Params.Stw} a safe point runs a full collection; under
+    {!Params.Concurrent} the first safe point starts a cycle and each
+    subsequent one advances it by a single bounded {!Concurrent_gc.step}
+    slice.  The scheduler installs its own hook instead. *)
 
 val leader : Ctx.t -> int
 (** The vproc that would lead a collection right now (the one with the

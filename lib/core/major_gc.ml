@@ -65,13 +65,21 @@ let run ?(cause = Obs.Gc_cause.Forced) ctx (m : Ctx.mutator) =
   (* Roots: cells, proxy referents, and the young data's fields. *)
   Roots.iter m.Ctx.roots (fun c -> Forward.forward_cell ctx m ~dest ~in_from c);
   Roots.iter m.Ctx.proxies (fun c ->
-      let p = Value.to_ptr (Roots.get c) in
+      (* Resolve first: mid-cycle the concurrent collector may already
+         have evacuated the proxy object while this cell still names the
+         from-space husk — referent updates must land in the live copy. *)
+      let p = Value.to_ptr (Ctx.resolve ctx m (Roots.get c)) in
       let r = Proxy.referent store p in
       if Value.is_ptr r && in_from (Value.to_ptr r) then begin
+        (* Concurrent write barrier: the forward target may be a
+           from-space address and the proxy already scanned — log the
+           slot so the cycle re-forwards it (cf. [Mut.set_pointer_field]). *)
         let dst = Forward.evacuate ctx m ~dest (Value.to_ptr r) in
-        Ctx.write_word ctx m
-          (Obj_repr.field_addr p 0)
-          (Value.to_word (Value.of_ptr dst))
+        let slot = Obj_repr.field_addr p 0 in
+        (match ctx.Ctx.conc with
+        | Some st -> Remember.add st.Ctx.cg_log ~slot
+        | None -> ());
+        Ctx.write_word ctx m slot (Value.to_word (Value.of_ptr dst))
       end);
   walk_objects store ~lo:young_lo ~hi:young_hi (fun addr ->
       Forward.scan_fields ctx m ~dest ~in_from addr);
@@ -111,12 +119,18 @@ let run ?(cause = Obs.Gc_cause.Forced) ctx (m : Ctx.mutator) =
     in
     Roots.iter m.Ctx.roots fix_cell;
     Roots.iter m.Ctx.proxies (fun c ->
-        let p = Value.to_ptr (Roots.get c) in
+        let p = Value.to_ptr (Ctx.resolve ctx m (Roots.get c)) in
         let r = Proxy.referent store p in
-        if Value.is_ptr r && in_young (Value.to_ptr r) then
-          Ctx.write_word ctx m
-            (Obj_repr.field_addr p 0)
-            (Value.to_word (Value.of_ptr (resolve_young (Value.to_ptr r)))));
+        if Value.is_ptr r && in_young (Value.to_ptr r) then begin
+          (* [resolve_young] can follow a pre-cycle promotion forward to a
+             from-space address: same barrier as above. *)
+          let slot = Obj_repr.field_addr p 0 in
+          (match ctx.Ctx.conc with
+          | Some st -> Remember.add st.Ctx.cg_log ~slot
+          | None -> ());
+          Ctx.write_word ctx m slot
+            (Value.to_word (Value.of_ptr (resolve_young (Value.to_ptr r))))
+        end);
     (* Move the block. *)
     Ctx.bulk_touch ctx m ~addr:young_lo ~bytes:ysize;
     Ctx.bulk_touch ctx m ~addr:from_lo ~bytes:ysize;

@@ -324,13 +324,14 @@ let hist_percentile h p =
 (* Recording                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let n_kinds = 4
+let n_kinds = 5
 
 let kind_index = function
   | Gc_trace.Minor -> 0
   | Gc_trace.Major -> 1
   | Gc_trace.Promotion -> 2
   | Gc_trace.Global -> 3
+  | Gc_trace.Barrier -> 4
 
 type vrec = {
   pause : hist array; (* indexed by kind_index *)
@@ -439,6 +440,7 @@ type vproc_stats = {
   major : kind_stats;
   promotion : kind_stats;
   global : kind_stats;
+  barrier : kind_stats;
   requests : dist;
   causes : (string * int) list;
   chunk_acquires : int;
@@ -475,6 +477,7 @@ let vproc_stats_of ~vproc r =
     major = kind_stats_of r 1;
     promotion = kind_stats_of r 2;
     global = kind_stats_of r 3;
+    barrier = kind_stats_of r 4;
     requests = dist_of_hist r.req;
     causes = !causes;
     chunk_acquires = r.v_chunk_acquires;
@@ -495,6 +498,7 @@ let kind_stats vs = function
   | Gc_trace.Major -> vs.major
   | Gc_trace.Promotion -> vs.promotion
   | Gc_trace.Global -> vs.global
+  | Gc_trace.Barrier -> vs.barrier
 
 (* ------------------------------------------------------------------ *)
 (* JSON serialization                                                  *)
@@ -528,6 +532,7 @@ let json_of_vproc vs =
       ("major", json_of_kind vs.major);
       ("promotion", json_of_kind vs.promotion);
       ("global", json_of_kind vs.global);
+      ("barrier", json_of_kind vs.barrier);
       ("requests", json_of_dist vs.requests);
       ( "causes",
         Json.Obj
@@ -585,6 +590,13 @@ let causes_of_json j =
         kvs
   | _ -> raise (Shape "causes is not an object")
 
+(* The barrier kind postdates some checked-in artifacts: when a snapshot
+   written before it existed is re-read, treat the missing field as an
+   empty distribution rather than a shape error. *)
+let zero_kind_stats =
+  let zero = dist_of_hist (hist_create ()) in
+  { pause_ns = zero; copied_bytes = zero }
+
 let vproc_of_json j =
   {
     vproc = int_field "vproc" j;
@@ -592,6 +604,10 @@ let vproc_of_json j =
     major = kind_of_json (field "major" j);
     promotion = kind_of_json (field "promotion" j);
     global = kind_of_json (field "global" j);
+    barrier =
+      (match Json.member "barrier" j with
+      | Some k -> kind_of_json k
+      | None -> zero_kind_stats);
     requests = dist_of_json (field "requests" j);
     causes = causes_of_json j;
     chunk_acquires = int_field "chunk_acquires" j;
@@ -615,7 +631,7 @@ let snapshot_of_json s =
 (* CSV + human-readable report                                         *)
 (* ------------------------------------------------------------------ *)
 
-let kind_names = [| "minor"; "major"; "promotion"; "global" |]
+let kind_names = [| "minor"; "major"; "promotion"; "global"; "barrier" |]
 
 let snapshot_to_csv s =
   let b = Buffer.create 1024 in
@@ -639,7 +655,8 @@ let snapshot_to_csv s =
             | 0 -> vs.minor
             | 1 -> vs.major
             | 2 -> vs.promotion
-            | _ -> vs.global
+            | 3 -> vs.global
+            | _ -> vs.barrier
           in
           row vs name ks.pause_ns ks.copied_bytes)
         kind_names;
@@ -661,7 +678,8 @@ let pp_summary ppf s =
             | 0 -> vs.minor
             | 1 -> vs.major
             | 2 -> vs.promotion
-            | _ -> vs.global
+            | 3 -> vs.global
+            | _ -> vs.barrier
           in
           let p = ks.pause_ns in
           if p.count > 0 then

@@ -97,6 +97,12 @@ type vproc_stats = {
   major : kind_stats;
   promotion : kind_stats;
   global : kind_stats;
+  barrier : kind_stats;
+      (** time spent waiting at global-collection synchronization points
+          (STW entry/exit barriers, concurrent ratify), recorded in
+          addition to the enclosing [global] span — subtract to get pure
+          copy work.  Snapshots written before this kind existed parse
+          with an empty distribution here. *)
   requests : dist;
       (** per-request latency recorded via {!record_request} (ns) *)
   causes : (string * int) list;

@@ -24,13 +24,25 @@ let run ?(cause = Obs.Gc_cause.Forced) ctx (m : Ctx.mutator) =
   Remember.iter m.Ctx.remembered (fun slot ->
       Forward.forward_field ctx m ~dest ~in_from slot);
   Roots.iter m.Ctx.proxies (fun c ->
-      let p = Value.to_ptr (Roots.get c) in
+      (* Resolve the proxy pointer first: a concurrent global cycle may
+         have evacuated the proxy object before this vproc's handshake
+         retargets the cell, and writing the referent into the from-space
+         husk would be lost when the to-space copy survives. *)
+      let p = Value.to_ptr (Ctx.resolve ctx m (Roots.get c)) in
       let r = Proxy.referent ctx.Ctx.store p in
       if Value.is_ptr r && in_from (Value.to_ptr r) then begin
+        (* [evacuate] on an already-promoted object returns its existing
+           forward target, which during a concurrent global cycle may be
+           a from-space address — and the proxy may have been scanned
+           already.  Log the slot like any other mid-cycle global store
+           so the cycle re-forwards it (the concurrent write barrier,
+           cf. [Mut.set_pointer_field]). *)
         let dst = Forward.evacuate ctx m ~dest (Value.to_ptr r) in
-        Ctx.write_word ctx m
-          (Obj_repr.field_addr p 0)
-          (Value.to_word (Value.of_ptr dst))
+        let slot = Obj_repr.field_addr p 0 in
+        (match ctx.Ctx.conc with
+        | Some st -> Remember.add st.Ctx.cg_log ~slot
+        | None -> ());
+        Ctx.write_word ctx m slot (Value.to_word (Value.of_ptr dst))
       end);
   (* Cheney scan of the newly-copied region. *)
   let scan = ref dst_start in

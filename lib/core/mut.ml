@@ -43,7 +43,17 @@ let set_pointer_field ctx (m : Ctx.mutator) obj i v =
     (* Shared-heap store: pay a synchronization premium, like the
        CAS-based stores a real runtime would need here. *)
     Ctx.charge_work ctx m ~cycles:30.;
-    Ctx.write_word ctx m (Obj_repr.field_addr addr i) (Value.to_word v)
+    let slot = Obj_repr.field_addr addr i in
+    (* Concurrent-evacuation barrier extension: the stored value may be a
+       from-space pointer, and the slot may belong to an object the
+       collector already scanned — log the slot so the collector
+       re-forwards it before the cycle can finish. *)
+    (match ctx.Ctx.conc with
+    | Some st ->
+        Remember.add st.Ctx.cg_log ~slot;
+        Ctx.charge_work ctx m ~cycles:4.
+    | None -> ());
+    Ctx.write_word ctx m slot (Value.to_word v)
   end
 
 let set ctx m r v = set_pointer_field ctx m r 0 v

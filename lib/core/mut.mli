@@ -19,6 +19,12 @@
     them local — mutation can create global-to-young edges that the
     mutation-free young-exclusion rule would dangle.
 
+    While a {e concurrent} global collection is evacuating (see
+    {!Concurrent_gc}), global stores are additionally logged in the
+    collection's mutation log: the stored value may be a from-space
+    pointer landing in an already-scanned slot, which the collector
+    re-forwards before the cycle finishes.
+
     A reference is an ordinary one-slot mixed object (descriptor
     ["mutref"]), so all collectors scan it with the standard machinery. *)
 

@@ -1,3 +1,5 @@
+type global_gc_mode = Stw | Concurrent
+
 type t = {
   page_bytes : int;
   capacity_bytes : int;
@@ -14,6 +16,9 @@ type t = {
   chunk_affinity : bool;
   young_exclusion : bool;
   unified_heap : bool;
+  global_gc_mode : global_gc_mode;
+  conc_slice_bytes : int;
+  handshake_cycles : float;
 }
 
 let default =
@@ -33,6 +38,9 @@ let default =
     chunk_affinity = true;
     young_exclusion = true;
     unified_heap = false;
+    global_gc_mode = Stw;
+    conc_slice_bytes = 32 * 1024;
+    handshake_cycles = 400.;
   }
 
 let validate t =
@@ -56,5 +64,12 @@ let validate t =
     check (t.nursery_min_bytes * 4 <= t.local_heap_bytes)
       "nursery threshold too large for the local heap"
   in
-  check (t.global_budget_per_vproc >= t.chunk_bytes)
-    "global budget must cover at least one chunk"
+  let* () =
+    check (t.global_budget_per_vproc >= t.chunk_bytes)
+      "global budget must cover at least one chunk"
+  in
+  let* () =
+    check (t.conc_slice_bytes > 0)
+      "concurrent evacuation slice must be positive"
+  in
+  check (t.handshake_cycles >= 0.) "handshake cost cannot be negative"

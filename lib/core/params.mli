@@ -5,6 +5,13 @@
     finish in seconds; the ratios between them — nursery to local heap,
     chunk to global budget — are preserved. *)
 
+type global_gc_mode =
+  | Stw  (** the paper's stop-the-world global collection *)
+  | Concurrent
+      (** incremental chunk evacuation: mutators keep running between
+          bounded collector slices; the all-vproc barrier is replaced by
+          per-vproc handshakes plus a short final ratify pause *)
+
 type t = {
   page_bytes : int;
   capacity_bytes : int;  (** total simulated physical memory *)
@@ -40,6 +47,18 @@ type t = {
           buffers, parallel stop-the-world collection) — the
           "traditional" design the paper's split-heap architecture is
           built to beat *)
+  global_gc_mode : global_gc_mode;
+      (** which global collector services {!Ctx.request_global_gc}:
+          stop-the-world (default, the paper's design) or concurrent
+          chunk evacuation with bounded pauses *)
+  conc_slice_bytes : int;
+      (** concurrent mode: max bytes of to-space scanned per collector
+          slice — the pause-bound knob (smaller = shorter pauses, more
+          slices) *)
+  handshake_cycles : float;
+      (** concurrent mode: cost of one pairwise mutator/collector
+          handshake (piggy-backed on the allocation-limit poll), paid
+          instead of the STW [barrier_cycles] *)
 }
 
 val default : t

@@ -165,6 +165,14 @@ let check_index k =
       claim ~addr:ch.Chunk.base ~bytes:ch.Chunk.bytes (`Chunk ch.Chunk.base)
         (Printf.sprintf "chunk %#x" ch.Chunk.base))
     (Global_heap.in_use c.Ctx.global);
+  (* Chunks condemned by an in-flight concurrent collection have left the
+     heap's in-use set but still own their pages until the cycle's sweep
+     releases them. *)
+  List.iter
+    (fun ch ->
+      claim ~addr:ch.Chunk.base ~bytes:ch.Chunk.bytes (`Chunk ch.Chunk.base)
+        (Printf.sprintf "condemned chunk %#x" ch.Chunk.base))
+    (Ctx.conc_from_chunks c);
   List.iter
     (fun (addr, bytes) ->
       claim ~addr ~bytes (`Large addr) (Printf.sprintf "large %#x" addr))

@@ -149,6 +149,20 @@ let check s =
   s.checks <- s.checks + 1;
   match Checker.check s.ctx ~roots:(gather_roots s) with
   | Ok () -> ()
+  | Error errs when Sys.getenv_opt "FUZZ_DEBUG_ROOTS" <> None ->
+      List.iter
+        (fun (r : Checker.root) ->
+          if Value.is_ptr r.Checker.runtime then
+            Printf.eprintf "%s: raw=%#x resolved=%s\n" r.Checker.label
+              (Value.to_ptr r.Checker.runtime)
+              (match Checker.resolve_addr s.ctx (Value.to_ptr r.Checker.runtime) with
+              | Ok a -> Printf.sprintf "%#x" a
+              | Error m -> m))
+        (gather_roots s);
+      raise
+        (Divergence
+           (Printf.sprintf "%d error(s): %s" (List.length errs)
+              (String.concat " | " errs)))
   | Error errs ->
       raise
         (Divergence
@@ -173,6 +187,21 @@ let set_reg s v r value shadow =
 let clamp_words w = max 1 (min (abs w) 1024)
 let clamp_len l = max 1 (min (abs l) 1024)
 
+(* A phase's [main] fiber is spawned on vproc 0's deque but may be
+   stolen, so reading vproc 0's register from inside it is a cross-vproc
+   access when main landed elsewhere.  Promote first (with vproc 0's
+   mutator, exactly as a steal would) to keep the invariant that vproc
+   [v]'s data reaches other vprocs only through the global heap. *)
+let reg0_from_fiber s (m : Ctx.mutator) src =
+  let owner = mut s 0 in
+  let v = Ctx.resolve s.ctx owner (Roots.get s.regs.(0).(src)) in
+  if m.Ctx.id <> 0 && Promote.is_local s.ctx owner v then begin
+    let g = Promote.value ~reason:Obs.Gc_cause.Steal s.ctx owner v in
+    Roots.set s.regs.(0).(src) g;
+    g
+  end
+  else v
+
 let sched_phase s ~seed ~fibers ~src ~dst =
   let fibers = 1 + (abs fibers mod 6) in
   let ssrc = s.sregs.(0).(src) in
@@ -185,7 +214,7 @@ let sched_phase s ~seed ~fibers ~src ~dst =
         Global_gc.install_sync_hook s.ctx)
       (fun () ->
         Sched.run sched ~main:(fun m ->
-            let env0 = Roots.get s.regs.(0).(src) in
+            let env0 = reg0_from_fiber s m src in
             let futs =
               List.init fibers (fun i ->
                   Sched.spawn sched m
@@ -227,7 +256,7 @@ let chan_phase s ~seed ~msgs ~src ~dst =
             let b = Sched.new_channel sched m in
             let producer =
               Sched.spawn sched m
-                ~env:[| Roots.get s.regs.(0).(src) |]
+                ~env:[| reg0_from_fiber s m src |]
                 (fun fm env ->
                   let payload = Roots.add fm.Ctx.roots env.(0) in
                   for i = 0 to msgs - 1 do
@@ -281,7 +310,7 @@ let session_phase s ~seed ~reqs ~src ~dst =
             let resp_ch = Sched.new_channel sched m in
             let session =
               Sched.spawn sched m
-                ~env:[| Roots.get s.regs.(0).(src) |]
+                ~env:[| reg0_from_fiber s m src |]
                 (fun fm env ->
                   (* Serve round trips until the request channel is
                      torn down under us: the session is parked on its
@@ -416,8 +445,20 @@ let apply s (op : Op.t) =
       | None -> ())
   | Minor { vproc } -> Minor_gc.run s.ctx (mut s (vp s vproc))
   | Major { vproc } -> Major_gc.run s.ctx (mut s (vp s vproc))
-  | Global -> Global_gc.run s.ctx
+  | Global -> (
+      (* Run the configured collector to completion; under the
+         concurrent collector this also ratifies any cycle a Global_step
+         or safe point left in flight. *)
+      match s.cfg.params.Params.global_gc_mode with
+      | Params.Stw -> Global_gc.run s.ctx
+      | Params.Concurrent -> Concurrent_gc.run s.ctx)
   | Request_global -> Ctx.request_global_gc s.ctx
+  | Global_step -> (
+      match s.cfg.params.Params.global_gc_mode with
+      | Params.Stw -> () (* no incremental cycle to advance *)
+      | Params.Concurrent ->
+          if Concurrent_gc.active s.ctx then ignore (Concurrent_gc.step s.ctx)
+          else Concurrent_gc.start s.ctx)
   | Sched_phase { seed; fibers; src; dst } ->
       sched_phase s ~seed ~fibers ~src:(rg src) ~dst:(rg dst)
   | Chan_phase { seed; msgs; src; dst } ->

@@ -35,6 +35,12 @@ type profile =
           workload's lifecycle: open a channel pair, serve
           request/response round trips, and tear down with a recv still
           parked *)
+  | Global_heavy
+      (** force global collections constantly and interleave them with
+          mutation: heavy [Set_field]/ref traffic plus [Request_global]
+          and [Global_step] ops, so (under the concurrent collector)
+          programs routinely store into claimed-but-unforwarded chunks
+          mid-evacuation — the write-barrier extension's worst case *)
 
 (* Cumulative percent thresholds for the op classes, in draw order.
    [Default] is the historical mix; [Steal_message] keeps every class
@@ -57,6 +63,7 @@ type weights = {
   w_major : int;
   w_global : int;
   w_reqglobal : int;
+  w_gstep : int;
   w_sched : int;
   w_chan : int;
   w_session : int; (* the rest up to 100 is Check *)
@@ -65,16 +72,16 @@ type weights = {
 let default_weights =
   { w_vec = 22; w_raw_small = 30; w_raw_global = 34; w_raw_large = 37;
     w_fillvec = 41; w_ref = 47; w_setf = 59; w_copy = 65; w_drop = 71;
-    w_promote = 76; w_share = 81; w_mkproxy = 85; w_dropproxy = 87;
-    w_minor = 91; w_major = 94; w_global = 95; w_reqglobal = 96;
-    w_sched = 97; w_chan = 98; w_session = 99 }
+    w_promote = 76; w_share = 81; w_mkproxy = 85; w_dropproxy = 86;
+    w_minor = 90; w_major = 93; w_global = 94; w_reqglobal = 95;
+    w_gstep = 96; w_sched = 97; w_chan = 98; w_session = 99 }
 
 let steal_message_weights =
   { w_vec = 12; w_raw_small = 17; w_raw_global = 19; w_raw_large = 21;
     w_fillvec = 25; w_ref = 29; w_setf = 35; w_copy = 39; w_drop = 45;
-    w_promote = 56; w_share = 70; w_mkproxy = 72; w_dropproxy = 74;
-    w_minor = 77; w_major = 79; w_global = 80; w_reqglobal = 81;
-    w_sched = 88; w_chan = 94; w_session = 99 }
+    w_promote = 56; w_share = 70; w_mkproxy = 72; w_dropproxy = 73;
+    w_minor = 76; w_major = 79; w_global = 80; w_reqglobal = 81;
+    w_gstep = 82; w_sched = 88; w_chan = 94; w_session = 99 }
 
 (* Spend roughly a third of the budget on the scheduler phases, with
    session lifecycles dominating: every op class stays reachable, but
@@ -83,14 +90,26 @@ let steal_message_weights =
 let sessions_weights =
   { w_vec = 10; w_raw_small = 14; w_raw_global = 16; w_raw_large = 18;
     w_fillvec = 21; w_ref = 24; w_setf = 30; w_copy = 33; w_drop = 38;
-    w_promote = 43; w_share = 49; w_mkproxy = 51; w_dropproxy = 53;
-    w_minor = 57; w_major = 60; w_global = 62; w_reqglobal = 63;
-    w_sched = 68; w_chan = 78; w_session = 96 }
+    w_promote = 43; w_share = 49; w_mkproxy = 51; w_dropproxy = 52;
+    w_minor = 56; w_major = 59; w_global = 61; w_reqglobal = 62;
+    w_gstep = 63; w_sched = 68; w_chan = 78; w_session = 96 }
+
+(* A fifth of the budget on the global-collection ops themselves (with
+   [Global_step] dominating, so cycles routinely hang mid-evacuation
+   across many following ops) and another fifth on mutation, so stores
+   land in claimed chunks while the evacuation is in flight. *)
+let global_heavy_weights =
+  { w_vec = 10; w_raw_small = 14; w_raw_global = 18; w_raw_large = 21;
+    w_fillvec = 25; w_ref = 31; w_setf = 47; w_copy = 50; w_drop = 54;
+    w_promote = 60; w_share = 66; w_mkproxy = 69; w_dropproxy = 71;
+    w_minor = 73; w_major = 75; w_global = 80; w_reqglobal = 86;
+    w_gstep = 94; w_sched = 95; w_chan = 96; w_session = 97 }
 
 let weights_of = function
   | Default -> default_weights
   | Steal_message -> steal_message_weights
   | Sessions -> sessions_weights
+  | Global_heavy -> global_heavy_weights
 
 let op ?(sizes = default_sizes) ?(profile = Default) st ~n_vprocs : Op.t =
   let w = weights_of profile in
@@ -142,6 +161,7 @@ let op ?(sizes = default_sizes) ?(profile = Default) st ~n_vprocs : Op.t =
   else if r < w.w_major then Major { vproc = vp () }
   else if r < w.w_global then Global
   else if r < w.w_reqglobal then Request_global
+  else if r < w.w_gstep then Global_step
   else if r < w.w_sched then
     Sched_phase
       { seed = Random.State.bits st; fibers = 1 + Random.State.int st 5;

@@ -41,10 +41,15 @@ type t =
   | Drop_proxy of { vproc : int; slot : int }
   | Minor of { vproc : int }
   | Major of { vproc : int }
-  | Global (* synchronous all-vproc global collection *)
+  | Global (* run the configured global collector to completion *)
   | Request_global
       (* set the pending flag only: the collection triggers at whatever
          safe point the following ops reach first *)
+  | Global_step
+      (* concurrent mode: advance the concurrent collection by one
+         bounded slice, starting a cycle if none is active — the ops
+         that follow then mutate while the evacuation is in flight.
+         No-op under the STW collector. *)
   | Sched_phase of { seed : int; fibers : int; src : int; dst : int }
       (* run a Runtime.Sched session on the shared heap: vproc 0 spawns
          [fibers] fibers closing over register [src]; idle vprocs steal
@@ -92,6 +97,7 @@ let to_string = function
   | Major { vproc } -> Printf.sprintf "major %d" vproc
   | Global -> "global"
   | Request_global -> "reqglobal"
+  | Global_step -> "gstep"
   | Sched_phase { seed; fibers; src; dst } ->
       Printf.sprintf "sched %d %d %d %d" seed fibers src dst
   | Chan_phase { seed; msgs; src; dst } ->
@@ -160,6 +166,7 @@ let of_string line =
       match int v with Some vproc -> Ok (Major { vproc }) | None -> fail ())
   | [ "global" ] -> Ok Global
   | [ "reqglobal" ] -> Ok Request_global
+  | [ "gstep" ] -> Ok Global_step
   | [ "sched"; se; f; s; d ] -> (
       match (int se, int f, int s, int d) with
       | Some seed, Some fibers, Some src, Some dst ->

@@ -13,6 +13,7 @@ type ctx = {
   locals : Local_heap.t array;
   global : Global_heap.t;
   remembered : int -> bool;
+  evacuating : bool;
   mutable errs : string list;
   mutable objects : int;
   mutable bytes : int;
@@ -136,6 +137,15 @@ let check_object ctx ~where addr =
        tells us how far to skip.  In global (to-space) chunks a
        forwarding word outside a collection is always a bug. *)
     let target = Header.forward_addr h in
+    (* Mid-evacuation the forwarded-to object may itself have been
+       evacuated (a chain the collector's ratify pause retargets);
+       resolve it before validating.  Outside a concurrent collection a
+       chained local forwarding word is a retarget-phase bug. *)
+    let target =
+      if ctx.evacuating then
+        match resolve_forward ctx target 0 with Some t -> t | None -> target
+      else target
+    in
     match where with
     | Local _ when valid_object_at ctx target
                    && Global_heap.contains ctx.global target ->
@@ -209,13 +219,15 @@ let walk_region ctx ~where ~lo ~hi =
   if !addr <> hi && not !abandoned then
     err ctx "region [%#x,%#x): last object overruns by %d bytes" lo hi (!addr - hi)
 
-let check ?(remembered = fun _ -> false) store ~locals ~global =
+let check ?(remembered = fun _ -> false) ?(evacuating = false) store ~locals
+    ~global =
   let ctx =
     {
       store;
       locals;
       global;
       remembered;
+      evacuating;
       errs = [];
       objects = 0;
       bytes = 0;
@@ -255,7 +267,7 @@ let check ?(remembered = fun _ -> false) store ~locals ~global =
         }
   | errs -> Error (List.rev errs)
 
-let check_exn ?remembered store ~locals ~global =
-  match check ?remembered store ~locals ~global with
+let check_exn ?remembered ?evacuating store ~locals ~global =
+  match check ?remembered ?evacuating store ~locals ~global with
   | Ok s -> s
   | Error errs -> failwith (String.concat "\n" errs)

@@ -31,12 +31,18 @@ type summary = {
 
 val check :
   ?remembered:(int -> bool) ->
+  ?evacuating:bool ->
   Store.t -> locals:Local_heap.t array -> global:Global_heap.t ->
   (summary, string list) result
 (** Returns every violation found (never raises on malformed heaps except
-    for out-of-range simulated addresses). *)
+    for out-of-range simulated addresses).  [evacuating] (default false)
+    declares that a concurrent global evacuation is in flight: local
+    forwarding words whose targets were themselves evacuated (forwarding
+    chains, repaired by the collector's final retarget) are then resolved
+    through instead of reported. *)
 
 val check_exn :
   ?remembered:(int -> bool) ->
+  ?evacuating:bool ->
   Store.t -> locals:Local_heap.t array -> global:Global_heap.t -> summary
 (** Like {!check} but raises [Failure] with the violations joined. *)

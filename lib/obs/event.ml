@@ -2,9 +2,11 @@
    (tag, a, b, c) form; this module is the codec between the two and the
    text form used by dump files. *)
 
-type coll_kind = Minor | Major | Promotion | Global
+type coll_kind = Minor | Major | Promotion | Global | Barrier
 
-type global_phase = Entry | Roots | Cheney | Retarget | Sweep | Exit
+type global_phase =
+  | Entry | Roots | Cheney | Retarget | Sweep | Exit
+  | Mark | Claim | Evacuate | Handshake
 
 type t =
   | Coll_begin of { kind : coll_kind; cause : Gc_cause.t }
@@ -16,14 +18,21 @@ type t =
   | Global_phase of { phase : global_phase }
   | Alloc_sample of { bytes : int }
   | Req_done of { latency_ns : int }
+  | Conc_phase of { phase : global_phase; dur_ns : int }
 
-let kind_code = function Minor -> 0 | Major -> 1 | Promotion -> 2 | Global -> 3
+let kind_code = function
+  | Minor -> 0
+  | Major -> 1
+  | Promotion -> 2
+  | Global -> 3
+  | Barrier -> 4
 
 let kind_of_code = function
   | 0 -> Some Minor
   | 1 -> Some Major
   | 2 -> Some Promotion
   | 3 -> Some Global
+  | 4 -> Some Barrier
   | _ -> None
 
 let kind_to_string = function
@@ -31,12 +40,14 @@ let kind_to_string = function
   | Major -> "major"
   | Promotion -> "promotion"
   | Global -> "global"
+  | Barrier -> "barrier"
 
 let kind_of_string = function
   | "minor" -> Some Minor
   | "major" -> Some Major
   | "promotion" -> Some Promotion
   | "global" -> Some Global
+  | "barrier" -> Some Barrier
   | _ -> None
 
 let phase_code = function
@@ -46,6 +57,10 @@ let phase_code = function
   | Retarget -> 3
   | Sweep -> 4
   | Exit -> 5
+  | Mark -> 6
+  | Claim -> 7
+  | Evacuate -> 8
+  | Handshake -> 9
 
 let phase_of_code = function
   | 0 -> Some Entry
@@ -54,6 +69,10 @@ let phase_of_code = function
   | 3 -> Some Retarget
   | 4 -> Some Sweep
   | 5 -> Some Exit
+  | 6 -> Some Mark
+  | 7 -> Some Claim
+  | 8 -> Some Evacuate
+  | 9 -> Some Handshake
   | _ -> None
 
 let phase_to_string = function
@@ -63,6 +82,10 @@ let phase_to_string = function
   | Retarget -> "retarget"
   | Sweep -> "sweep"
   | Exit -> "exit"
+  | Mark -> "mark"
+  | Claim -> "claim"
+  | Evacuate -> "evacuate"
+  | Handshake -> "handshake"
 
 let phase_of_string = function
   | "entry" -> Some Entry
@@ -71,6 +94,10 @@ let phase_of_string = function
   | "retarget" -> Some Retarget
   | "sweep" -> Some Sweep
   | "exit" -> Some Exit
+  | "mark" -> Some Mark
+  | "claim" -> Some Claim
+  | "evacuate" -> Some Evacuate
+  | "handshake" -> Some Handshake
   | _ -> None
 
 (* Packed form: a small tag plus up to three int operands — the "couple
@@ -87,6 +114,7 @@ let encode = function
   | Global_phase { phase } -> (6, phase_code phase, 0, 0)
   | Alloc_sample { bytes } -> (7, bytes, 0, 0)
   | Req_done { latency_ns } -> (8, latency_ns, 0, 0)
+  | Conc_phase { phase; dur_ns } -> (9, phase_code phase, dur_ns, 0)
 
 let decode ~tag ~a ~b ~c =
   match tag with
@@ -108,6 +136,10 @@ let decode ~tag ~a ~b ~c =
       | None -> None)
   | 7 -> Some (Alloc_sample { bytes = a })
   | 8 -> Some (Req_done { latency_ns = a })
+  | 9 -> (
+      match phase_of_code a with
+      | Some phase -> Some (Conc_phase { phase; dur_ns = b })
+      | None -> None)
   | _ -> None
 
 (* Text form used by the dump codec: a name followed by its operands. *)
@@ -128,6 +160,8 @@ let to_strings = function
   | Global_phase { phase } -> [ "global-phase"; phase_to_string phase ]
   | Alloc_sample { bytes } -> [ "alloc-sample"; string_of_int bytes ]
   | Req_done { latency_ns } -> [ "req-done"; string_of_int latency_ns ]
+  | Conc_phase { phase; dur_ns } ->
+      [ "conc-phase"; phase_to_string phase; string_of_int dur_ns ]
 
 let of_strings words =
   let int s =
@@ -172,5 +206,11 @@ let of_strings words =
   | [ "req-done"; l ] ->
       let* latency_ns = int l in
       Ok (Req_done { latency_ns })
+  | [ "conc-phase"; p; d ] -> (
+      match phase_of_string p with
+      | Some phase ->
+          let* dur_ns = int d in
+          Ok (Conc_phase { phase; dur_ns })
+      | None -> Error "bad conc-phase name")
   | w :: _ -> Error (Printf.sprintf "unknown event %S" w)
   | [] -> Error "empty event"

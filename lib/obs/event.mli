@@ -4,9 +4,21 @@
     ring buffer; [encode]/[decode] are that codec, and
     [to_strings]/[of_strings] the text form used by dump files. *)
 
-type coll_kind = Minor | Major | Promotion | Global
+type coll_kind =
+  | Minor
+  | Major
+  | Promotion
+  | Global
+  | Barrier
+      (** Time a vproc spent *waiting* at a global-collection
+          synchronization point (STW entry/exit barrier, or the
+          concurrent collector's ratify pause), as opposed to doing copy
+          work.  Recorded in addition to the enclosing [Global] span so
+          wait vs copy attribution is visible. *)
 
-type global_phase = Entry | Roots | Cheney | Retarget | Sweep | Exit
+type global_phase =
+  | Entry | Roots | Cheney | Retarget | Sweep | Exit  (** STW phases *)
+  | Mark | Claim | Evacuate | Handshake  (** concurrent-collector phases *)
 
 type t =
   | Coll_begin of { kind : coll_kind; cause : Gc_cause.t }
@@ -26,6 +38,12 @@ type t =
           [latency_ns] is its end-to-end latency from (virtual) arrival
           to response.  Lets gcprof correlate slow requests with the
           collections that ran during them. *)
+  | Conc_phase of { phase : global_phase; dur_ns : int }
+      (** One concurrent-collector slice finished on this vproc:
+          [phase] says what it did (mark roots, claim a chunk, evacuate
+          a slice, handshake a mutator) and [dur_ns] how much virtual
+          time it charged — the input to gcprof's per-phase attribution
+          for concurrent collections. *)
 
 val kind_code : coll_kind -> int
 val kind_of_code : int -> coll_kind option

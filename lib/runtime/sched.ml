@@ -163,6 +163,15 @@ let create ?(quantum_ns = 50_000.) ?(eager_promotion = false)
   Ctx.set_safe_point_hook c (fun _ _ -> Effect.perform Ef_yield);
   t
 
+(* Park/resume tracing plus a state dump at deadlock, for debugging
+   lost-wakeup bugs: SCHED_DEADLOCK_DEBUG=1 prints every channel
+   park/commit/fail, future completion and collector step to stderr. *)
+let deadlock_debug = Sys.getenv_opt "SCHED_DEADLOCK_DEBUG" <> None
+
+let dbg fmt =
+  if deadlock_debug then Printf.eprintf (fmt ^^ "\n%!")
+  else Printf.ifprintf stderr (fmt ^^ "\n%!")
+
 let enqueue_task (v : vproc) ~ready_ns go = Queue.add { ready_ns; go } v.runnable
 
 (* Resume a parked fiber with a heap value.  The value must ride in a
@@ -264,6 +273,8 @@ let complete t (v : vproc) (f : future) result =
   f.fstate <- Done { owner = v.v_id; cell; err };
   f.done_ns <- v.mut.Ctx.now_ns;
   t.st.fibers_completed <- t.st.fibers_completed + 1;
+  dbg "v%d complete f%d (err=%b, %d waiters)" v.v_id f.fid (err <> None)
+    (List.length f.waiters);
   wake_waiters t f v.mut.Ctx.now_ns
 
 (* Claim a queued item's environment for executor [v], promoting it if it
@@ -320,10 +331,13 @@ let enqueue_resume_pair (vp : vproc) ~ready_ns k i v =
       Effect.Deep.continue k (i, v))
 
 (* Deliver [gmsg] to a blocked reader: claim its proxy (a remote store
-   into the global heap), mark the choice committed, reschedule it. *)
+   into the global heap), mark the choice committed, reschedule it.  The
+   proxy cell must be resolved: a concurrent global collection may have
+   evacuated the proxy object after the reader parked, and writing the
+   state into the stale from-space copy would lose the update. *)
 let commit_reader t (v : vproc) (r : reader) gmsg =
   r.r_claim := true;
-  let paddr = Value.to_ptr (Roots.get r.r_proxy) in
+  let paddr = Value.to_ptr (Ctx.resolve t.c v.mut (Roots.get r.r_proxy)) in
   Ctx.touch t.c v.mut ~addr:paddr ~bytes:16;
   Proxy.set_state t.c.Ctx.store paddr 1;
   Roots.remove t.vprocs.(r.r_vproc).mut.Ctx.proxies r.r_proxy;
@@ -385,16 +399,30 @@ let start_fiber t (v : vproc) (item : work_item) =
                 (* A queued item stays on its deque for an idle vproc to
                    claim; this fiber sleeps until the completion wakes
                    it. *)
+                dbg "v%d await f%d: park" v.v_id f.fid;
                 f.waiters <- { w_vproc = v.v_id; w_k = k } :: f.waiters)
     | Ef_send (ch, gmsg) ->
         Some
           (fun k ->
+            (* [send] checked [ch_open] before its tick, but the channel
+               can be closed while this fiber is parked at that safe
+               point (e.g. by the peer, with a concurrent global cycle
+               yielding at every allocation).  Parking on a closed
+               channel would lose the fiber — [close_channel]'s fail
+               sweep has already run — so re-check at the park site and
+               fail exactly as that sweep would have. *)
+            if not ch.ch_open then
+              Effect.Deep.discontinue k Closed
+            else begin
             t.st.sends <- t.st.sends + 1;
             match take_reader ch with
             | Some r ->
+                dbg "v%d send ch%d: commit to reader@v%d" v.v_id ch.ch_id
+                  r.r_vproc;
                 commit_reader t v r gmsg;
                 Effect.Deep.continue k ()
             | None ->
+                dbg "v%d send ch%d: park" v.v_id ch.ch_id;
                 let cell = Roots.add t.c.Ctx.global_roots gmsg in
                 Queue.add
                   {
@@ -403,42 +431,80 @@ let start_fiber t (v : vproc) (item : work_item) =
                     s_claim = ref false;
                     s_resume =
                       (fun () ->
+                        dbg "v%d send ch%d: resumed" v.v_id ch.ch_id;
                         enqueue_task v ~ready_ns:v.mut.Ctx.now_ns (fun () ->
                             Effect.Deep.continue k ()));
                     s_fail =
                       (fun e ->
+                        dbg "v%d send ch%d: failed" v.v_id ch.ch_id;
                         Roots.remove t.c.Ctx.global_roots cell;
                         enqueue_task v ~ready_ns:v.mut.Ctx.now_ns (fun () ->
                             Effect.Deep.discontinue k e));
                   }
-                  ch.writers)
+                  ch.writers
+            end)
     | Ef_recv (ch, proxy_cell) ->
         Some
           (fun k ->
+            (* Same closed-while-yielded race as [Ef_send]; the parked
+               proxy was pre-built by [recv], so release it like
+               [r_fail] would. *)
+            if not ch.ch_open then begin
+              Roots.remove v.mut.Ctx.proxies proxy_cell;
+              Effect.Deep.discontinue k Closed
+            end
+            else begin
             match take_writer ch with
             | Some w ->
+                dbg "v%d recv ch%d: commit from writer@v%d" v.v_id ch.ch_id
+                  w.s_vproc;
                 let gmsg = commit_writer t v w in
                 (* The pre-made proxy is not needed: drop it. *)
                 Roots.remove v.mut.Ctx.proxies proxy_cell;
                 Effect.Deep.continue k gmsg
             | None ->
+                dbg "v%d recv ch%d: park" v.v_id ch.ch_id;
                 Queue.add
                   {
                     r_vproc = v.v_id;
                     r_proxy = proxy_cell;
                     r_claim = ref false;
                     r_resume =
-                      (fun msg -> enqueue_resume v ~ready_ns:v.mut.Ctx.now_ns k msg);
+                      (fun msg ->
+                        dbg "v%d recv ch%d: resumed" v.v_id ch.ch_id;
+                        enqueue_resume v ~ready_ns:v.mut.Ctx.now_ns k msg);
                     r_fail =
                       (fun e ->
+                        dbg "v%d recv ch%d: failed" v.v_id ch.ch_id;
                         Roots.remove v.mut.Ctx.proxies proxy_cell;
                         enqueue_task v ~ready_ns:v.mut.Ctx.now_ns (fun () ->
                             Effect.Deep.discontinue k e));
                   }
-                  ch.readers)
+                  ch.readers
+            end)
     | Ef_sync arms ->
         Some
           (fun k ->
+            (* An arm's channel closed while this fiber was parked at a
+               safe point between [sync]'s setup and here: fail the whole
+               choice with [Closed], as [close_channel] fails a parked
+               choice holding an arm on the closing channel.  The recv
+               arms' pre-built proxies are the only live resources (send
+               messages are rooted only once parked). *)
+            if
+              List.exists
+                (function
+                  | Arm_send (ch, _) | Arm_recv (ch, _) -> not ch.ch_open)
+                arms
+            then begin
+              List.iter
+                (function
+                  | Arm_recv (_, pc) -> Roots.remove v.mut.Ctx.proxies pc
+                  | Arm_send _ -> ())
+                arms;
+              Effect.Deep.discontinue k Closed
+            end
+            else begin
             (* Poll: commit the first arm with an available partner. *)
             let rec poll i = function
               | [] -> None
@@ -531,7 +597,8 @@ let start_fiber t (v : vproc) (item : work_item) =
                                   (fun () -> Effect.Deep.discontinue k e));
                           }
                           ch.readers)
-                  arms)
+                  arms
+            end)
     | _ -> None
   in
   Effect.Deep.match_with
@@ -689,6 +756,8 @@ let unroot_channel t ch =
 
 let close_channel t ch =
   if ch.ch_open then begin
+    dbg "close ch%d (readers=%d writers=%d)" ch.ch_id (Queue.length ch.readers)
+      (Queue.length ch.writers);
     unroot_channel t ch;
     t.channels <- List.filter (fun c -> c.ch_id <> ch.ch_id) t.channels;
     (* Fail every fiber still parked on the channel: release its rooted
@@ -955,21 +1024,68 @@ let run t ~main =
     match fut.fstate with
     | Done _ -> ()
     | _ ->
-        if t.c.Ctx.global_gc_pending then begin
-          Global_gc.run ~cause:Obs.Gc_cause.Global_threshold t.c;
-          loop ()
-        end
-        else begin
+        (* A requested global collection runs according to the configured
+           mode: STW collects on the spot (every fiber is parked at a
+           rooted suspension point here); concurrent starts a cycle and
+           advances it one bounded slice per scheduler turn, so collector
+           work interleaves with the mutator moves below. *)
+        (if t.c.Ctx.global_gc_pending then
+           match t.c.Ctx.params.Params.global_gc_mode with
+           | Params.Stw ->
+               Global_gc.run ~cause:Obs.Gc_cause.Global_threshold t.c
+           | Params.Concurrent ->
+               if Concurrent_gc.active t.c then begin
+                 dbg "gc step";
+                 ignore (Concurrent_gc.step t.c)
+               end
+               else begin
+                 dbg "gc start";
+                 Concurrent_gc.start ~cause:Obs.Gc_cause.Global_threshold t.c
+               end);
+        begin
           match next_move t with
           | Some (_, mv) ->
               run_move t mv;
               loop ()
           | None ->
-              failwith
-                "Sched.run: deadlock — fibers blocked with no runnable work"
+              if Concurrent_gc.active t.c then begin
+                (* Nothing runnable but a collection in flight: finish it
+                   (it cannot unblock fibers, but the retry keeps the
+                   deadlock report accurate about GC state). *)
+                Concurrent_gc.finish t.c;
+                loop ()
+              end
+              else begin
+                if deadlock_debug then begin
+                  Printf.eprintf "deadlock dump: pending=%b main=%s\n"
+                    t.c.Ctx.global_gc_pending
+                    (match fut.fstate with
+                    | Done _ -> "done"
+                    | Running -> "running"
+                    | Queued _ -> "queued");
+                  List.iter
+                    (fun ch ->
+                      Printf.eprintf
+                        "  chan %d open=%b readers=%d writers=%d\n" ch.ch_id
+                        ch.ch_open (Queue.length ch.readers)
+                        (Queue.length ch.writers))
+                    t.channels;
+                  Array.iter
+                    (fun v ->
+                      Printf.eprintf "  vproc %d runnable=%d deque_empty=%b\n"
+                        v.v_id (Queue.length v.runnable)
+                        (Deque.is_empty v.deque))
+                    t.vprocs
+                end;
+                failwith
+                  "Sched.run: deadlock — fibers blocked with no runnable work"
+              end
         end
   in
   loop ();
+  (* The program may finish mid-cycle; ratify before reading the clocks
+     so the run's final time includes the collection it started. *)
+  if Concurrent_gc.active t.c then Concurrent_gc.finish t.c;
   t.finished_ns <-
     Array.fold_left
       (fun acc v -> Float.max acc v.mut.Ctx.now_ns)

@@ -5,6 +5,7 @@ type t = {
   home_node : int;
   mutable alloc_ptr : int;
   mutable scan_ptr : int;
+  mutable from_space : bool;
 }
 
 let free_bytes c = c.base + c.bytes - c.alloc_ptr
@@ -20,7 +21,8 @@ let bump c bytes =
 
 let reset c =
   c.alloc_ptr <- c.base;
-  c.scan_ptr <- c.base
+  c.scan_ptr <- c.base;
+  c.from_space <- false
 
 type pool = {
   pa : Page_alloc.t;
@@ -59,7 +61,8 @@ let fresh pool ~policy ~requester_node =
   let home_node = Memory.node_of_addr (Page_alloc.memory pool.pa) base in
   let id = pool.next_id in
   pool.next_id <- id + 1;
-  { id; base; bytes = pool.chunk_bytes; home_node; alloc_ptr = base; scan_ptr = base }
+  { id; base; bytes = pool.chunk_bytes; home_node; alloc_ptr = base;
+    scan_ptr = base; from_space = false }
 
 let pop_free pool node =
   match !(pool.free.(node)) with

@@ -14,6 +14,11 @@ type t = {
   home_node : int;  (** node of the chunk's first page when created *)
   mutable alloc_ptr : int;  (** next free byte; [base <= alloc_ptr <= base+bytes] *)
   mutable scan_ptr : int;  (** Cheney scan pointer used during global GC *)
+  mutable from_space : bool;
+      (** Set by the concurrent global collector when the chunk is claimed
+          as from-space (condemned); cleared on {!reset} and when the
+          collection finishes.  Always [false] outside a concurrent
+          collection cycle. *)
 }
 
 val free_bytes : t -> int

@@ -230,8 +230,8 @@ let test_csv () =
   Alcotest.(check string) "header"
     "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,p999_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes"
     (List.nth lines 0);
-  (* 2 vprocs x (4 kinds + 1 request row) + header + trailing newline. *)
-  Alcotest.(check int) "row count" 12 (List.length lines);
+  (* 2 vprocs x (5 kinds + 1 request row) + header + trailing newline. *)
+  Alcotest.(check int) "row count" 14 (List.length lines);
   Alcotest.(check bool) "v0 minor row present" true
     (List.exists
        (fun l -> String.length l > 8 && String.sub l 0 8 = "0,minor,")

@@ -132,8 +132,9 @@ let run_workload () =
   Harness.Run_config.execute spec cfg
 
 let coll_end_counts r =
-  (* (minor, major, promotion, global) Coll_end events over all rings. *)
-  let counts = Array.make 4 0 in
+  (* (minor, major, promotion, global, barrier) Coll_end events over all
+     rings. *)
+  let counts = Array.make 5 0 in
   for v = 0 to Obs.Recorder.n_vprocs r - 1 do
     Alcotest.(check int)
       (Printf.sprintf "vproc %d ring did not overwrite" v)
@@ -149,6 +150,7 @@ let coll_end_counts r =
               | Event.Major -> 1
               | Event.Promotion -> 2
               | Event.Global -> 3
+              | Event.Barrier -> 4
             in
             counts.(k) <- counts.(k) + 1
         | _ -> ())

@@ -258,6 +258,73 @@ let test_close_during_in_flight_session () =
   Alcotest.(check int) "no leaked global roots" baseline
     (Roots.count c.Ctx.global_roots)
 
+let test_close_at_safe_point_during_concurrent_cycle () =
+  (* Regression (found by the global-heavy fuzz profile): [recv] checks
+     [ch_open] on entry, but the fiber can yield at the pending-GC safe
+     point inside the call — and the peer can close the channel before
+     the fiber reaches its park.  Parking then is fatal: the close's
+     fail sweep has already run, so nothing ever wakes the fiber and the
+     scheduler reports deadlock.  A pending *concurrent* cycle keeps
+     [tick] yielding at every safe point for the cycle's whole duration,
+     which is exactly the window: the session below answers its last
+     request, loops into [recv] on the request channel, yields, and the
+     client closes that channel before the park.  The parked fiber must
+     fail with [Closed] exactly as the sweep would have failed it. *)
+  let params =
+    {
+      Params.default with
+      Params.capacity_bytes = 8 * 1024 * 1024;
+      local_heap_bytes = 8 * 1024;
+      chunk_bytes = 4 * 1024;
+      nursery_min_bytes = 1024;
+      global_budget_per_vproc = 16 * 1024;
+      global_gc_mode = Params.Concurrent;
+    }
+  in
+  let ctx =
+    Ctx.create ~params ~machine:Numa.Machines.tiny4 ~n_vprocs:3
+      ~policy:Sim_mem.Page_policy.Local ()
+  in
+  Ctx.request_global_gc ctx;
+  let rt = Sched.create ~seed:613856027 ctx in
+  let r =
+    Sched.run rt ~main:(fun m ->
+        let req = Sched.new_channel rt m in
+        let resp = Sched.new_channel rt m in
+        let session =
+          Sched.spawn rt m ~env:[||] (fun fm _ ->
+              (try
+                 while true do
+                   let v = Sched.recv rt fm req in
+                   let cell = Roots.add fm.Ctx.roots v in
+                   let echo =
+                     Alloc.alloc_vector ctx fm [| Roots.get cell |]
+                   in
+                   Roots.remove fm.Ctx.roots cell;
+                   Sched.send rt fm resp echo
+                 done
+               with Sched.Closed -> ());
+              Value.unit)
+        in
+        let msg = Alloc.alloc_vector ctx m [| Value.of_int 7 |] in
+        Sched.send rt m req msg;
+        let v = Sched.recv rt m resp in
+        let cell = Roots.add m.Ctx.roots v in
+        Sched.close_channel rt req;
+        ignore (Sched.await rt m session);
+        Sched.close_channel rt resp;
+        let v = Ctx.resolve ctx m (Roots.get cell) in
+        Roots.remove m.Ctx.roots cell;
+        let inner =
+          Ctx.resolve ctx m
+            (Value.of_word (Ctx.read_word ctx m (Obj_repr.field_addr (Value.to_ptr v) 0)))
+        in
+        Value.of_word
+          (Ctx.read_word ctx m (Obj_repr.field_addr (Value.to_ptr inner) 0)))
+  in
+  Alcotest.(check int) "round trip survives close at the yield window" 7
+    (Value.to_int r)
+
 (* --- Near_first steal ordering (regression: victims were only
        partitioned by same_package, ignoring the same-node tier) ------ *)
 
@@ -433,6 +500,8 @@ let suite =
         test_close_wakes_blocked_receiver;
       Alcotest.test_case "close during in-flight session" `Quick
         test_close_during_in_flight_session;
+      Alcotest.test_case "close at safe point during concurrent cycle" `Quick
+        test_close_at_safe_point_during_concurrent_cycle;
       Alcotest.test_case "near-first shifts traffic to diagonal" `Quick
         test_near_first_shifts_traffic_to_diagonal;
       Alcotest.test_case "no thief, no steal attempts" `Quick

@@ -2,8 +2,12 @@
    the snapshot shape, and covers every collection kind — or, with
    --chrome, that a Chrome trace-event export is well-formed and every
    collection event carries a valid cause and NUMA node in its args.
+   --server and --global gate the BENCH_7/BENCH_8 artifacts; --compare
+   diffs two exports of the same bench as a regression gate.
 
-   Usage: validate_metrics.exe FILE [--require-all-kinds | --chrome] *)
+   Usage: validate_metrics.exe FILE
+            [--require-all-kinds | --chrome | --server | --global
+             | --compare BASELINE [--tolerance T]] *)
 
 open Manticore_gc
 module J = Metrics.Json
@@ -47,7 +51,8 @@ let validate_chrome path body =
           | _ -> fail "X event without a non-negative numeric dur");
           (match J.member "name" e with
           | Some (J.Str n)
-            when List.mem n [ "minor"; "major"; "promotion"; "global" ] ->
+            when List.mem n
+                   [ "minor"; "major"; "promotion"; "global"; "barrier" ] ->
               ()
           | _ -> fail "X event name is not a collection kind");
           match J.member "args" e with
@@ -122,6 +127,157 @@ let validate_server path body =
       Printf.printf "%s: OK (server sweep, %d rates, GC-bound)\n" path
         (List.length rates)
 
+(* BENCH_8.json: the STW-vs-concurrent global-collection comparison.
+   Both modes must have run real cycles over identical programs
+   (checksums equal), and the concurrent collector must hold the
+   whole-machine p99.9 pause at least 5x below stop-the-world — the
+   bounded-pause regression gate. *)
+let validate_global path body =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "%s: INVALID global bench: %s\n" path m;
+        exit 1)
+      fmt
+  in
+  match J.parse body with
+  | Error m -> fail "%s" m
+  | Ok j ->
+      (match J.member "bench" j with
+      | Some (J.Str "global") -> ()
+      | _ -> fail "bench field missing or not \"global\"");
+      (match J.member "checksums_equal" j with
+      | Some (J.Bool true) -> ()
+      | _ -> fail "modes did not compute identical checksums");
+      let mode name =
+        match J.member name j with
+        | Some (J.Obj _ as o) -> o
+        | _ -> fail "missing %s mode object" name
+      in
+      let num o k =
+        match J.member k o with
+        | Some (J.Num v) -> v
+        | _ -> fail "mode without numeric %s" k
+      in
+      let check_mode name =
+        let o = mode name in
+        if num o "global_cycles" < 1. then
+          fail "%s mode ran no global cycles" name;
+        if num o "pause_p999_ns" <= 0. then fail "%s mode: bad p99.9" name;
+        (* The embedded snapshot must itself be a valid export with
+           global pauses recorded. *)
+        (match J.member "metrics" o with
+        | Some snap_json -> (
+            match Metrics.snapshot_of_json (J.to_string snap_json) with
+            | Error m -> fail "%s metrics snapshot: %s" name m
+            | Ok snap ->
+                let globals =
+                  List.fold_left
+                    (fun acc vs ->
+                      acc
+                      + (Metrics.kind_stats vs Gc_trace.Global).Metrics
+                          .pause_ns.Metrics.count)
+                    0 snap.Metrics.vprocs
+                in
+                if globals = 0 then
+                  fail "%s snapshot has no global pauses" name)
+        | None -> fail "%s mode without embedded metrics" name);
+        num o "pause_p999_ns"
+      in
+      let stw_p999 = check_mode "stw" in
+      let conc_p999 = check_mode "concurrent" in
+      let ratio =
+        match J.member "pause_p999_ratio" j with
+        | Some (J.Num r) -> r
+        | _ -> fail "missing pause_p999_ratio"
+      in
+      if Float.abs (ratio -. (stw_p999 /. conc_p999)) > 1e-6 *. ratio then
+        fail "pause_p999_ratio does not match the mode p99.9s";
+      if ratio < 5. then
+        fail "concurrent p99.9 pause only %.1fx below STW, need >= 5x" ratio;
+      Printf.printf
+        "%s: OK (global bench, concurrent p99.9 pause %.1fx below STW)\n" path
+        ratio
+
+(* --compare BASELINE: walk both JSON trees in lockstep and fail when a
+   shared numeric leaf drifts by more than the tolerance (relative, with
+   an absolute floor for near-zero values) or the shapes diverge.  The
+   simulator is deterministic, so a regenerated bench artifact should
+   match its committed baseline exactly; the tolerance only leaves room
+   for intentional cost-model tweaks that are too small to care about. *)
+let validate_compare path body base_path ~tolerance =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "%s vs %s: REGRESSION: %s\n" path base_path m;
+        exit 1)
+      fmt
+  in
+  let base_body =
+    match String.trim (read_file base_path) with
+    | b -> b
+    | exception Sys_error m ->
+        Printf.eprintf "%s: cannot read baseline: %s\n" base_path m;
+        exit 1
+  in
+  let parse what b =
+    match J.parse b with Ok j -> j | Error m -> fail "%s: %s" what m
+  in
+  let cur = parse path body and base = parse base_path base_body in
+  let leaves = ref 0 in
+  let drifted = ref [] in
+  let rec walk ctx a b =
+    match (a, b) with
+    | J.Num x, J.Num y ->
+        incr leaves;
+        let denom = Float.max (Float.abs y) 1e-9 in
+        let rel = Float.abs (x -. y) /. denom in
+        if rel > tolerance && Float.abs (x -. y) > 1e-6 then
+          drifted := (ctx, y, x, rel) :: !drifted
+    | J.Str x, J.Str y ->
+        if x <> y then fail "%s: %S became %S" ctx y x
+    | J.Bool x, J.Bool y ->
+        if x <> y then fail "%s: %b became %b" ctx y x
+    | J.Null, J.Null -> ()
+    | J.Arr xs, J.Arr ys ->
+        if List.length xs <> List.length ys then
+          fail "%s: array length %d became %d" ctx (List.length ys)
+            (List.length xs);
+        List.iteri
+          (fun i (x, y) -> walk (Printf.sprintf "%s[%d]" ctx i) x y)
+          (List.combine xs ys)
+    | J.Obj xs, J.Obj ys ->
+        List.iter
+          (fun (k, y) ->
+            match List.assoc_opt k xs with
+            | Some x -> walk (ctx ^ "." ^ k) x y
+            | None -> fail "%s.%s: field disappeared" ctx k)
+          ys;
+        List.iter
+          (fun (k, _) ->
+            if List.assoc_opt k ys = None then
+              fail "%s.%s: field appeared" ctx k)
+          xs
+    | _ -> fail "%s: value changed JSON type" ctx
+  in
+  walk "$" cur base;
+  (match !drifted with
+  | [] -> ()
+  | ds ->
+      let ds =
+        List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) ds
+      in
+      List.iteri
+        (fun i (ctx, was, now, rel) ->
+          if i < 10 then
+            Printf.eprintf "  %s: %.6g -> %.6g (%.1f%% drift)\n" ctx was now
+              (100. *. rel))
+        ds;
+      fail "%d of %d numeric leaves drifted more than %.0f%%"
+        (List.length ds) !leaves (100. *. tolerance));
+  Printf.printf "%s: OK (matches %s on %d numeric leaves within %.0f%%)\n"
+    path base_path !leaves (100. *. tolerance)
+
 let () =
   let path, mode =
     match Sys.argv with
@@ -129,10 +285,18 @@ let () =
     | [| _; p; "--require-all-kinds" |] -> (p, `Metrics true)
     | [| _; p; "--chrome" |] -> (p, `Chrome)
     | [| _; p; "--server" |] -> (p, `Server)
+    | [| _; p; "--global" |] -> (p, `Global)
+    | [| _; p; "--compare"; b |] -> (p, `Compare (b, 0.10))
+    | [| _; p; "--compare"; b; "--tolerance"; t |] -> (
+        match float_of_string_opt t with
+        | Some t when t >= 0. -> (p, `Compare (b, t))
+        | _ ->
+            prerr_endline "invalid --tolerance value";
+            exit 2)
     | _ ->
         prerr_endline
           "usage: validate_metrics.exe FILE [--require-all-kinds | --chrome \
-           | --server]";
+           | --server | --global | --compare BASELINE [--tolerance T]]";
         exit 2
   in
   let body =
@@ -147,6 +311,8 @@ let () =
   match mode with
   | `Chrome -> validate_chrome path body
   | `Server -> validate_server path body
+  | `Global -> validate_global path body
+  | `Compare (base, tolerance) -> validate_compare path body base ~tolerance
   | `Metrics require_all -> (
   match Metrics.snapshot_of_json body with
   | Error m ->
