@@ -788,12 +788,19 @@ let server_main json_path =
 let global_ballast_rotations = 4_380
 let global_server_rate = 1_000_000.
 
-let global_run_mode mode =
+(* Parallel evacuation slices for the headline concurrent config; the
+   ablation (concurrent_serial) pins 1.  Overridable with
+   --conc-parallel-slices. *)
+let default_conc_slices = 2
+
+let global_run_mode ?(dirty_only = true) ?(slices = 1) mode =
   let n_vprocs = 8 in
   let params =
     {
       small_params with
       Params.global_gc_mode = mode;
+      conc_ratify_dirty_only = dirty_only;
+      conc_parallel_slices = slices;
       (* Start tight so cycles fire early; each ratify re-arms the
          budget at 2x the live bytes, spreading cycles across the
          build. *)
@@ -896,39 +903,55 @@ let global_run_mode mode =
     ctx.Ctx.stats.Gc_stats.global_count,
     pause_p999,
     agg.Metrics.global.Metrics.pause_ns.Metrics.max,
+    agg.Metrics.barrier.Metrics.pause_ns.Metrics.p999,
     req.Metrics.p999,
     makespan,
     ctx.Ctx.metrics )
 
-let global_main json_path =
+let global_main ?(slices = default_conc_slices) json_path =
   print_endline
     "Global collection: stop-the-world vs concurrent (virtual time):";
-  Printf.printf "  %-12s %8s %14s %14s %14s %12s\n" "mode" "cycles"
-    "pause_p99.9" "global_max" "req_p99.9" "makespan";
-  let report name (_, cycles, p999, gmax, req999, mk, _) =
-    Printf.printf "  %-12s %8d %12.1fus %12.1fus %12.1fus %10.1fms\n" name
-      cycles (p999 /. 1e3) (gmax /. 1e3) (req999 /. 1e3) (mk /. 1e6)
+  Printf.printf "  %-12s %8s %14s %14s %14s %14s %12s\n" "mode" "cycles"
+    "pause_p99.9" "global_max" "barrier_p99.9" "req_p99.9" "makespan";
+  let report name (_, cycles, p999, gmax, b999, req999, mk, _) =
+    Printf.printf "  %-12s %8d %12.1fus %12.1fus %12.1fus %12.1fus %10.1fms\n"
+      name cycles (p999 /. 1e3) (gmax /. 1e3) (b999 /. 1e3) (req999 /. 1e3)
+      (mk /. 1e6)
   in
   let stw = global_run_mode Params.Stw in
   report "stw" stw;
-  let conc = global_run_mode Params.Concurrent in
+  let conc = global_run_mode ~slices Params.Concurrent in
   report "concurrent" conc;
-  let sums_s, cyc_s, p999_s, gmax_s, req_s, mk_s, metrics_s = stw in
-  let sums_c, cyc_c, p999_c, gmax_c, req_c, mk_c, metrics_c = conc in
+  (* Ablation: the fully serial concurrent collector (every vproc
+     stopped at every ratify, one slice per turn) — what the barrier
+     gate below measures the dirty-only ratify against. *)
+  let serial = global_run_mode ~dirty_only:false ~slices:1 Params.Concurrent in
+  report "conc-serial" serial;
+  let sums_s, cyc_s, p999_s, gmax_s, b999_s, req_s, mk_s, metrics_s = stw in
+  let sums_c, cyc_c, p999_c, gmax_c, b999_c, req_c, mk_c, metrics_c = conc in
+  let sums_l, cyc_l, p999_l, gmax_l, b999_l, req_l, mk_l, metrics_l = serial in
   let sums_equal =
     List.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-6) sums_s sums_c
+    && List.for_all2 (fun a b -> Float.abs (a -. b) <= 1e-6) sums_s sums_l
   in
   let ratio = if p999_c > 0. then p999_s /. p999_c else infinity in
+  (* Dirty-only ratify can drive the barrier-wait p99.9 to literally
+     zero (single-vproc ratifies wait on nobody); floor the denominator
+     at 1 ns so the ratio stays finite and JSON-representable. *)
+  let barrier_ratio = b999_l /. Float.max b999_c 1. in
   Printf.printf "  pause p99.9 ratio (stw/concurrent): %.1fx\n" ratio;
+  Printf.printf "  barrier p99.9 ratio (conc-serial/concurrent): %.1fx\n"
+    barrier_ratio;
   let ok =
     if not sums_equal then begin
       print_endline "  overall: FAIL (modes computed different checksums)";
       false
     end
-    else if cyc_s = 0 || cyc_c = 0 then begin
+    else if cyc_s = 0 || cyc_c = 0 || cyc_l = 0 then begin
       Printf.printf
-        "  overall: FAIL (a mode ran no global cycles: stw=%d concurrent=%d)\n"
-        cyc_s cyc_c;
+        "  overall: FAIL (a mode ran no global cycles: stw=%d concurrent=%d \
+         conc-serial=%d)\n"
+        cyc_s cyc_c cyc_l;
       false
     end
     else if ratio < 5. then begin
@@ -938,17 +961,24 @@ let global_main json_path =
         ratio;
       false
     end
+    else if barrier_ratio < 5. then begin
+      Printf.printf
+        "  overall: FAIL (dirty-only ratify cut barrier p99.9 only %.1fx \
+         below the serial concurrent collector, need >= 5x)\n"
+        barrier_ratio;
+      false
+    end
     else begin
       print_endline
-        "  overall: PASS (same results, both modes collected, concurrent \
-         p99.9 pause >= 5x lower)";
+        "  overall: PASS (same results, all modes collected, concurrent \
+         p99.9 pause >= 5x below STW, barrier p99.9 >= 5x below serial)";
       true
     end
   in
   (match json_path with
   | None -> ()
   | Some path ->
-      let mode_obj cycles p999 gmax req999 mk metrics =
+      let mode_obj cycles p999 gmax b999 req999 mk metrics =
         let snap =
           match
             Metrics.Json.parse
@@ -961,6 +991,7 @@ let global_main json_path =
           [ ("global_cycles", Metrics.Json.Num (float_of_int cycles));
             ("pause_p999_ns", Metrics.Json.Num p999);
             ("global_pause_max_ns", Metrics.Json.Num gmax);
+            ("barrier_p999_ns", Metrics.Json.Num b999);
             ("request_p999_ns", Metrics.Json.Num req999);
             ("makespan_ns", Metrics.Json.Num mk);
             ("metrics", snap) ]
@@ -969,11 +1000,15 @@ let global_main json_path =
         Metrics.Json.Obj
           [ ("bench", Metrics.Json.Str "global");
             ("rate_rps", Metrics.Json.Num global_server_rate);
+            ("conc_parallel_slices", Metrics.Json.Num (float_of_int slices));
             ("checksums_equal", Metrics.Json.Bool sums_equal);
             ("pause_p999_ratio", Metrics.Json.Num ratio);
-            ("stw", mode_obj cyc_s p999_s gmax_s req_s mk_s metrics_s);
-            ("concurrent", mode_obj cyc_c p999_c gmax_c req_c mk_c metrics_c)
-          ]
+            ("barrier_p999_ratio", Metrics.Json.Num barrier_ratio);
+            ("stw", mode_obj cyc_s p999_s gmax_s b999_s req_s mk_s metrics_s);
+            ( "concurrent",
+              mode_obj cyc_c p999_c gmax_c b999_c req_c mk_c metrics_c );
+            ( "concurrent_serial",
+              mode_obj cyc_l p999_l gmax_l b999_l req_l mk_l metrics_l ) ]
       in
       let oc = open_out path in
       output_string oc (Metrics.Json.to_string json);
@@ -1062,9 +1097,15 @@ let () =
   | [| _; "--server"; "--metrics-json"; path |] -> server_main (Some path)
   | [| _; "--global" |] -> global_main None
   | [| _; "--global"; "--metrics-json"; path |] -> global_main (Some path)
+  | [| _; "--global"; "--conc-parallel-slices"; n |] ->
+      global_main ~slices:(int_of_string n) None
+  | [| _; "--global"; "--conc-parallel-slices"; n; "--metrics-json"; path |] ->
+      global_main ~slices:(int_of_string n) (Some path)
+  | [| _; "--global"; "--metrics-json"; path; "--conc-parallel-slices"; n |] ->
+      global_main ~slices:(int_of_string n) (Some path)
   | _ ->
       prerr_endline
         "usage: main.exe [--metrics-json FILE | --classify | --obs-overhead \
          | --promote [--metrics-json FILE] | --server [--metrics-json FILE] \
-         | --global [--metrics-json FILE]]";
+         | --global [--conc-parallel-slices N] [--metrics-json FILE]]";
       exit 2

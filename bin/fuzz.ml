@@ -24,13 +24,17 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
-let cfg_of ~chaos ~mode =
+let cfg_of ~chaos ~mode ~slices =
   let base = Fuzz.Engine.default_cfg in
   {
     base with
     Fuzz.Engine.corrupt_copy = chaos;
     params =
-      { base.Fuzz.Engine.params with Manticore_gc.Params.global_gc_mode = mode };
+      {
+        base.Fuzz.Engine.params with
+        Manticore_gc.Params.global_gc_mode = mode;
+        conc_parallel_slices = slices;
+      };
   }
 
 let report_failure ~fail_dir (f : Fuzz.Driver.failure) =
@@ -97,8 +101,8 @@ let replay ~cfg ~shrink path =
           1)
 
 let main seed ops programs replay_file shrink no_shrink chaos fail_dir profile
-    mode =
-  let cfg = cfg_of ~chaos ~mode in
+    mode slices =
+  let cfg = cfg_of ~chaos ~mode ~slices in
   match replay_file with
   | Some path -> replay ~cfg ~shrink path
   | None -> (
@@ -108,7 +112,10 @@ let main seed ops programs replay_file shrink no_shrink chaos fail_dir profile
         programs ops seed
         (match mode with
         | Manticore_gc.Params.Stw -> "stop-the-world"
-        | Manticore_gc.Params.Concurrent -> "concurrent")
+        | Manticore_gc.Params.Concurrent ->
+            if slices > 1 then
+              Printf.sprintf "concurrent (%d parallel slices)" slices
+            else "concurrent")
         (match profile with
         | Fuzz.Gen.Default -> ""
         | Fuzz.Gen.Steal_message -> " (steal/message-weighted)"
@@ -206,6 +213,16 @@ let mode =
            $(b,concurrent) (incremental chunk evacuation with bounded \
            pauses).")
 
+let slices =
+  Arg.(
+    value & opt int 1
+    & info [ "conc-parallel-slices" ] ~docv:"N"
+        ~doc:
+          "Evacuation slices per collector turn for the concurrent global \
+           collector (1 = the lead slice only; with $(b,--global-mode \
+           concurrent) higher values dispatch assist slices on idle \
+           vprocs with per-chunk claim arbitration).")
+
 let cmd =
   let info_ =
     Cmd.info "fuzz"
@@ -214,6 +231,6 @@ let cmd =
   Cmd.v info_
     Term.(
       const main $ seed $ ops $ programs $ replay_file $ shrink $ no_shrink
-      $ chaos $ fail_dir $ profile $ mode)
+      $ chaos $ fail_dir $ profile $ mode $ slices)
 
 let () = exit (Cmd.eval' cmd)

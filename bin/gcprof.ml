@@ -146,7 +146,8 @@ let print_counters r =
         | Event.Alloc_sample { bytes } ->
             incr samples;
             sampled_bytes := !sampled_bytes + bytes
-        | Event.Req_done _ | Event.Coll_begin _ | Event.Coll_end _ -> ())
+        | Event.Req_done _ | Event.Coll_begin _ | Event.Coll_end _
+        | Event.Conc_slices _ | Event.Conc_ratify _ -> ())
       (Obs.Recorder.events r ~vproc:v)
   done;
   Printf.printf "scheduler: %d steal attempts, %d successes%s\n" !attempts
@@ -164,21 +165,25 @@ let print_counters r =
 
 (* [Conc_phase] events are emitted once per slice by the concurrent
    global collector, carrying the slice's duration split by phase; sum
-   them per vproc x phase.  Only the four incremental phases appear in
+   them per vproc x phase.  Only the incremental phases appear in
    Conc_phase events (the STW phase markers are separate, duration-free
-   Global_phase events). *)
-let conc_phases = [| Event.Mark; Event.Claim; Event.Evacuate; Event.Handshake |]
+   Global_phase events); [Retarget] is the overlapped conservative-keep
+   slice. *)
+let conc_phases =
+  [| Event.Mark; Event.Claim; Event.Evacuate; Event.Handshake; Event.Retarget |]
 
 let conc_phase_index = function
   | Event.Mark -> 0
   | Event.Claim -> 1
   | Event.Evacuate -> 2
   | Event.Handshake -> 3
+  | Event.Retarget -> 4
   | _ -> -1
 
 let print_conc_phases r =
   let n_vprocs = Obs.Recorder.n_vprocs r in
-  let sums = Array.make_matrix n_vprocs (Array.length conc_phases) 0 in
+  let n_phases = Array.length conc_phases in
+  let sums = Array.make_matrix n_vprocs n_phases 0 in
   let total = ref 0 in
   for v = 0 to n_vprocs - 1 do
     List.iter
@@ -200,21 +205,69 @@ let print_conc_phases r =
   else begin
     let us ns = float_of_int ns /. 1_000. in
     print_string "concurrent collection phase attribution (slice time, us):\n";
-    Printf.printf "  %-6s %10s %10s %10s %10s %10s\n" "vproc" "mark" "claim"
-      "evacuate" "handshake" "total";
-    let col_totals = Array.make (Array.length conc_phases) 0 in
+    Printf.printf "  %-6s" "vproc";
+    Array.iter
+      (fun p -> Printf.printf " %10s" (Event.phase_to_string p))
+      conc_phases;
+    Printf.printf " %10s\n" "total";
+    let col_totals = Array.make n_phases 0 in
     for v = 0 to n_vprocs - 1 do
       let row_total = Array.fold_left ( + ) 0 sums.(v) in
       Array.iteri (fun p d -> col_totals.(p) <- col_totals.(p) + d) sums.(v);
-      if row_total > 0 then
-        Printf.printf "  %-6d %10.1f %10.1f %10.1f %10.1f %10.1f\n" v
-          (us sums.(v).(0)) (us sums.(v).(1)) (us sums.(v).(2))
-          (us sums.(v).(3)) (us row_total)
+      if row_total > 0 then begin
+        Printf.printf "  %-6d" v;
+        Array.iter (fun d -> Printf.printf " %10.1f" (us d)) sums.(v);
+        Printf.printf " %10.1f\n" (us row_total)
+      end
     done;
-    Printf.printf "  %-6s %10.1f %10.1f %10.1f %10.1f %10.1f\n" "all"
-      (us col_totals.(0)) (us col_totals.(1)) (us col_totals.(2))
-      (us col_totals.(3)) (us !total)
+    Printf.printf "  %-6s" "all";
+    Array.iter (fun d -> Printf.printf " %10.1f" (us d)) col_totals;
+    Printf.printf " %10.1f\n" (us !total)
   end
+
+(* --- Parallel slices and dirty-only ratify -------------------------- *)
+
+(* [Conc_slices] marks a scheduler turn that dispatched assist slices
+   beside the lead one; [Conc_ratify] carries each cycle's
+   ratified-vs-skipped vproc split.  Together they attribute the two
+   de-serialized paths of the concurrent collector. *)
+let print_conc_parallel r =
+  let turns = ref 0
+  and slices = ref 0
+  and max_par = ref 0
+  and cycles = ref 0
+  and ratified = ref 0
+  and skipped = ref 0 in
+  for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+    List.iter
+      (fun (_, _, ev) ->
+        match ev with
+        | Event.Conc_slices { count } ->
+            incr turns;
+            slices := !slices + count;
+            if count > !max_par then max_par := count
+        | Event.Conc_ratify { ratified = rr; skipped = s } ->
+            incr cycles;
+            ratified := !ratified + rr;
+            skipped := !skipped + s
+        | _ -> ())
+      (Obs.Recorder.events r ~vproc:v)
+  done;
+  if !turns > 0 then
+    Printf.printf
+      "parallel evacuation: %d multi-slice turns, %d slices total (mean \
+       %.1f/turn, max %d)\n"
+      !turns !slices
+      (float_of_int !slices /. float_of_int !turns)
+      !max_par;
+  if !cycles > 0 then
+    Printf.printf
+      "dirty-only ratify: %d cycles stopped %d vprocs, skipped %d quiescent \
+       (%.0f%% skipped)\n"
+      !cycles !ratified !skipped
+      (100.
+      *. float_of_int !skipped
+      /. float_of_int (max 1 (!ratified + !skipped)))
 
 (* --- Request latencies (server workload) --------------------------- *)
 
@@ -384,6 +437,7 @@ let main dump_path chrome tail =
       print_string (Trace.render_timeline tr ~n_vprocs);
       print_newline ();
       print_conc_phases r;
+      print_conc_parallel r;
       print_newline ();
       print_request_latencies r colls;
       print_newline ();

@@ -48,6 +48,17 @@ let alloc_global ctx (m : Ctx.mutator) ~bytes ~init (fields : Value.t array) =
   let dest = Forward.global_dest ctx m ~on_copy:(fun _ _ -> ()) in
   let addr = dest.Forward.alloc_dst bytes in
   init addr;
+  (* A large born during a concurrent cycle is born marked ("allocate
+     black"), which consumes the first-mark that would otherwise get its
+     fields scanned on discovery — but pre-promotion above can leave
+     from-space global addresses in them mid-cycle.  Log the pointer
+     slots so a drain slice re-forwards them before from-space is
+     released, exactly as for a mutator store into a scanned object. *)
+  (match ctx.Ctx.conc with
+  | Some st when Global_heap.is_large ctx.Ctx.global addr ->
+      Obj_repr.iter_pointer_slots ctx.Ctx.store addr (fun slot ->
+          Remember.add st.Ctx.cg_log ~slot)
+  | _ -> ());
   charge_init ctx m ~addr ~bytes;
   m.Ctx.stats.Gc_stats.global_alloc_bytes <-
     m.Ctx.stats.Gc_stats.global_alloc_bytes + bytes;

@@ -11,13 +11,28 @@
      first a per-vproc *handshake* (evacuate that vproc's roots, proxies
      and local-heap referents into to-space), then *evacuation* slices
      (claim a to-space chunk and Cheney-scan at most
-     [Params.conc_slice_bytes] of it), then *drains* of the mutation log
-     the {!Mut} write barrier fills;
-   - when no work remains, a short *ratify* barrier stops all vprocs
-     once: the log is drained, roots and local heaps are rescanned (the
-     mutators may have spread from-space pointers since their
-     handshakes), residual to-space data is scanned, local forwarding
-     chains are retargeted, and from-space is released.
+     [Params.conc_slice_bytes] of it), then *drains* of the mutation-log
+     generation the collector last flipped out of [Ctx.cg_log] (the
+     {!Mut} write barrier keeps appending to the live generation
+     meanwhile), then a per-vproc *keep* slice that evacuates and
+     retargets local forwarding words with condemned targets;
+   - when no work remains, a short *ratify* barrier finishes the cycle.
+     With [Params.conc_ratify_dirty_only] the barrier stops only the
+     vprocs whose from-space re-acquisition taint ([Ctx.cg_taints],
+     bumped by [Ctx.read_word] on any mutator-context load that touches
+     a condemned address or returns a from-space pointer, and by
+     channel commits handing one over) changed since their handshake —
+     the handshake leaves a vproc with no from-space reference, and
+     stashing one again requires exactly such a read or hand-off, so an
+     untainted vproc keeps running.  The barrier drains the residual
+     log, rescans the dirty vprocs' roots and local heaps, closes the
+     residual to-space scan, and releases from-space.
+
+   Parallelism: [step_turn] additionally dispatches up to
+   [Params.conc_parallel_slices - 1] *assist* evacuation slices on
+   distinct idle vprocs in the same scheduler turn; per-chunk claims
+   ([Ctx.cg_claims]) keep the helpers on distinct chunks, with takeover
+   (paying the claim sync again) guaranteeing progress.
 
    Soundness leans on the simulator's step-atomicity: a slice runs to
    completion before any mutator move, so mutators never observe a
@@ -94,11 +109,22 @@ let scan_tospace_object ctx ~dest (m : Ctx.mutator) addr =
    mid-cycle-promoted data reachable). *)
 let chunk_pending c = c.Chunk.scan_ptr < c.Chunk.alloc_ptr
 
-let pick_chunk ctx (m : Ctx.mutator) =
+(* Chunk selection with claim arbitration: prefer this vproc's current
+   chunk, then unclaimed (or own-claimed) pending chunks near home, and
+   only take over another vproc's claim when nothing else is pending —
+   the takeover pays the claim sync again, and guarantees the fixpoint
+   always makes progress even if a claimant never returns. *)
+let pick_chunk ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
   let to_chunks = Global_heap.in_use ctx.Ctx.global in
+  let claimed_by_other c =
+    match Hashtbl.find_opt st.Ctx.cg_claims c.Chunk.id with
+    | Some v -> v <> m.Ctx.id
+    | None -> false
+  in
+  let mine c = chunk_pending c && not (claimed_by_other c) in
   let own_current =
     match Global_heap.current ctx.Ctx.global ~vproc:m.Ctx.id with
-    | Some c when chunk_pending c -> Some c
+    | Some c when mine c -> Some c
     | _ -> None
   in
   match own_current with
@@ -106,15 +132,28 @@ let pick_chunk ctx (m : Ctx.mutator) =
   | None -> (
       match
         List.find_opt
-          (fun c -> chunk_pending c && c.Chunk.home_node = m.Ctx.node)
+          (fun c -> mine c && c.Chunk.home_node = m.Ctx.node)
           to_chunks
       with
       | Some c -> Some c
-      | None -> List.find_opt chunk_pending to_chunks)
+      | None -> (
+          match List.find_opt mine to_chunks with
+          | Some c -> Some c
+          | None -> List.find_opt chunk_pending to_chunks))
 
 let work_pending ctx (st : Ctx.conc_state) =
   (not (Queue.is_empty st.Ctx.cg_large))
   || List.exists chunk_pending (Global_heap.in_use ctx.Ctx.global)
+
+(* Draining-generation work left in [cg_drain]. *)
+let drain_pending (st : Ctx.conc_state) =
+  st.Ctx.cg_drain_pos < Array.length st.Ctx.cg_drain
+
+(* Per-vproc dirtiness since the handshake: the vproc re-acquired a
+   from-space reference (read-taint, see [Ctx.read_word]) and so owes a
+   rescan under the ratify barrier; an untainted vproc is skipped. *)
+let dirty (st : Ctx.conc_state) (m : Ctx.mutator) =
+  st.Ctx.cg_taints.(m.Ctx.id) <> st.Ctx.cg_hs_taints.(m.Ctx.id)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
@@ -196,15 +235,19 @@ let handshake ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
   let b0 = st.Ctx.cg_copied_by.(m.Ctx.id) in
   (* Run this vproc's local collections first, exactly as the STW entry
      does — bounded and per-vproc, no barrier.  This consumes every
-     pre-cycle forwarding word in the local heap (the major empties the
-     old region; its prerequisite minor resets the nursery), so the only
-     local references into from-space after the handshake are real
-     fields and roots, all rescanned below.  Survivors the major
-     promotes land past [scan_ptr] in to-space chunks, so the cycle's
-     Cheney scan greys them automatically. *)
+     pre-cycle forwarding word in the evacuated local area (the major
+     empties the old region; its prerequisite minor resets the nursery),
+     so the only local references into from-space after the handshake
+     are real fields and roots, all rescanned below.  Survivors the
+     major promotes land past [scan_ptr] in to-space chunks, so the
+     cycle's Cheney scan greys them automatically. *)
   Major_gc.run ~cause:st.Ctx.cg_cause ctx m;
   forward_roots ctx st m;
   st.Ctx.cg_entered.(m.Ctx.id) <- true;
+  (* Snapshot the taint *after* the forwarding above: pre-handshake
+     from-space reads are made irrelevant by the handshake itself, so
+     dirtiness from here on means genuine re-acquisition. *)
+  st.Ctx.cg_hs_taints.(m.Ctx.id) <- st.Ctx.cg_taints.(m.Ctx.id);
   m.Ctx.in_gc <- false;
   record_slice ctx st m ~t_start:t0
     ~phases:[ (Obs.Event.Handshake, m.Ctx.now_ns -. t0) ]
@@ -221,19 +264,20 @@ let evacuate_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
     match Queue.take_opt st.Ctx.cg_large with
     | Some addr -> budget := !budget - scan_tospace_object ctx ~dest m addr
     | None -> (
-        match pick_chunk ctx m with
+        match pick_chunk ctx st m with
         | None ->
-            (* Pending work exists but only on chunks this helper cannot
-               see as its own current; any_pending covered it above, so
-               this is the fallback claim of an arbitrary chunk — the
-               find_opt above already did that, meaning nothing is left
-               for this slice. *)
+            (* Pending work exists but every pending chunk is claimed
+               elsewhere and the takeover fallback found nothing either —
+               nothing is left for this slice. *)
             budget := 0
         | Some c ->
-            (* Claiming a chunk is a node-local synchronization; track
-               its cost separately for phase attribution. *)
-            if c.Chunk.scan_ptr = c.Chunk.base then begin
+            (* Claiming a chunk (first claim or takeover) is a node-local
+               synchronization; track its cost separately for phase
+               attribution. *)
+            if Hashtbl.find_opt st.Ctx.cg_claims c.Chunk.id <> Some m.Ctx.id
+            then begin
               let t = m.Ctx.now_ns in
+              Hashtbl.replace st.Ctx.cg_claims c.Chunk.id m.Ctx.id;
               Ctx.charge_work ctx m
                 ~cycles:ctx.Ctx.params.Params.chunk_local_sync_cycles;
               claim_ns := !claim_ns +. (m.Ctx.now_ns -. t)
@@ -251,25 +295,152 @@ let evacuate_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
       [ (Obs.Event.Claim, !claim_ns); (Obs.Event.Evacuate, total -. !claim_ns) ]
     ~bytes:(st.Ctx.cg_copied_by.(m.Ctx.id) - b0)
 
-(* Drain the mutation log: stores during the cycle may have put
-   from-space values into already-scanned slots; re-forward them.  The
-   log is iterated in address order (deterministic evacuation order). *)
-let drain_log ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+(* Flip the mutation-log generations: materialize the active log in
+   address order as the new draining generation and clear it so mutators
+   append to a fresh generation.  Only this swap needs exclusivity — the
+   drain itself runs concurrently, in bounded slices. *)
+let flip_log ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  let n = Remember.cardinal st.Ctx.cg_log in
+  let a = Array.make (max 1 n) 0 in
+  let i = ref 0 in
+  Remember.iter st.Ctx.cg_log (fun slot ->
+      a.(!i) <- slot;
+      incr i);
+  Remember.clear st.Ctx.cg_log;
+  st.Ctx.cg_drain <- Array.sub a 0 n;
+  st.Ctx.cg_drain_pos <- 0;
+  Ctx.charge_work ctx m ~cycles:(10. +. (0.5 *. float_of_int n))
+
+(* Drain up to [max_slots] of the flipped generation: stores during the
+   cycle may have put from-space values into already-scanned slots;
+   re-forward them.  The generation is iterated in address order
+   (deterministic evacuation order). *)
+let drain_some ctx (st : Ctx.conc_state) (m : Ctx.mutator) ~max_slots =
   let dest = dest_for ctx st m in
   let inf = in_from ctx in
-  Remember.iter st.Ctx.cg_log (fun slot ->
-      Ctx.charge_work ctx m ~cycles:2.;
-      Forward.forward_field ctx m ~dest ~in_from:inf slot);
-  Remember.clear st.Ctx.cg_log
+  let stop =
+    min (Array.length st.Ctx.cg_drain) (st.Ctx.cg_drain_pos + max_slots)
+  in
+  while st.Ctx.cg_drain_pos < stop do
+    let slot = st.Ctx.cg_drain.(st.Ctx.cg_drain_pos) in
+    st.Ctx.cg_drain_pos <- st.Ctx.cg_drain_pos + 1;
+    Ctx.charge_work ctx m ~cycles:2.;
+    Forward.forward_field ctx m ~dest ~in_from:inf slot
+  done
+
+let drain_slots_per_slice = 128
 
 let drain_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
   let t0 = m.Ctx.now_ns in
   m.Ctx.in_gc <- true;
   let b0 = st.Ctx.cg_copied_by.(m.Ctx.id) in
-  drain_log ctx st m;
+  if not (drain_pending st) then flip_log ctx st m;
+  drain_some ctx st m ~max_slots:drain_slots_per_slice;
   m.Ctx.in_gc <- false;
   record_slice ctx st m ~t_start:t0
     ~phases:[ (Obs.Event.Mark, m.Ctx.now_ns -. t0) ]
+    ~bytes:(st.Ctx.cg_copied_by.(m.Ctx.id) - b0)
+
+(* Drain both generations to empty — the in-barrier residual drain.
+   Collector work cannot append to the log, so one flip suffices. *)
+let drain_all ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  drain_some ctx st m ~max_slots:max_int;
+  if Remember.cardinal st.Ctx.cg_log > 0 then begin
+    flip_log ctx st m;
+    drain_some ctx st m ~max_slots:max_int
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Conservative keep: overlapped with mutators                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the STW collector — whose entry minor+major empty the locals,
+   so every surviving local forwarding word targets just-promoted (live)
+   data — the concurrent cycle keeps both local regions live, so they
+   may hold promotion forwards whose condemned target the rescan never
+   reached.  Those targets can still be aliased (a register or field
+   holding the stale local address resolves through the word), so they
+   are evacuated rather than dropped: floating garbage for one cycle,
+   the standard trade of a concurrent collector. *)
+let condemned ctx a =
+  match Global_heap.find_chunk ctx.Ctx.global a with
+  | Some c -> c.Chunk.from_space
+  | None -> false
+
+let walk_forward_words ctx (m : Ctx.mutator) f =
+  let store = ctx.Ctx.store in
+  let lh = m.Ctx.lh in
+  let region lo hi =
+    let addr = ref lo in
+    while !addr < hi do
+      let h = Ctx.read_word ctx m !addr in
+      if Header.is_forward h then begin
+        f !addr (Header.forward_addr h);
+        (* Skip by the final copy's size: promotion leaves the body in
+           place, so source and target footprints are identical. *)
+        let th = Ctx.read_word ctx m (Header.forward_addr h) in
+        let final =
+          if Header.is_forward th then Header.forward_addr th
+          else Header.forward_addr h
+        in
+        addr := !addr + Obj_repr.total_bytes store final
+      end
+      else addr := !addr + ((Header.length_words h + 1) * 8)
+    done
+  in
+  region lh.Local_heap.base lh.Local_heap.old_top;
+  region lh.Local_heap.nursery_base lh.Local_heap.alloc_ptr
+
+(* Evacuate the condemned, still-unforwarded targets of [m]'s local
+   forwarding words and retarget each word at the final to-space copy
+   right away.  To-space objects never move within a cycle and every
+   post-[start] promotion targets to-space, so once this has run for a
+   vproc, no new condemned-target word can appear in its local heap —
+   which is what lets the ratify barrier skip the walk for clean
+   vprocs. *)
+let keep_pass ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  walk_forward_words ctx m (fun src target ->
+      if condemned ctx target then begin
+        (if not (Header.is_forward (Ctx.read_word ctx m target)) then
+           ignore (Forward.evacuate ctx m ~dest:(dest_for ctx st m) target));
+        let th = Ctx.read_word ctx m target in
+        if Header.is_forward th then
+          Ctx.write_word ctx m src (Header.forward (Header.forward_addr th))
+      end)
+
+let keep_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  let t0 = m.Ctx.now_ns in
+  m.Ctx.in_gc <- true;
+  let b0 = st.Ctx.cg_copied_by.(m.Ctx.id) in
+  keep_pass ctx st m;
+  st.Ctx.cg_keep_done.(m.Ctx.id) <- true;
+  m.Ctx.in_gc <- false;
+  record_slice ctx st m ~t_start:t0
+    ~phases:[ (Obs.Event.Retarget, m.Ctx.now_ns -. t0) ]
+    ~bytes:(st.Ctx.cg_copied_by.(m.Ctx.id) - b0)
+
+(* A vproc that tainted after its handshake would force the ratify
+   barrier to stop it and rescan its full root set and local heap — the
+   expensive part of the barrier.  Instead, while the cycle is otherwise
+   quiescent, re-handshake it barrier-free: re-forward its roots and
+   local heap (clearing every re-acquired from-space reference) and
+   re-snapshot its taint, so the final barrier stops only vprocs
+   dirtied *since*.  Rounds are bounded per vproc per cycle — a vproc
+   that keeps re-tainting is eventually just stopped, so the cycle
+   always terminates. *)
+let max_reclean_rounds = 3
+
+let reclean_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
+  let t0 = m.Ctx.now_ns in
+  m.Ctx.in_gc <- true;
+  Ctx.charge_work ctx m ~cycles:ctx.Ctx.params.Params.handshake_cycles;
+  let b0 = st.Ctx.cg_copied_by.(m.Ctx.id) in
+  forward_roots ctx st m;
+  st.Ctx.cg_reclean.(m.Ctx.id) <- st.Ctx.cg_reclean.(m.Ctx.id) + 1;
+  st.Ctx.cg_hs_taints.(m.Ctx.id) <- st.Ctx.cg_taints.(m.Ctx.id);
+  m.Ctx.in_gc <- false;
+  record_slice ctx st m ~t_start:t0
+    ~phases:[ (Obs.Event.Handshake, m.Ctx.now_ns -. t0) ]
     ~bytes:(st.Ctx.cg_copied_by.(m.Ctx.id) - b0)
 
 (* ------------------------------------------------------------------ *)
@@ -279,47 +450,84 @@ let drain_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) =
 let ratify ctx (st : Ctx.conc_state) =
   let cause = st.Ctx.cg_cause in
   let muts = ctx.Ctx.muts in
-  let store = ctx.Ctx.store in
+  let dirty_only = ctx.Ctx.params.Params.conc_ratify_dirty_only in
+  (* One lead vproc executes the structural work (residual drain, global
+     roots, release, sweep); every other vproc is stopped only if it got
+     dirty since its handshake.  The lead is drawn FROM the dirty set
+     when it is non-empty: a dirty vproc must stop anyway, so stopping
+     no clean vproc keeps the entry wait bounded by the clock spread
+     within the dirty set instead of the full min-to-max vproc skew.
+     With nothing dirty the min-clock vproc ratifies alone and its entry
+     wait is zero. *)
+  let lead =
+    if not dirty_only then min_clock_vproc ctx
+    else begin
+      let best = ref None in
+      Array.iter
+        (fun (m : Ctx.mutator) ->
+          if dirty st m then
+            match !best with
+            | Some (b : Ctx.mutator) when b.Ctx.now_ns <= m.Ctx.now_ns -> ()
+            | _ -> best := Some m)
+        muts;
+      match !best with Some m -> m | None -> min_clock_vproc ctx
+    end
+  in
+  let ratified =
+    Array.map
+      (fun (m : Ctx.mutator) ->
+        (not dirty_only) || m.Ctx.id = lead.Ctx.id || dirty st m)
+      muts
+  in
+  let iter_r f =
+    Array.iter (fun (m : Ctx.mutator) -> if ratified.(m.Ctx.id) then f m) muts
+  in
+  let n_ratified =
+    Array.fold_left (fun acc r -> if r then acc + 1 else acc) 0 ratified
+  in
   let arrivals = Array.map (fun (m : Ctx.mutator) -> m.Ctx.now_ns) muts in
   let copied_before = Array.copy st.Ctx.cg_copied_by in
-  Array.iter
-    (fun (m : Ctx.mutator) ->
+  iter_r (fun m ->
       Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
-        (Obs.Event.Coll_begin { kind = Global; cause }))
-    muts;
+        (Obs.Event.Coll_begin { kind = Global; cause }));
   let t_sync =
     Array.fold_left
-      (fun acc (m : Ctx.mutator) -> Float.max acc m.Ctx.now_ns)
+      (fun acc (m : Ctx.mutator) ->
+        if ratified.(m.Ctx.id) then Float.max acc m.Ctx.now_ns else acc)
       0. muts
   in
-  Array.iter
-    (fun (m : Ctx.mutator) ->
+  iter_r (fun m ->
       record_barrier_wait ctx m ~cause ~t_from:m.Ctx.now_ns ~t_to:t_sync;
       m.Ctx.now_ns <- t_sync;
       Ctx.charge_work ctx m ~cycles:ctx.Ctx.params.Params.barrier_cycles;
-      m.Ctx.in_gc <- true)
-    muts;
-  (* With every mutator stopped, one pass suffices: the log and the
-     rescan find everything the handshakes missed, and the Cheney loop
-     closes the transitive to-space scan. *)
-  drain_log ctx st (min_clock_vproc ctx);
-  Array.iter
-    (fun (m : Ctx.mutator) ->
-      forward_roots ctx st m;
-      if m.Ctx.id = 0 then begin
-        let dest = dest_for ctx st m in
-        Roots.iter ctx.Ctx.global_roots (fun c ->
-            Forward.forward_cell ctx m ~dest ~in_from:(in_from ctx) c)
-      end)
-    muts;
+      m.Ctx.in_gc <- true);
+  (* With the dirty vprocs stopped, one pass suffices: the residual log
+     and the rescan find everything the handshakes missed, and the
+     Cheney loop closes the transitive to-space scan.  Clean vprocs need
+     no rescan — their handshake cleared every from-space reference and
+     the generation/store counters prove nothing was re-acquired. *)
+  drain_all ctx st lead;
+  iter_r (fun m -> forward_roots ctx st m);
+  (let dest = dest_for ctx st lead in
+   Roots.iter ctx.Ctx.global_roots (fun c ->
+       Forward.forward_cell ctx lead ~dest ~in_from:(in_from ctx) c));
+  let min_clock_ratified () =
+    let best = ref lead in
+    Array.iter
+      (fun (m : Ctx.mutator) ->
+        if ratified.(m.Ctx.id) && m.Ctx.now_ns < !best.Ctx.now_ns then
+          best := m)
+      muts;
+    !best
+  in
   let fixpoint () =
     while work_pending ctx st do
-      let m = min_clock_vproc ctx in
+      let m = min_clock_ratified () in
       match Queue.take_opt st.Ctx.cg_large with
       | Some addr ->
           ignore (scan_tospace_object ctx ~dest:(dest_for ctx st m) m addr)
       | None -> (
-          match pick_chunk ctx m with
+          match pick_chunk ctx st m with
           | None -> Ctx.charge_work ctx m ~cycles:100.
           | Some c ->
               let dest = dest_for ctx st m in
@@ -331,69 +539,80 @@ let ratify ctx (st : Ctx.conc_state) =
     done
   in
   fixpoint ();
-  (* Conservative keep: unlike the STW collector — whose entry
-     minor+major empty the locals, so every surviving local forwarding
-     word targets just-promoted (live) data — the concurrent cycle keeps
-     both local regions live, so they may hold promotion forwards whose
-     condemned target the rescan never reached.  Those targets can still
-     be aliased (a register or field holding the stale local address
-     resolves through the word), so they are evacuated rather than
-     dropped: floating garbage for one cycle, the standard trade of a
-     concurrent collector. *)
-  let condemned a =
-    match Global_heap.find_chunk ctx.Ctx.global a with
-    | Some c -> c.Chunk.from_space
-    | None -> false
-  in
-  let walk_forward_words (m : Ctx.mutator) f =
-    let lh = m.Ctx.lh in
-    let region lo hi =
-      let addr = ref lo in
-      while !addr < hi do
-        let h = Ctx.read_word ctx m !addr in
-        if Header.is_forward h then begin
-          f !addr (Header.forward_addr h);
-          (* Skip by the final copy's size: promotion leaves the body in
-             place, so source and target footprints are identical. *)
-          let th = Ctx.read_word ctx m (Header.forward_addr h) in
-          let final =
-            if Header.is_forward th then Header.forward_addr th
-            else Header.forward_addr h
-          in
-          addr := !addr + Obj_repr.total_bytes store final
-        end
-        else addr := !addr + ((Header.length_words h + 1) * 8)
-      done
-    in
-    region lh.Local_heap.base lh.Local_heap.old_top;
-    region lh.Local_heap.nursery_base lh.Local_heap.alloc_ptr
-  in
-  Array.iter
-    (fun (m : Ctx.mutator) ->
-      walk_forward_words m (fun _src target ->
-          if condemned target
-             && not (Header.is_forward (Ctx.read_word ctx m target))
-          then ignore (Forward.evacuate ctx m ~dest:(dest_for ctx st m) target)))
-    muts;
+  (* Conservative keep for the stopped vprocs (their mutation since the
+     concurrent keep slice may reference from-space data the rescan just
+     evacuated); skipped vprocs already ran [keep_slice] concurrently
+     and provably gained no new condemned-target words since. *)
+  iter_r (fun m -> keep_pass ctx st m);
   fixpoint ();
-  (* Retarget local forwarding words at the final to-space addresses so
-     stale aliases stay resolvable once from-space is recycled.  After
-     the keep pass every condemned target carries a forwarding word, so
-     chasing one hop always lands in to-space. *)
-  Array.iter
-    (fun (m : Ctx.mutator) ->
-      walk_forward_words m (fun src target ->
-          let th = Ctx.read_word ctx m target in
-          if Header.is_forward th then
-            Ctx.write_word ctx m src (Header.forward (Header.forward_addr th))))
-    muts;
+  (* Pre-release audit (env CONC_GC_AUDIT, CI fuzz campaigns): before
+     from-space is released, every root, proxy, local-heap field and
+     local forwarding word of *every* vproc — skipped ones included —
+     must point away from the condemned chunks.  A hit here is a
+     soundness bug in the dirty-skip reasoning (some path re-acquired a
+     from-space reference without tainting); it would otherwise surface
+     only later, as heap corruption after the pages are reused.  All
+     reads are uncharged: the audit must not advance any clock or bump
+     any taint, so enabling it cannot change the schedule it audits. *)
+  (if Sys.getenv_opt "CONC_GC_AUDIT" <> None then begin
+     let store = ctx.Ctx.store in
+     let peek = Sim_mem.Memory.get store.Store.mem in
+     Array.iter
+       (fun (m : Ctx.mutator) ->
+         let bad what addr target =
+           Printf.eprintf "AUDIT v%d %s %#x -> condemned %#x (ratified=%b)\n%!"
+             m.Ctx.id what addr target ratified.(m.Ctx.id)
+         in
+         Roots.iter m.Ctx.roots (fun c ->
+             let v = Roots.get c in
+             if Value.is_ptr v && condemned ctx (Value.to_ptr v) then
+               bad "root" 0 (Value.to_ptr v));
+         Roots.iter m.Ctx.proxies (fun c ->
+             let v = Roots.get c in
+             if Value.is_ptr v && condemned ctx (Value.to_ptr v) then
+               bad "proxy" 0 (Value.to_ptr v));
+         let lh = m.Ctx.lh in
+         let fields lo hi =
+           Major_gc.walk_objects store ~lo ~hi (fun addr ->
+               Obj_repr.iter_pointer_slots store addr (fun fa ->
+                   let v = Value.of_word (peek fa) in
+                   if Value.is_ptr v && condemned ctx (Value.to_ptr v) then
+                     bad "field" addr (Value.to_ptr v)))
+         in
+         fields lh.Local_heap.base lh.Local_heap.old_top;
+         fields lh.Local_heap.nursery_base lh.Local_heap.alloc_ptr;
+         let words lo hi =
+           let addr = ref lo in
+           while !addr < hi do
+             let h = peek !addr in
+             if Header.is_forward h then begin
+               let target = Header.forward_addr h in
+               if condemned ctx target then bad "fwdword" !addr target;
+               let th = peek target in
+               let final =
+                 if Header.is_forward th then Header.forward_addr th
+                 else target
+               in
+               addr := !addr + Obj_repr.total_bytes store final
+             end
+             else addr := !addr + ((Header.length_words h + 1) * 8)
+           done
+         in
+         words lh.Local_heap.base lh.Local_heap.old_top;
+         words lh.Local_heap.nursery_base lh.Local_heap.alloc_ptr)
+       muts;
+     Roots.iter ctx.Ctx.global_roots (fun c ->
+         let v = Roots.get c in
+         if Value.is_ptr v && condemned ctx (Value.to_ptr v) then
+           Printf.eprintf "AUDIT global root -> condemned %#x\n%!"
+             (Value.to_ptr v))
+   end);
   (* Release from-space and sweep large objects. *)
-  let lead = (min_clock_vproc ctx).Ctx.id in
   List.iter
     (fun c ->
       c.Chunk.from_space <- false;
-      Obs.Recorder.record ctx.Ctx.obs ~vproc:lead
-        ~t_ns:muts.(lead).Ctx.now_ns
+      Obs.Recorder.record ctx.Ctx.obs ~vproc:lead.Ctx.id
+        ~t_ns:lead.Ctx.now_ns
         (Obs.Event.Chunk_release { node = c.Chunk.home_node });
       Chunk.release (Global_heap.pool ctx.Ctx.global) c)
     st.Ctx.cg_from;
@@ -401,17 +620,15 @@ let ratify ctx (st : Ctx.conc_state) =
   ignore (Global_heap.sweep_large ctx.Ctx.global);
   let t_exit =
     Array.fold_left
-      (fun acc (m : Ctx.mutator) -> Float.max acc m.Ctx.now_ns)
+      (fun acc (m : Ctx.mutator) ->
+        if ratified.(m.Ctx.id) then Float.max acc m.Ctx.now_ns else acc)
       0. muts
   in
-  Array.iter
-    (fun (m : Ctx.mutator) ->
+  iter_r (fun m ->
       record_barrier_wait ctx m ~cause ~t_from:m.Ctx.now_ns ~t_to:t_exit;
       m.Ctx.now_ns <- t_exit;
-      m.Ctx.in_gc <- false)
-    muts;
-  Array.iter
-    (fun (m : Ctx.mutator) ->
+      m.Ctx.in_gc <- false);
+  iter_r (fun m ->
       let bytes = st.Ctx.cg_copied_by.(m.Ctx.id) - copied_before.(m.Ctx.id) in
       Gc_trace.record ctx.Ctx.trace
         {
@@ -428,8 +645,15 @@ let ratify ctx (st : Ctx.conc_state) =
         ~ns:(m.Ctx.now_ns -. arrivals.(m.Ctx.id))
         ~bytes;
       Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
-        (Obs.Event.Coll_end { kind = Global; cause; bytes }))
+        (Obs.Event.Coll_end { kind = Global; cause; bytes }));
+  Array.iter
+    (fun (m : Ctx.mutator) ->
+      Metrics.record_ratify ctx.Ctx.metrics ~vproc:m.Ctx.id
+        ~skipped:(not ratified.(m.Ctx.id)))
     muts;
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:lead.Ctx.id ~t_ns:lead.Ctx.now_ns
+    (Obs.Event.Conc_ratify
+       { ratified = n_ratified; skipped = Array.length muts - n_ratified });
   let copied_total = Array.fold_left ( + ) 0 st.Ctx.cg_copied_by in
   ctx.Ctx.stats.Gc_stats.global_count <-
     ctx.Ctx.stats.Gc_stats.global_count + 1;
@@ -467,14 +691,22 @@ let start ?(cause = Obs.Gc_cause.Forced) ctx =
       ~cycles:
         (ctx.Ctx.params.Params.chunk_local_sync_cycles
         +. (4. *. float_of_int (List.length from)));
+    let n = Ctx.n_vprocs ctx in
     let st =
       {
         Ctx.cg_cause = cause;
         cg_from = from;
         cg_large = Queue.create ();
         cg_log = Remember.create ();
-        cg_copied_by = Array.make (Ctx.n_vprocs ctx) 0;
-        cg_entered = Array.make (Ctx.n_vprocs ctx) false;
+        cg_drain = [||];
+        cg_drain_pos = 0;
+        cg_copied_by = Array.make n 0;
+        cg_entered = Array.make n false;
+        cg_keep_done = Array.make n false;
+        cg_taints = Array.make n 0;
+        cg_hs_taints = Array.make n 0;
+        cg_reclean = Array.make n 0;
+        cg_claims = Hashtbl.create 16;
         cg_t_start = t0;
         cg_slices = 0;
       }
@@ -500,13 +732,17 @@ let step ctx =
         evacuate_slice ctx st m;
         true
       end
-      else if Remember.cardinal st.Ctx.cg_log > 0 then begin
+      else if drain_pending st || Remember.cardinal st.Ctx.cg_log > 0 then begin
         drain_slice ctx st m;
+        true
+      end
+      else if not st.Ctx.cg_keep_done.(m.Ctx.id) then begin
+        keep_slice ctx st m;
         true
       end
       else begin
         (* A vproc whose clock never became the minimum may still be
-           unhandshaken; bring it in before ratifying. *)
+           unhandshaken or keep-pending; bring it in before ratifying. *)
         match
           Array.find_opt
             (fun (mm : Ctx.mutator) -> not st.Ctx.cg_entered.(mm.Ctx.id))
@@ -515,10 +751,88 @@ let step ctx =
         | Some mm ->
             handshake ctx st mm;
             true
-        | None ->
-            ratify ctx st;
-            false
+        | None -> (
+            match
+              Array.find_opt
+                (fun (mm : Ctx.mutator) -> not st.Ctx.cg_keep_done.(mm.Ctx.id))
+                ctx.Ctx.muts
+            with
+            | Some mm ->
+                keep_slice ctx st mm;
+                true
+            | None -> (
+                (* Everything else is quiescent: re-clean tainted vprocs
+                   concurrently (bounded rounds) so the ratify barrier
+                   finds as few dirty vprocs as possible. *)
+                match
+                  (if ctx.Ctx.params.Params.conc_ratify_dirty_only then
+                     Array.find_opt
+                       (fun (mm : Ctx.mutator) ->
+                         dirty st mm
+                         && st.Ctx.cg_reclean.(mm.Ctx.id) < max_reclean_rounds)
+                       ctx.Ctx.muts
+                   else None)
+                with
+                | Some mm ->
+                    reclean_slice ctx st mm;
+                    true
+                | None ->
+                    ratify ctx st;
+                    false))
       end
+
+(* An assist slice on [m], for parallel dispatch: only evacuation work
+   (handshakes, drains and the ratify stay with the lead slice), and
+   only once [m] itself has handshaken — an unentered vproc still owes
+   its local collections first. *)
+let assist ctx (m : Ctx.mutator) =
+  match ctx.Ctx.conc with
+  | None -> false
+  | Some st ->
+      if st.Ctx.cg_entered.(m.Ctx.id) && work_pending ctx st then begin
+        st.Ctx.cg_slices <- st.Ctx.cg_slices + 1;
+        evacuate_slice ctx st m;
+        true
+      end
+      else false
+
+let step_turn ctx ~idle =
+  match ctx.Ctx.conc with
+  | None -> false
+  | Some _ ->
+      let lead = min_clock_vproc ctx in
+      (* Assists may only consume idle time that has already passed for
+         some other vproc: a vproc behind the virtual-time frontier (the
+         max clock) is provably idle over [now, frontier] and its assist
+         work is free; advancing a vproc beyond the frontier would
+         fabricate delay — inflating ratify skew and postponing whatever
+         becomes runnable next — so such vprocs sit slices out.  Clock
+         overshoot is thereby bounded by one slice past the frontier. *)
+      let frontier =
+        Array.fold_left
+          (fun acc (m : Ctx.mutator) -> Float.max acc m.Ctx.now_ns)
+          0. ctx.Ctx.muts
+      in
+      let in_flight = step ctx in
+      let extra = ctx.Ctx.params.Params.conc_parallel_slices - 1 in
+      if in_flight && extra > 0 then begin
+        let assists = ref 0 in
+        Array.iter
+          (fun (m : Ctx.mutator) ->
+            if
+              !assists < extra
+              && m.Ctx.id <> lead.Ctx.id
+              && m.Ctx.now_ns < frontier
+              && idle m.Ctx.id
+              && assist ctx m
+            then incr assists)
+          ctx.Ctx.muts;
+        if !assists > 0 then
+          Obs.Recorder.record ctx.Ctx.obs ~vproc:lead.Ctx.id
+            ~t_ns:lead.Ctx.now_ns
+            (Obs.Event.Conc_slices { count = 1 + !assists })
+      end;
+      in_flight
 
 let finish ctx =
   while step ctx do

@@ -10,18 +10,39 @@
     - a {e handshake} for a vproc that has not yet entered the cycle —
       its roots, proxies, and local-heap referents are forwarded into
       to-space (pairwise, no barrier; piggy-backed on the safe-point
-      poll when driven through {!Global_gc.install_sync_hook});
-    - an {e evacuation} slice — claim a to-space chunk and Cheney-scan
-      at most {!Params.conc_slice_bytes} of it;
-    - a {e drain} of the mutation log that the {!Mut} write barrier
-      fills for stores into global objects while the cycle is active.
+      poll when driven through {!Global_gc.install_sync_hook}), and its
+      from-space read-taint counter is snapshotted for the dirtiness
+      test below;
+    - an {e evacuation} slice — claim a to-space chunk (per-chunk claims
+      arbitrate between parallel slices) and Cheney-scan at most
+      {!Params.conc_slice_bytes} of it;
+    - a {e drain} slice over the flipped-out generation of the mutation
+      log that the {!Mut} write barrier fills for stores into global
+      objects while the cycle is active (mutators keep appending to the
+      live generation; only the generation flip is exclusive);
+    - a {e keep} slice — evacuate and retarget the vproc's local
+      forwarding words whose targets are condemned, concurrently instead
+      of inside the final barrier.
 
-    When no work remains the cycle {e ratifies}: one short all-vproc
-    barrier drains the log, rescans every root set and local heap,
-    closes the residual to-space scan, retargets local forwarding
-    chains, and releases from-space.  The ratify barrier does O(live
-    roots + mutated slots) work, not O(live global data) — that is
-    where the bounded-pause claim comes from.
+    When no work remains the cycle {e ratifies}: one short barrier
+    drains the residual log, rescans the {e dirty} vprocs' root sets and
+    local heaps, closes the residual to-space scan, and releases
+    from-space.  With {!Params.conc_ratify_dirty_only} (the default)
+    only vprocs whose from-space re-acquisition taint changed since
+    their last (re-)handshake are stopped ({!Ctx.read_word} counts every
+    mutator-context load that touches a condemned address or returns a
+    from-space pointer; channel commits count the OCaml-side hand-offs)
+    — the handshake leaves a vproc with no from-space reference and
+    stashing one again requires exactly such a read, so an untainted
+    vproc keeps running.  Before the barrier, tainted vprocs are
+    {e re-cleaned} concurrently: while the cycle is otherwise quiescent,
+    a barrier-free re-handshake slice re-forwards their roots and local
+    heap and re-snapshots the taint (bounded rounds per cycle), so the
+    barrier typically stops nobody but its one lead vproc — drawn from
+    the dirty set when it is non-empty, so no clean vproc is ever
+    stopped.  The barrier does O(dirty roots + mutated slots) work, not
+    O(live global data) — that is where the bounded-pause claim comes
+    from.
 
     Telemetry: every slice and the ratify span are recorded as their own
     [Global] pauses (the per-slice pause is the headline metric), with
@@ -41,6 +62,20 @@ val step : Ctx.t -> bool
     while the cycle is still in flight; the call that finds no work left
     performs the ratify barrier and returns [false].  Returns [false]
     immediately if no cycle is active. *)
+
+val assist : Ctx.t -> Ctx.mutator -> bool
+(** Run one bounded {e evacuation} slice on [m], for parallel dispatch
+    alongside the lead {!step}.  Only evacuation work is eligible
+    (handshakes, drains and the ratify stay with the lead slice), and
+    only once [m] has handshaken.  Returns [true] if a slice ran. *)
+
+val step_turn : Ctx.t -> idle:(int -> bool) -> bool
+(** One scheduler turn of collector work: the lead {!step} plus up to
+    [Params.conc_parallel_slices - 1] {!assist} slices on distinct
+    vprocs for which [idle] holds (the scheduler passes "no runnable
+    fiber and an empty deque").  Records an [Obs.Event.Conc_slices]
+    event when more than one slice ran.  Returns what {!step}
+    returned. *)
 
 val finish : Ctx.t -> unit
 (** Step until the cycle ratifies.  No-op if no cycle is active. *)

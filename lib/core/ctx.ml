@@ -21,10 +21,40 @@ type conc_state = {
   mutable cg_from : Sim_mem.Chunk.t list;  (* condemned (from-space) chunks *)
   cg_large : int Queue.t;  (* marked large objects pending a field scan *)
   cg_log : Remember.t;
-      (* mutation log: global slots stored to while evacuation is in
-         progress — re-forwarded before the collection can finish *)
+      (* mutation log, active generation (N+1): global slots stored to
+         while evacuation is in progress — re-forwarded before the
+         collection can finish.  Mutators append here; the collector
+         flips it into [cg_drain] and drains that concurrently. *)
+  mutable cg_drain : int array;
+      (* mutation log, draining generation (N): the address-sorted
+         snapshot the collector is working through while mutators keep
+         appending to [cg_log].  Only the flip itself needs the barrier. *)
+  mutable cg_drain_pos : int;  (* next unprocessed slot in [cg_drain] *)
   cg_copied_by : int array;  (* bytes evacuated, per vproc *)
   cg_entered : bool array;  (* per-vproc root handshake done *)
+  cg_keep_done : bool array;
+      (* per-vproc overlapped conservative-keep pass done (local
+         forwarding words with condemned targets evacuated + retargeted
+         concurrently, instead of inside the ratify barrier) *)
+  cg_taints : int array;
+      (* per-vproc from-space re-acquisition counter: bumped whenever a
+         mutator-context read touches a condemned address or returns a
+         from-space pointer value (and on channel commits handing one
+         over).  Compared against the handshake snapshot to decide
+         ratify dirtiness — the handshake leaves the vproc with no
+         from-space reference, and re-acquiring one requires exactly
+         such a read or hand-off. *)
+  cg_hs_taints : int array;  (* cg_taints.(v) at (re-)handshake *)
+  cg_reclean : int array;
+      (* per-vproc count of concurrent re-clean slices this cycle: a
+         vproc that tainted after its handshake is re-handshaken
+         barrier-free while the cycle is otherwise quiescent (bounded
+         rounds), so the ratify barrier stops only vprocs dirtied since
+         their last re-clean *)
+  cg_claims : (int, int) Hashtbl.t;
+      (* Chunk.id -> claiming vproc, for parallel evacuation slices:
+         helpers prefer unclaimed chunks and pay the claim sync again on
+         a takeover, so two slices in one turn scan distinct chunks *)
   cg_t_start : float;  (* virtual time the collection started *)
   mutable cg_slices : int;
 }
@@ -170,9 +200,46 @@ let charge_bulk t m addr bytes =
     (Numa.Cost_model.bulk t.cost ~vproc:m.id ~dst_node ~addr ~bytes
        ~now_ns:m.now_ns)
 
+(* From-space re-acquisition taint, the concurrent collector's
+   dirtiness source: a handshake leaves a vproc holding no from-space
+   reference, so to stash one again the mutator must first *read* it —
+   either by touching a condemned address (resolving through a stale
+   alias) or by loading a word that decodes to a from-space pointer (an
+   unscanned to-space slot, or a large object the cycle has not marked).
+   Counting those reads lets the ratify barrier skip every vproc whose
+   counter is unchanged since its handshake.  Collector-context reads
+   ([in_gc]) forward from-space data by design and never taint. *)
+let in_condemned t addr =
+  match Global_heap.find_chunk t.global addr with
+  | Some c -> c.Chunk.from_space
+  | None -> false
+
+let conc_taint t m v =
+  match t.conc with
+  | Some st when (not m.in_gc) && Value.is_ptr v ->
+      let p = Value.to_ptr v in
+      if in_condemned t p || Global_heap.is_large t.global p then
+        st.cg_taints.(m.id) <- st.cg_taints.(m.id) + 1
+  | _ -> ()
+
 let read_word t m addr =
   charge_access t m addr 8;
-  Memory.get t.store.Store.mem addr
+  let w = Memory.get t.store.Store.mem addr in
+  (match t.conc with
+  | Some st when not m.in_gc ->
+      (* Raw-word pointer test (not [Value.of_word], which rejects
+         headers): aligned, nonzero, even — a forwarding word to a
+         condemned target counts too, exactly the stale-alias case. *)
+      if
+        in_condemned t addr
+        ||
+        let v = Int64.to_int w in
+        v <> 0
+        && v land 7 = 0
+        && (in_condemned t v || Global_heap.is_large t.global v)
+      then st.cg_taints.(m.id) <- st.cg_taints.(m.id) + 1
+  | _ -> ());
+  w
 
 let write_word t m addr w =
   charge_access t m addr 8;

@@ -37,10 +37,31 @@ type conc_state = {
   cg_large : int Queue.t;
       (** marked large objects whose fields still need scanning *)
   cg_log : Remember.t;
-      (** mutation log: global slots the write barrier saw stores to
-          while evacuation was in progress *)
+      (** mutation log, active generation: global slots the write
+          barrier saw stores to while evacuation was in progress.
+          Flipped into [cg_drain] so draining overlaps with mutators
+          appending to the next generation *)
+  mutable cg_drain : int array;
+      (** mutation log, draining generation: an address-sorted snapshot
+          the collector works through concurrently *)
+  mutable cg_drain_pos : int;  (** next unprocessed slot in [cg_drain] *)
   cg_copied_by : int array;  (** bytes evacuated, per vproc *)
   cg_entered : bool array;  (** per-vproc root handshake done *)
+  cg_keep_done : bool array;
+      (** per-vproc overlapped conservative-keep pass done *)
+  cg_taints : int array;
+      (** per-vproc from-space re-acquisition counter: mutator-context
+          reads that touch a condemned address or return a from-space
+          pointer (and channel commits handing one over) bump it; the
+          ratify compares it against the handshake snapshot to decide
+          which vprocs must stop *)
+  cg_hs_taints : int array;  (** [cg_taints.(v)] at (re-)handshake *)
+  cg_reclean : int array;
+      (** per-vproc count of barrier-free re-clean slices this cycle
+          (re-handshakes of tainted vprocs while the cycle is quiescent,
+          so the ratify stops only vprocs dirtied since) *)
+  cg_claims : (int, int) Hashtbl.t;
+      (** [Chunk.id -> vproc] evacuation claims for parallel slices *)
   cg_t_start : float;  (** virtual time the collection started *)
   mutable cg_slices : int;  (** collector slices run so far *)
 }
@@ -141,7 +162,16 @@ val iter_all_roots :
 val charge_ns : mutator -> float -> unit
 val charge_work : t -> mutator -> cycles:float -> unit
 val read_word : t -> mutator -> int -> int64
-(** Charged single-word load. *)
+(** Charged single-word load.  While a concurrent global cycle is in
+    flight, mutator-context loads that touch a condemned address or
+    return a from-space pointer bump the vproc's re-acquisition taint
+    (see {!conc_state}). *)
+
+val conc_taint : t -> mutator -> Value.t -> unit
+(** Explicit taint for values that reach [m] without a heap read — a
+    channel commit handing over a message, for example.  No-op unless a
+    concurrent cycle is active, [m] is outside collector context, and
+    the value is a from-space pointer. *)
 
 val write_word : t -> mutator -> int -> int64 -> unit
 val touch : t -> mutator -> addr:int -> bytes:int -> unit

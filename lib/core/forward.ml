@@ -30,7 +30,17 @@ let global_dest ctx m ~on_copy =
         | `Same_chunk -> ()
         | `Large ->
             (* A dedicated page run: registering it is a global
-               synchronization, like a fresh chunk. *)
+               synchronization, like a fresh chunk.  Born during a
+               concurrent cycle it is born marked ("allocate black"):
+               the ratify sweep frees unmarked larges, and a fresh one
+               may be referenced only OCaml-side (a register or root
+               added after the owner's handshake), where no read-taint
+               or rescan would ever reach it.  Birth-marking consumes
+               the first-mark that triggers the field scan in
+               [evacuate], so the caller must get the pointer fields
+               forwarded itself (see [Alloc.alloc_global]). *)
+            (if ctx.Ctx.conc <> None then
+               ignore (Global_heap.mark_large ctx.Ctx.global addr));
             Ctx.charge_work ctx m
               ~cycles:ctx.Ctx.params.Params.chunk_global_sync_cycles;
             if

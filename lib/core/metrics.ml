@@ -341,6 +341,8 @@ type vrec = {
   mutable v_chunk_acquires : int;
   mutable v_steal_attempts : int;
   mutable v_steal_successes : int;
+  mutable v_ratified : int;
+  mutable v_ratify_skipped : int;
 }
 
 let vrec_create () =
@@ -352,6 +354,8 @@ let vrec_create () =
     v_chunk_acquires = 0;
     v_steal_attempts = 0;
     v_steal_successes = 0;
+    v_ratified = 0;
+    v_ratify_skipped = 0;
   }
 
 type t = { mutable vrecs : vrec array }
@@ -391,6 +395,14 @@ let record_chunk_acquire t ~vproc =
     t.vrecs.(vproc).v_chunk_acquires <- t.vrecs.(vproc).v_chunk_acquires + 1
   end
 
+let record_ratify t ~vproc ~skipped =
+  if vproc >= 0 then begin
+    ensure t vproc;
+    let r = t.vrecs.(vproc) in
+    if skipped then r.v_ratify_skipped <- r.v_ratify_skipped + 1
+    else r.v_ratified <- r.v_ratified + 1
+  end
+
 let record_steal t ~vproc ~success =
   if vproc >= 0 then begin
     ensure t vproc;
@@ -408,7 +420,9 @@ let vrec_merge ~into r =
   Array.iteri (fun i c -> into.v_causes.(i) <- into.v_causes.(i) + c) r.v_causes;
   into.v_chunk_acquires <- into.v_chunk_acquires + r.v_chunk_acquires;
   into.v_steal_attempts <- into.v_steal_attempts + r.v_steal_attempts;
-  into.v_steal_successes <- into.v_steal_successes + r.v_steal_successes
+  into.v_steal_successes <- into.v_steal_successes + r.v_steal_successes;
+  into.v_ratified <- into.v_ratified + r.v_ratified;
+  into.v_ratify_skipped <- into.v_ratify_skipped + r.v_ratify_skipped
 
 let merge ~into t =
   Array.iteri
@@ -446,6 +460,8 @@ type vproc_stats = {
   chunk_acquires : int;
   steal_attempts : int;
   steal_successes : int;
+  ratified : int;  (* concurrent cycles this vproc was stopped to ratify *)
+  ratify_skipped : int;  (* cycles it was quiescent and left running *)
 }
 
 type snapshot = { vprocs : vproc_stats list }
@@ -483,6 +499,8 @@ let vproc_stats_of ~vproc r =
     chunk_acquires = r.v_chunk_acquires;
     steal_attempts = r.v_steal_attempts;
     steal_successes = r.v_steal_successes;
+    ratified = r.v_ratified;
+    ratify_skipped = r.v_ratify_skipped;
   }
 
 let snapshot t =
@@ -541,6 +559,8 @@ let json_of_vproc vs =
       ("chunk_acquires", Json.Num (float_of_int vs.chunk_acquires));
       ("steal_attempts", Json.Num (float_of_int vs.steal_attempts));
       ("steal_successes", Json.Num (float_of_int vs.steal_successes));
+      ("ratified", Json.Num (float_of_int vs.ratified));
+      ("ratify_skipped", Json.Num (float_of_int vs.ratify_skipped));
     ]
 
 let snapshot_to_json s =
@@ -613,6 +633,16 @@ let vproc_of_json j =
     chunk_acquires = int_field "chunk_acquires" j;
     steal_attempts = int_field "steal_attempts" j;
     steal_successes = int_field "steal_successes" j;
+    (* The ratify split postdates some checked-in artifacts: missing
+       means zero, like the barrier kind above. *)
+    ratified =
+      (match Json.member "ratified" j with
+      | Some (Json.Num f) -> int_of_float f
+      | _ -> 0);
+    ratify_skipped =
+      (match Json.member "ratify_skipped" j with
+      | Some (Json.Num f) -> int_of_float f
+      | _ -> 0);
   }
 
 let snapshot_of_json s =
@@ -636,14 +666,14 @@ let kind_names = [| "minor"; "major"; "promotion"; "global"; "barrier" |]
 let snapshot_to_csv s =
   let b = Buffer.create 1024 in
   Buffer.add_string b
-    "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,p999_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes\n";
+    "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,p999_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes,ratified,ratify_skipped\n";
   let row vs name p by =
     Buffer.add_string b
       (Printf.sprintf
-         "%d,%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%d,%d,%d\n"
+         "%d,%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%d,%d,%d,%d,%d\n"
          vs.vproc name p.count p.sum p.min p.max p.p50 p.p90 p.p99 p.p999
          by.sum by.p50 by.p99 vs.chunk_acquires vs.steal_attempts
-         vs.steal_successes)
+         vs.steal_successes vs.ratified vs.ratify_skipped)
   in
   let zero = dist_of_hist (hist_create ()) in
   List.iter
@@ -702,6 +732,10 @@ let pp_summary ppf s =
         Format.fprintf ppf "  %-6s steals %d/%d, chunk acquires %d@,"
           (if vs.vproc < 0 then "all" else Printf.sprintf "v%02d" vs.vproc)
           vs.steal_successes vs.steal_attempts vs.chunk_acquires;
+      if vs.ratified > 0 || vs.ratify_skipped > 0 then
+        Format.fprintf ppf "  %-6s ratify: stopped %d, skipped %d@,"
+          (if vs.vproc < 0 then "all" else Printf.sprintf "v%02d" vs.vproc)
+          vs.ratified vs.ratify_skipped;
       if vs.causes <> [] then
         Format.fprintf ppf "  %-6s causes: %s@,"
           (if vs.vproc < 0 then "all" else Printf.sprintf "v%02d" vs.vproc)

@@ -68,6 +68,11 @@ val record_chunk_acquire : t -> vproc:int -> unit
 val record_steal : t -> vproc:int -> success:bool -> unit
 (** A steal attempt by thief [vproc]; [success] if it yielded an item. *)
 
+val record_ratify : t -> vproc:int -> skipped:bool -> unit
+(** One concurrent-cycle ratify outcome for [vproc]: [skipped] when the
+    dirty-only barrier left it running, [false] when it was stopped.
+    Splits the barrier-wait telemetry into ratified-vs-skipped counts. *)
+
 val merge : into:t -> t -> unit
 (** Accumulate another recorder (e.g. a different run of the same
     experiment) bucket-by-bucket.  [into] grows if the source has more
@@ -111,6 +116,12 @@ type vproc_stats = {
   chunk_acquires : int;
   steal_attempts : int;
   steal_successes : int;
+  ratified : int;
+      (** concurrent cycles whose ratify barrier stopped this vproc *)
+  ratify_skipped : int;
+      (** concurrent cycles that left this vproc running (quiescent
+          since its handshake).  Snapshots written before the split
+          existed parse with zeros here. *)
 }
 
 type snapshot = { vprocs : vproc_stats list }
@@ -134,7 +145,7 @@ val snapshot_to_csv : snapshot -> string
 (** One row per vproc x kind (plus a [request] latency row per vproc):
     [vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,p999_ns,
     bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,
-    steal_successes]. *)
+    steal_successes,ratified,ratify_skipped]. *)
 
 val pp_summary : Format.formatter -> snapshot -> unit
 (** Human-readable per-vproc percentile table (uses {!Units}). *)

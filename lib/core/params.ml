@@ -19,6 +19,8 @@ type t = {
   global_gc_mode : global_gc_mode;
   conc_slice_bytes : int;
   handshake_cycles : float;
+  conc_parallel_slices : int;
+  conc_ratify_dirty_only : bool;
 }
 
 let default =
@@ -41,6 +43,8 @@ let default =
     global_gc_mode = Stw;
     conc_slice_bytes = 32 * 1024;
     handshake_cycles = 400.;
+    conc_parallel_slices = 1;
+    conc_ratify_dirty_only = true;
   }
 
 let validate t =
@@ -72,4 +76,7 @@ let validate t =
     check (t.conc_slice_bytes > 0)
       "concurrent evacuation slice must be positive"
   in
-  check (t.handshake_cycles >= 0.) "handshake cost cannot be negative"
+  let* () = check (t.handshake_cycles >= 0.) "handshake cost cannot be negative" in
+  check
+    (t.conc_parallel_slices >= 1)
+    "conc_parallel_slices must be at least 1"

@@ -59,6 +59,17 @@ type t = {
       (** concurrent mode: cost of one pairwise mutator/collector
           handshake (piggy-backed on the allocation-limit poll), paid
           instead of the STW [barrier_cycles] *)
+  conc_parallel_slices : int;
+      (** concurrent mode: max evacuation slices the scheduler may
+          dispatch in one turn — the first on the collector's lead
+          vproc, the rest on distinct idle vprocs (chunk claims
+          arbitrate the work).  1 (default) reproduces the one slice
+          per turn of the original design *)
+  conc_ratify_dirty_only : bool;
+      (** concurrent mode: ratify only the vprocs whose root-set
+          generation or store counter changed since their handshake,
+          leaving quiescent vprocs running (default).  [false] restores
+          the all-vproc ratify barrier, as an ablation *)
 }
 
 val default : t

@@ -53,6 +53,12 @@ let value ?(reason = Obs.Gc_cause.Explicit) ctx (m : Ctx.mutator) v =
       (Obs.Event.Coll_end { kind = Promotion; cause; bytes = !promoted });
     m.Ctx.in_gc <- was_in_gc;
     Ctx.exit_collection ctx Gc_trace.Promotion;
+    (* Mid-cycle, the local forward word followed by [evacuate] can point
+       at condemned from-space: the caller is about to stash that address,
+       which is exactly the re-acquisition the dirty-ratify test must
+       see — but the read happened in collector context, outside the
+       read-taint.  Taint explicitly. *)
+    Ctx.conc_taint ctx m (Value.of_ptr dst);
     Value.of_ptr dst
   end
 
@@ -131,6 +137,9 @@ let batch_add b v =
     m.Ctx.in_gc <- was_in_gc;
     Ctx.exit_collection ctx Gc_trace.Promotion;
     b.b_pause_ns <- b.b_pause_ns +. (m.Ctx.now_ns -. t_start);
+    (* Same re-acquisition taint as [value]: a batched promote can hand
+       back a condemned from-space address too. *)
+    Ctx.conc_taint ctx m (Value.of_ptr dst);
     Value.of_ptr dst
   end
 

@@ -418,6 +418,10 @@ let apply s (op : Op.t) =
       let src = rg src and dst = rg dst in
       let g = Promote.value s.ctx (mut s sv) (Roots.get s.regs.(sv).(src)) in
       Roots.set s.regs.(sv).(src) g;
+      (* The receiving vproc acquires [g] OCaml-side, without a heap
+         read — the same hand-off as a channel commit, so the same
+         explicit taint for the dirty-only ratify. *)
+      Ctx.conc_taint s.ctx (mut s dv) g;
       set_reg s dv dst g s.sregs.(sv).(src)
   | Mk_proxy { vproc; slot; src } -> (
       let v = vp s vproc and slot = sl slot and src = rg src in

@@ -19,6 +19,8 @@ type t =
   | Alloc_sample of { bytes : int }
   | Req_done of { latency_ns : int }
   | Conc_phase of { phase : global_phase; dur_ns : int }
+  | Conc_slices of { count : int }
+  | Conc_ratify of { ratified : int; skipped : int }
 
 let kind_code = function
   | Minor -> 0
@@ -115,6 +117,8 @@ let encode = function
   | Alloc_sample { bytes } -> (7, bytes, 0, 0)
   | Req_done { latency_ns } -> (8, latency_ns, 0, 0)
   | Conc_phase { phase; dur_ns } -> (9, phase_code phase, dur_ns, 0)
+  | Conc_slices { count } -> (10, count, 0, 0)
+  | Conc_ratify { ratified; skipped } -> (11, ratified, skipped, 0)
 
 let decode ~tag ~a ~b ~c =
   match tag with
@@ -140,6 +144,8 @@ let decode ~tag ~a ~b ~c =
       match phase_of_code a with
       | Some phase -> Some (Conc_phase { phase; dur_ns = b })
       | None -> None)
+  | 10 -> Some (Conc_slices { count = a })
+  | 11 -> Some (Conc_ratify { ratified = a; skipped = b })
   | _ -> None
 
 (* Text form used by the dump codec: a name followed by its operands. *)
@@ -162,6 +168,9 @@ let to_strings = function
   | Req_done { latency_ns } -> [ "req-done"; string_of_int latency_ns ]
   | Conc_phase { phase; dur_ns } ->
       [ "conc-phase"; phase_to_string phase; string_of_int dur_ns ]
+  | Conc_slices { count } -> [ "conc-slices"; string_of_int count ]
+  | Conc_ratify { ratified; skipped } ->
+      [ "conc-ratify"; string_of_int ratified; string_of_int skipped ]
 
 let of_strings words =
   let int s =
@@ -212,5 +221,12 @@ let of_strings words =
           let* dur_ns = int d in
           Ok (Conc_phase { phase; dur_ns })
       | None -> Error "bad conc-phase name")
+  | [ "conc-slices"; n ] ->
+      let* count = int n in
+      Ok (Conc_slices { count })
+  | [ "conc-ratify"; r; s ] ->
+      let* ratified = int r in
+      let* skipped = int s in
+      Ok (Conc_ratify { ratified; skipped })
   | w :: _ -> Error (Printf.sprintf "unknown event %S" w)
   | [] -> Error "empty event"

@@ -41,9 +41,18 @@ type t =
   | Conc_phase of { phase : global_phase; dur_ns : int }
       (** One concurrent-collector slice finished on this vproc:
           [phase] says what it did (mark roots, claim a chunk, evacuate
-          a slice, handshake a mutator) and [dur_ns] how much virtual
-          time it charged — the input to gcprof's per-phase attribution
-          for concurrent collections. *)
+          a slice, handshake a mutator, or retarget/keep local
+          forwarding words) and [dur_ns] how much virtual time it
+          charged — the input to gcprof's per-phase attribution for
+          concurrent collections. *)
+  | Conc_slices of { count : int }
+      (** One scheduler turn dispatched [count] (> 1) concurrent
+          evacuation slices on distinct vprocs — the lead slice plus
+          its assists (see [Params.conc_parallel_slices]). *)
+  | Conc_ratify of { ratified : int; skipped : int }
+      (** The ratify barrier finished a concurrent cycle stopping
+          [ratified] vprocs and leaving [skipped] quiescent ones
+          running (see [Params.conc_ratify_dirty_only]). *)
 
 val kind_code : coll_kind -> int
 val kind_of_code : int -> coll_kind option

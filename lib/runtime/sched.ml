@@ -239,14 +239,21 @@ let share t ~to_vproc (f : future) =
   | Done { err = Some (e, bt); _ } -> Printexc.raise_with_backtrace e bt
   | Done { owner; cell; err = None } ->
       let v = Roots.get cell in
-      if to_vproc <> owner && Promote.is_local t.c t.vprocs.(owner).mut v then begin
-        let g =
-          wb_promote t t.vprocs.(owner) ~reason:Obs.Gc_cause.Pval_sync v
-        in
-        Roots.set cell g;
-        g
-      end
-      else v
+      let v =
+        if to_vproc <> owner && Promote.is_local t.c t.vprocs.(owner).mut v
+        then begin
+          let g =
+            wb_promote t t.vprocs.(owner) ~reason:Obs.Gc_cause.Pval_sync v
+          in
+          Roots.set cell g;
+          g
+        end
+        else v
+      in
+      (* OCaml-side hand-off: the recipient acquires [v] without a heap
+         read, so taint it explicitly for the dirty-only ratify. *)
+      Ctx.conc_taint t.c t.vprocs.(to_vproc).mut v;
+      v
   | _ -> invalid_arg "Sched.share: future not done"
 
 let wake_waiters t (f : future) now =
@@ -341,14 +348,18 @@ let commit_reader t (v : vproc) (r : reader) gmsg =
   Ctx.touch t.c v.mut ~addr:paddr ~bytes:16;
   Proxy.set_state t.c.Ctx.store paddr 1;
   Roots.remove t.vprocs.(r.r_vproc).mut.Ctx.proxies r.r_proxy;
+  (* The message reaches the reader's vproc OCaml-side (no heap read):
+     taint it explicitly for the dirty-only ratify. *)
+  Ctx.conc_taint t.c t.vprocs.(r.r_vproc).mut gmsg;
   r.r_resume gmsg
 
 (* Take a blocked writer's message and reschedule it. *)
 let commit_writer t (v : vproc) (w : writer) =
-  ignore v;
   w.s_claim := true;
   let gmsg = Roots.get w.s_val in
   Roots.remove t.c.Ctx.global_roots w.s_val;
+  (* Same OCaml-side hand-off as [commit_reader], toward [v]. *)
+  Ctx.conc_taint t.c v.mut gmsg;
   w.s_resume ();
   gmsg
 
@@ -1036,7 +1047,15 @@ let run t ~main =
            | Params.Concurrent ->
                if Concurrent_gc.active t.c then begin
                  dbg "gc step";
-                 ignore (Concurrent_gc.step t.c)
+                 (* The lead slice runs on the minimum-clock vproc; with
+                    [conc_parallel_slices > 1] further evacuation slices
+                    are dispatched on distinct idle vprocs in the same
+                    turn, so the collector uses cores the mutators are
+                    not. *)
+                 ignore
+                   (Concurrent_gc.step_turn t.c ~idle:(fun v ->
+                        let vp = t.vprocs.(v) in
+                        Queue.is_empty vp.runnable && Deque.is_empty vp.deque))
                end
                else begin
                  dbg "gc start";

@@ -247,12 +247,275 @@ let test_barrier_pause_kind () =
     (List.exists
        (fun e -> e.Gc_trace.t_end_ns -. e.Gc_trace.t_start_ns > 0.)
        waits);
-  let ctx2 = Gc_util.mk_ctx ~params:conc_params () in
+  (* Disable the dirty-only ratify so every vproc is stopped and the
+     2-records-per-vproc count is exact. *)
+  let all_stop =
+    { conc_params with Params.conc_ratify_dirty_only = false }
+  in
+  let ctx2 = Gc_util.mk_ctx ~params:all_stop () in
   Ctx.charge_ns (Ctx.mutator ctx2 0) 5000.;
   Concurrent_gc.run ctx2;
   Alcotest.(check int) "concurrent ratify: two barrier records per vproc"
     (2 * Array.length ctx2.Ctx.muts)
     (count_barrier ctx2)
+
+let test_ratify_skips_quiescent () =
+  (* Dirty-only ratify: with no mutator activity after the handshakes,
+     only the lead vproc is stopped by the ratify barrier — the other
+     vproc's generation/store counters are unchanged, so it is skipped
+     and records no barrier wait at all. *)
+  let ctx = Gc_util.mk_ctx ~params:conc_params () in
+  let m0 = Ctx.mutator ctx 0 in
+  let g = Promote.value ctx m0 (Gc_util.build_list ctx m0 [ 1; 2; 3 ]) in
+  let _cell = Roots.add m0.Ctx.roots g in
+  Concurrent_gc.run ctx;
+  let snap = Metrics.snapshot ctx.Ctx.metrics in
+  let vs i = List.find (fun v -> v.Metrics.vproc = i) snap.Metrics.vprocs in
+  let total f = List.fold_left (fun acc i -> acc + f (vs i)) 0 [ 0; 1 ] in
+  Alcotest.(check int) "exactly one vproc stopped" 1
+    (total (fun v -> v.Metrics.ratified));
+  Alcotest.(check int) "exactly one vproc skipped" 1
+    (total (fun v -> v.Metrics.ratify_skipped));
+  List.iter
+    (fun i ->
+      let v = vs i in
+      if v.Metrics.ratify_skipped = 1 then
+        Alcotest.(check int) "skipped vproc saw no barrier" 0
+          v.Metrics.barrier.Metrics.pause_ns.Metrics.count
+      else
+        Alcotest.(check int) "stopped vproc saw entry+exit barriers" 2
+          v.Metrics.barrier.Metrics.pause_ns.Metrics.count)
+    [ 0; 1 ];
+  Gc_util.assert_invariants ctx
+
+let test_ratify_stops_late_store () =
+  (* The flip side: a vproc that re-acquires a from-space reference
+     after its handshake (reads it out of an unscanned to-space slot)
+     and stashes it in a root must never be skipped while that
+     reference is live.  With re-clean rounds left the cycle handles it
+     barrier-free (re-handshake + skip); with the budget exhausted the
+     ratify barrier stops it.  Both paths must keep the stash valid. *)
+  let setup () =
+    let ctx = Gc_util.mk_ctx ~params:conc_params () in
+    let m0 = Ctx.mutator ctx 0 and m1 = Ctx.mutator ctx 1 in
+    let g0 = Promote.value ctx m0 (Gc_util.build_list ctx m0 [ 7; 8 ]) in
+    let r0 =
+      Roots.protect m0.Ctx.roots g0 (fun c ->
+          Promote.value ctx m0 (Mut.alloc_ref ctx m0 (Roots.get c)))
+    in
+    let rc0 = Roots.add m0.Ctx.roots r0 in
+    Concurrent_gc.start ctx;
+    let st =
+      match ctx.Ctx.conc with
+      | Some st -> st
+      | None -> Alcotest.fail "cycle ratified too early"
+    in
+    let guard = ref 0 in
+    while not (st.Ctx.cg_entered.(0) && st.Ctx.cg_entered.(1)) do
+      incr guard;
+      if !guard > 10_000 then Alcotest.fail "handshakes never completed";
+      ignore (Concurrent_gc.step ctx)
+    done;
+    (* The handshakes evacuated the ref but scanned no chunk yet, so its
+       slot still holds the from-space list pointer.  Vproc 1 reads it
+       (tainting itself) and stashes it in a root. *)
+    let got = Mut.get ctx m1 (Roots.get rc0) in
+    Alcotest.(check bool) "re-acquired value is in from-space" true
+      (in_from_space ctx got);
+    let stash = Roots.add m1.Ctx.roots got in
+    (* Push vproc 1's clock ahead so it is not the ratify lead — being
+       stopped must come from its dirtiness alone. *)
+    Ctx.charge_ns m1 1e9;
+    (ctx, m1, st, stash)
+  in
+  let check_stash label ctx m1 stash =
+    Alcotest.(check bool) (label ^ ": stash re-forwarded out of from-space")
+      false
+      (in_from_space ctx (Roots.get stash));
+    Alcotest.(check (list int)) (label ^ ": stash reads the evacuated list")
+      [ 7; 8 ]
+      (Gc_util.read_list ctx m1 (Roots.get stash));
+    Gc_util.assert_invariants ctx
+  in
+  (* Re-clean budget exhausted: the barrier must stop the dirty vproc. *)
+  let ctx, m1, st, stash = setup () in
+  st.Ctx.cg_reclean.(1) <- 1000;
+  Concurrent_gc.finish ctx;
+  let snap = Metrics.snapshot ctx.Ctx.metrics in
+  let v1 = List.find (fun v -> v.Metrics.vproc = 1) snap.Metrics.vprocs in
+  Alcotest.(check int) "dirty vproc stopped" 1 v1.Metrics.ratified;
+  Alcotest.(check int) "dirty vproc not skipped" 0 v1.Metrics.ratify_skipped;
+  Alcotest.(check int) "dirty vproc saw entry+exit barriers" 2
+    v1.Metrics.barrier.Metrics.pause_ns.Metrics.count;
+  check_stash "stopped" ctx m1 stash;
+  (* Re-clean budget available: a barrier-free re-handshake clears the
+     taint, the barrier skips the vproc, and the stash is still safe. *)
+  let ctx, m1, st, stash = setup () in
+  Concurrent_gc.finish ctx;
+  Alcotest.(check bool) "dirty vproc was re-cleaned" true
+    (st.Ctx.cg_reclean.(1) >= 1);
+  let snap = Metrics.snapshot ctx.Ctx.metrics in
+  let v1 = List.find (fun v -> v.Metrics.vproc = 1) snap.Metrics.vprocs in
+  Alcotest.(check int) "re-cleaned vproc skipped" 1 v1.Metrics.ratify_skipped;
+  Alcotest.(check int) "re-cleaned vproc saw no barrier" 0
+    v1.Metrics.barrier.Metrics.pause_ns.Metrics.count;
+  check_stash "re-cleaned" ctx m1 stash;
+  Gc_util.assert_invariants ctx
+
+let test_generation_flip_under_appends () =
+  (* Two-generation mutation log: the flip materializes the active
+     generation in address order; stores that land while that generation
+     drains go to the fresh one and leave the draining array untouched. *)
+  let ctx = Gc_util.mk_ctx () in
+  let m0 = Ctx.mutator ctx 0 and m1 = Ctx.mutator ctx 1 in
+  let mk_ref () =
+    let r = Promote.value ctx m0 (Mut.alloc_ref ctx m0 (Value.of_int 0)) in
+    Roots.add m0.Ctx.roots r
+  in
+  let refs = List.init 8 (fun _ -> mk_ref ()) in
+  let first5 = List.filteri (fun i _ -> i < 5) refs in
+  let last3 = List.filteri (fun i _ -> i >= 5) refs in
+  Ctx.charge_ns m1 1e12;
+  Concurrent_gc.start ctx;
+  ignore (Concurrent_gc.step ctx);
+  ignore (Concurrent_gc.step ctx);
+  let st =
+    match ctx.Ctx.conc with
+    | Some st -> st
+    | None -> Alcotest.fail "cycle ratified too early"
+  in
+  (* Generation 1: five stores in shuffled order. *)
+  List.iteri
+    (fun i rc -> Mut.set ctx m0 (Roots.get rc) (Value.of_int (100 + i)))
+    (match first5 with
+    | [ a; b; c; d; e ] -> [ d; a; e; c; b ]
+    | _ -> assert false);
+  let expected = ref [] in
+  Remember.iter st.Ctx.cg_log (fun slot -> expected := slot :: !expected);
+  let expected = List.rev !expected in
+  (* Step until the collector flips generation 1 out for draining. *)
+  let guard = ref 0 in
+  while Array.length st.Ctx.cg_drain = 0 do
+    incr guard;
+    if !guard > 10_000 then Alcotest.fail "flip never happened";
+    ignore (Concurrent_gc.step ctx)
+  done;
+  let drained = Array.to_list st.Ctx.cg_drain in
+  Alcotest.(check (list int)) "flip is address-ordered"
+    (List.sort compare expected) drained;
+  Alcotest.(check int) "active generation empty after flip" 0
+    (Remember.cardinal st.Ctx.cg_log);
+  (* Generation 2: appends while generation 1 drains. *)
+  List.iteri
+    (fun i rc -> Mut.set ctx m0 (Roots.get rc) (Value.of_int (200 + i)))
+    last3;
+  Alcotest.(check int) "appends land in the fresh generation" 3
+    (Remember.cardinal st.Ctx.cg_log);
+  Alcotest.(check (list int)) "draining generation untouched by appends"
+    drained
+    (Array.to_list st.Ctx.cg_drain);
+  Concurrent_gc.finish ctx;
+  List.iter2
+    (fun expected rc ->
+      Alcotest.(check int) "store survives both generations" expected
+        (Value.to_int (Mut.get ctx m0 (Roots.get rc))))
+    [ 101; 104; 103; 100; 102; 200; 201; 202 ]
+    refs;
+  Gc_util.assert_invariants ctx
+
+let test_parallel_slices_distinct_chunks () =
+  (* Two evacuation slices in one scheduler turn, on distinct vprocs and
+     distinct chunks (per-chunk claims keep them apart), with exact
+     copied-byte accounting against the STW collector. *)
+  let params =
+    {
+      conc_params with
+      Params.conc_parallel_slices = 2;
+      conc_slice_bytes = 256;
+    }
+  in
+  let build ctx =
+    let cells =
+      List.map
+        (fun v ->
+          let m = Ctx.mutator ctx v in
+          let g =
+            Promote.value ctx m
+              (Gc_util.build_list ctx m (List.init 100 (fun i -> (100 * v) + i)))
+          in
+          Roots.add m.Ctx.roots g)
+        [ 0; 1 ]
+    in
+    cells
+  in
+  (* Three vprocs: 0 and 1 carry the data and run the slices; 2 is
+     pinned far ahead to act as the virtual-time frontier (assists only
+     dispatch to vprocs strictly behind the frontier, so in a 2-vproc
+     setup the non-lead vproc could never assist). *)
+  let ctx = Gc_util.mk_ctx ~params ~n_vprocs:3 () in
+  let cells = build ctx in
+  Ctx.charge_ns (Ctx.mutator ctx 2) 1e12;
+  Concurrent_gc.start ctx;
+  let st =
+    match ctx.Ctx.conc with
+    | Some st -> st
+    | None -> Alcotest.fail "cycle ratified too early"
+  in
+  let guard = ref 0 in
+  while not (st.Ctx.cg_entered.(0) && st.Ctx.cg_entered.(1)) do
+    incr guard;
+    if !guard > 10_000 then Alcotest.fail "handshakes never completed";
+    ignore (Concurrent_gc.step ctx)
+  done;
+  (* One turn: the lead slice plus one assist on the other (idle) vproc. *)
+  let before = Array.copy st.Ctx.cg_copied_by in
+  ignore (Concurrent_gc.step_turn ctx ~idle:(fun _ -> true));
+  Alcotest.(check bool) "vproc 0 copied bytes this turn" true
+    (st.Ctx.cg_copied_by.(0) > before.(0));
+  Alcotest.(check bool) "vproc 1 copied bytes this turn" true
+    (st.Ctx.cg_copied_by.(1) > before.(1));
+  let claims =
+    Hashtbl.fold (fun chunk owner acc -> (chunk, owner) :: acc) st.Ctx.cg_claims
+      []
+  in
+  let chunks_of v =
+    List.filter_map (fun (c, o) -> if o = v then Some c else None) claims
+  in
+  Alcotest.(check bool) "both vprocs hold claims" true
+    (chunks_of 0 <> [] && chunks_of 1 <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "claimed chunks are distinct" false
+        (List.mem c (chunks_of 1)))
+    (chunks_of 0);
+  let multi =
+    List.exists
+      (fun (_, _, ev) ->
+        match ev with
+        | Obs.Event.Conc_slices { count } -> count = 2
+        | _ -> false)
+      (List.concat_map
+         (fun v -> Obs.Recorder.events ctx.Ctx.obs ~vproc:v)
+         [ 0; 1 ])
+  in
+  Alcotest.(check bool) "Conc_slices{count=2} recorded" true multi;
+  Concurrent_gc.finish ctx;
+  (* Exact accounting: an STW run over the identical graph copies the
+     same number of bytes, and the structures survive. *)
+  let ctx_stw = Gc_util.mk_ctx ~n_vprocs:3 () in
+  let cells_stw = build ctx_stw in
+  Global_gc.run ctx_stw;
+  Alcotest.(check int) "copied bytes identical to STW"
+    ctx_stw.Ctx.stats.Gc_stats.global_copied_bytes
+    ctx.Ctx.stats.Gc_stats.global_copied_bytes;
+  List.iter2
+    (fun c c_stw ->
+      Alcotest.check Gc_util.snap "structure preserved"
+        (Gc_util.snapshot ctx_stw (Roots.get c_stw))
+        (Gc_util.snapshot ctx (Roots.get c)))
+    cells cells_stw;
+  Gc_util.assert_invariants ctx;
+  Gc_util.assert_invariants ctx_stw
 
 let test_stw_refuses_mid_cycle () =
   (* A stop-the-world run over a half-evacuated heap would double-copy
@@ -304,6 +567,14 @@ let suite =
         test_conc_triggered_by_budget;
       Alcotest.test_case "barrier wait is its own pause kind" `Quick
         test_barrier_pause_kind;
+      Alcotest.test_case "ratify skips quiescent vprocs" `Quick
+        test_ratify_skips_quiescent;
+      Alcotest.test_case "ratify stops a vproc after one late store" `Quick
+        test_ratify_stops_late_store;
+      Alcotest.test_case "log generation flip under concurrent appends" `Quick
+        test_generation_flip_under_appends;
+      Alcotest.test_case "parallel slices evacuate distinct chunks" `Quick
+        test_parallel_slices_distinct_chunks;
       Alcotest.test_case "STW refuses while a cycle is in flight" `Quick
         test_stw_refuses_mid_cycle;
       QCheck_alcotest.to_alcotest prop_conc_gc_random_graphs;

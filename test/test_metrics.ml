@@ -228,7 +228,7 @@ let test_csv () =
   let s = Metrics.snapshot (mk_recorder ()) in
   let lines = String.split_on_char '\n' (Metrics.snapshot_to_csv s) in
   Alcotest.(check string) "header"
-    "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,p999_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes"
+    "vproc,kind,count,total_ns,min_ns,max_ns,p50_ns,p90_ns,p99_ns,p999_ns,bytes_total,bytes_p50,bytes_p99,chunk_acquires,steal_attempts,steal_successes,ratified,ratify_skipped"
     (List.nth lines 0);
   (* 2 vprocs x (5 kinds + 1 request row) + header + trailing newline. *)
   Alcotest.(check int) "row count" 14 (List.length lines);

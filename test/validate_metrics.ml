@@ -186,6 +186,10 @@ let validate_global path body =
       in
       let stw_p999 = check_mode "stw" in
       let conc_p999 = check_mode "concurrent" in
+      ignore (check_mode "concurrent_serial" : float);
+      (match J.member "conc_parallel_slices" j with
+      | Some (J.Num s) when s >= 1. -> ()
+      | _ -> fail "missing or non-positive conc_parallel_slices");
       let ratio =
         match J.member "pause_p999_ratio" j with
         | Some (J.Num r) -> r
@@ -195,9 +199,29 @@ let validate_global path body =
         fail "pause_p999_ratio does not match the mode p99.9s";
       if ratio < 5. then
         fail "concurrent p99.9 pause only %.1fx below STW, need >= 5x" ratio;
+      (* The serial-points gate: the barrier-kind p99.9 of the dirty-only
+         parallel collector must sit >= 5x below the serial-concurrent
+         ablation's (1ns floor on the denominator, as in the bench). *)
+      let b999 name = num (mode name) "barrier_p999_ns" in
+      let b_serial = b999 "concurrent_serial" in
+      let b_conc = b999 "concurrent" in
+      if b999 "stw" < 0. then fail "stw mode: negative barrier p99.9";
+      let b_ratio =
+        match J.member "barrier_p999_ratio" j with
+        | Some (J.Num r) -> r
+        | _ -> fail "missing barrier_p999_ratio"
+      in
+      let expect = b_serial /. Float.max b_conc 1. in
+      if Float.abs (b_ratio -. expect) > 1e-6 *. Float.max b_ratio 1. then
+        fail "barrier_p999_ratio does not match the mode barrier p99.9s";
+      if b_ratio < 5. then
+        fail "dirty-only ratify barrier p99.9 only %.1fx below serial, need \
+             >= 5x"
+          b_ratio;
       Printf.printf
-        "%s: OK (global bench, concurrent p99.9 pause %.1fx below STW)\n" path
-        ratio
+        "%s: OK (global bench, concurrent p99.9 pause %.1fx below STW, \
+         barrier p99.9 %.1fx below serial)\n"
+        path ratio b_ratio
 
 (* --compare BASELINE: walk both JSON trees in lockstep and fail when a
    shared numeric leaf drifts by more than the tolerance (relative, with
