@@ -101,7 +101,7 @@ let write_metrics_json ~path ~name ~fast =
     | Some fig ->
         Harness.Figures.sweep_metrics (Harness.Figures.fig_results fig ~fast ())
     | None ->
-        let merged = M.create ~n_vprocs:0 in
+        let merged = M.create ~n_vprocs:0 () in
         List.iter
           (fun (_, (o : Harness.Run_config.outcome)) ->
             M.merge ~into:merged o.Harness.Run_config.metrics)

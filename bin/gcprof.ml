@@ -4,7 +4,15 @@
    Prints pause-attribution tables (collections by kind x cause), the
    per-vproc collection timeline and summary, scheduler/chunk/allocation
    counters and the NUMA traffic heatmap; [--chrome FILE] additionally
-   exports the reconstructed collections as Chrome trace-event JSON.
+   exports the reconstructed collections as Chrome trace-event JSON and
+   [--cycles] appends the per-concurrent-cycle critical-path report
+   (phase blame summing to 100% of each cycle's wall time, straggler
+   vprocs per handshake/ratify round, slow requests linked back to the
+   cycle+phase they overlapped).
+
+   Parsing is strict: a truncated or corrupt dump exits 2 with a
+   diagnostic instead of silently analyzing the readable prefix;
+   [--partial] is the salvage escape hatch.
 
    Exit codes: 0 ok; 2 unreadable or unparsable dump. *)
 
@@ -147,7 +155,8 @@ let print_counters r =
             incr samples;
             sampled_bytes := !sampled_bytes + bytes
         | Event.Req_done _ | Event.Coll_begin _ | Event.Coll_end _
-        | Event.Conc_slices _ | Event.Conc_ratify _ -> ())
+        | Event.Conc_slices _ | Event.Conc_ratify _ | Event.Conc_round _
+        | Event.Conc_cycle _ -> ())
       (Obs.Recorder.events r ~vproc:v)
   done;
   Printf.printf "scheduler: %d steal attempts, %d successes%s\n" !attempts
@@ -189,7 +198,7 @@ let print_conc_phases r =
     List.iter
       (fun (_, _, ev) ->
         match ev with
-        | Event.Conc_phase { phase; dur_ns } ->
+        | Event.Conc_phase { phase; dur_ns; _ } ->
             let p = conc_phase_index phase in
             if p >= 0 then begin
               sums.(v).(p) <- sums.(v).(p) + dur_ns;
@@ -242,11 +251,11 @@ let print_conc_parallel r =
     List.iter
       (fun (_, _, ev) ->
         match ev with
-        | Event.Conc_slices { count } ->
+        | Event.Conc_slices { count; _ } ->
             incr turns;
             slices := !slices + count;
             if count > !max_par then max_par := count
-        | Event.Conc_ratify { ratified = rr; skipped = s } ->
+        | Event.Conc_ratify { ratified = rr; skipped = s; _ } ->
             incr cycles;
             ratified := !ratified + rr;
             skipped := !skipped + s
@@ -392,19 +401,273 @@ let print_request_latencies r colls =
       print_string "  (no collections overlap the slow requests)\n"
   end
 
+(* --- Per-cycle critical-path blame (--cycles) ----------------------- *)
+
+(* Everything the recorder knows about one concurrent cycle, keyed by
+   the cycle id the collector threads through its Conc_* events. *)
+type cycle_info = {
+  mutable c_end_ns : float;  (* lead clock at ratify exit (Conc_cycle) *)
+  mutable c_dur_ns : int;
+  mutable c_slices : int;
+  mutable c_closed : bool;  (* saw the Conc_cycle terminator *)
+  mutable c_ivals : (Event.global_phase * int * float * float) list;
+      (* (phase, vproc, t0, t1) slice intervals, from Conc_phase *)
+  mutable c_rounds : (bool * int * int) list;  (* (exit?, straggler, wait) *)
+  mutable c_ratified : int;
+  mutable c_skipped : int;
+}
+
+let gather_cycles r =
+  let tbl = Hashtbl.create 8 in
+  let get cycle =
+    match Hashtbl.find_opt tbl cycle with
+    | Some c -> c
+    | None ->
+        let c =
+          {
+            c_end_ns = 0.;
+            c_dur_ns = 0;
+            c_slices = 0;
+            c_closed = false;
+            c_ivals = [];
+            c_rounds = [];
+            c_ratified = 0;
+            c_skipped = 0;
+          }
+        in
+        Hashtbl.add tbl cycle c;
+        c
+  in
+  for v = 0 to Obs.Recorder.n_vprocs r - 1 do
+    List.iter
+      (fun (_, t_ns, ev) ->
+        match ev with
+        | Event.Conc_phase { cycle; phase; dur_ns } ->
+            let c = get cycle in
+            c.c_ivals <-
+              (phase, v, t_ns -. float_of_int dur_ns, t_ns) :: c.c_ivals
+        | Event.Conc_round { cycle; exit; straggler; wait_ns } ->
+            let c = get cycle in
+            c.c_rounds <- (exit, straggler, wait_ns) :: c.c_rounds
+        | Event.Conc_ratify { cycle; ratified; skipped } ->
+            let c = get cycle in
+            c.c_ratified <- ratified;
+            c.c_skipped <- skipped
+        | Event.Conc_cycle { cycle; dur_ns; slices } ->
+            let c = get cycle in
+            c.c_end_ns <- t_ns;
+            c.c_dur_ns <- dur_ns;
+            c.c_slices <- slices;
+            c.c_closed <- true
+        | _ -> ())
+      (Obs.Recorder.events r ~vproc:v)
+  done;
+  List.sort compare (Hashtbl.fold (fun id c acc -> (id, c) :: acc) tbl [])
+
+(* Blame priority when slices overlap in virtual time: barrier work
+   first (it serializes everyone), then the handshake and retarget
+   paths that gate progress, then mark/claim bookkeeping, with bulk
+   evacuation last — the most parallel phase absorbs overlap least. *)
+let blame_phases =
+  [|
+    Event.Exit; Event.Handshake; Event.Retarget; Event.Mark; Event.Claim;
+    Event.Evacuate;
+  |]
+
+let blame_rank p =
+  let r = ref (Array.length blame_phases) in
+  Array.iteri (fun i q -> if p = q then r := i) blame_phases;
+  !r
+
+(* Sweep the cycle window's elementary segments, assigning each to the
+   highest-priority phase whose slice interval covers it (or to
+   mutator-only execution when none does).  The segments partition the
+   window, so the shares sum to the wall time exactly — the printed
+   self-check is computed, not assumed. *)
+let cycle_blame c =
+  let lo = c.c_end_ns -. float_of_int c.c_dur_ns and hi = c.c_end_ns in
+  let ivals =
+    List.filter_map
+      (fun (p, _, s, e) ->
+        let s = Float.max lo s and e = Float.min hi e in
+        if e > s then Some (p, s, e) else None)
+      c.c_ivals
+  in
+  let cuts =
+    List.sort_uniq compare
+      (lo :: hi :: List.concat_map (fun (_, s, e) -> [ s; e ]) ivals)
+  in
+  let n_cats = Array.length blame_phases + 1 in
+  let shares = Array.make n_cats 0. in
+  let rec sweep = function
+    | s :: (e :: _ as rest) ->
+        let mid = (s +. e) /. 2. in
+        let cat =
+          List.fold_left
+            (fun acc (p, is, ie) ->
+              if is <= mid && mid < ie then min acc (blame_rank p) else acc)
+            (n_cats - 1) ivals
+        in
+        shares.(cat) <- shares.(cat) +. (e -. s);
+        sweep rest
+    | _ -> ()
+  in
+  sweep cuts;
+  shares
+
+let print_cycles r =
+  let cycles = gather_cycles r in
+  let closed = List.filter (fun (_, c) -> c.c_closed) cycles in
+  let open_cycles = List.length cycles - List.length closed in
+  if cycles = [] then
+    print_string
+      "concurrent cycle report: no concurrent cycles recorded (STW mode, or \
+       no global collection ran)\n"
+  else begin
+    Printf.printf "concurrent cycle report: %d cycle(s) reconstructed%s\n"
+      (List.length closed)
+      (if open_cycles > 0 then
+         Printf.sprintf
+           " (%d more without a cycle-end event: in flight at dump, or lost \
+            to ring overwrite)"
+           open_cycles
+       else "");
+    let us ns = ns /. 1_000. in
+    List.iter
+      (fun (id, c) ->
+        let wall = float_of_int c.c_dur_ns in
+        Printf.printf
+          "cycle %d: wall %.1fus (ending at %.1fus), %d slices, ratified %d \
+           / skipped %d\n"
+          id (us wall) (us c.c_end_ns) c.c_slices c.c_ratified c.c_skipped;
+        let shares = cycle_blame c in
+        let total = Array.fold_left ( +. ) 0. shares in
+        print_string "  phase blame:";
+        Array.iteri
+          (fun i p ->
+            if shares.(i) > 0. then
+              Printf.printf " %s %.1fus (%.0f%%)" (Event.phase_to_string p)
+                (us shares.(i))
+                (100. *. shares.(i) /. Float.max 1. total))
+          blame_phases;
+        let mut = shares.(Array.length blame_phases) in
+        if mut > 0. then
+          Printf.printf " mutator-only %.1fus (%.0f%%)" (us mut)
+            (100. *. mut /. Float.max 1. total);
+        print_newline ();
+        Printf.printf
+          "  attribution self-check: %.0f%% of cycle wall time attributed \
+           (%.1fus of %.1fus)\n"
+          (if wall > 0. then 100. *. total /. wall else 100.)
+          (us total) (us wall);
+        (* Handshake round: the vproc whose handshake slice finished
+           last bounded the root-scan wave. *)
+        (match
+           List.fold_left
+             (fun acc (p, v, _, e) ->
+               if p = Event.Handshake then
+                 match acc with
+                 | Some (_, e') when e' >= e -> acc
+                 | _ -> Some (v, e)
+               else acc)
+             None c.c_ivals
+         with
+        | Some (v, e) ->
+            Printf.printf
+              "  handshake round: straggler vproc %d (last handshake done at \
+               %.1fus)\n"
+              v (us e)
+        | None -> ());
+        List.iter
+          (fun (exit, straggler, wait_ns) ->
+            Printf.printf "  ratify %s round: straggler vproc %d, spread %.1fus\n"
+              (if exit then "exit" else "entry")
+              straggler
+              (us (float_of_int wait_ns)))
+          (List.rev c.c_rounds))
+      closed;
+    (* Link the slow tail back to the cycle (and dominant phase) each
+       request overlapped — the per-cycle refinement of the kind x cause
+       table above. *)
+    let ws = request_windows r in
+    if ws <> [] then begin
+      let lats = Array.of_list (List.map (fun (lo, hi) -> hi -. lo) ws) in
+      Array.sort compare lats;
+      let thresh = pctl lats 0.99 in
+      let slow =
+        List.sort compare (List.filter (fun (lo, hi) -> hi -. lo >= thresh) ws)
+      in
+      let linked = ref 0 in
+      let lines = Buffer.create 256 in
+      List.iter
+        (fun (rlo, rhi) ->
+          (* The cycle this request overlapped most. *)
+          let best =
+            List.fold_left
+              (fun acc (id, c) ->
+                let clo = c.c_end_ns -. float_of_int c.c_dur_ns in
+                let s = Float.max rlo clo and e = Float.min rhi c.c_end_ns in
+                let ov = e -. s in
+                match acc with
+                | Some (_, _, ov') when ov' >= ov -> acc
+                | _ when ov > 0. -> Some (id, c, ov)
+                | _ -> acc)
+              None closed
+          in
+          match best with
+          | None -> ()
+          | Some (id, c, ov) ->
+              incr linked;
+              (* Dominant phase inside the overlapped stretch: same
+                 sweep, restricted to the request's window. *)
+              let clipped =
+                {
+                  c with
+                  c_end_ns = Float.min rhi c.c_end_ns;
+                  c_dur_ns =
+                    int_of_float
+                      (Float.min rhi c.c_end_ns
+                      -. Float.max rlo (c.c_end_ns -. float_of_int c.c_dur_ns));
+                }
+              in
+              let shares = cycle_blame clipped in
+              let dom = ref (Array.length blame_phases) in
+              Array.iteri
+                (fun i _ -> if shares.(i) > shares.(!dom) then dom := i)
+                (Array.make (Array.length blame_phases) ());
+              let dom_name =
+                if !dom >= Array.length blame_phases then "mutator-only"
+                else Event.phase_to_string blame_phases.(!dom)
+              in
+              Buffer.add_string lines
+                (Printf.sprintf
+                   "  lat %.1fus done@%.1fus -> cycle %d, dominant phase %s \
+                    (%.0f%% of the request overlapped it)\n"
+                   ((rhi -. rlo) /. 1_000.)
+                   (rhi /. 1_000.) id dom_name
+                   (100. *. ov /. Float.max 1. (rhi -. rlo))))
+        slow;
+      Printf.printf
+        "slow requests (>= p99) vs cycles: %d of %d overlap a concurrent \
+         cycle\n"
+        !linked (List.length slow);
+      print_string (Buffer.contents lines)
+    end
+  end
+
 let traffic_matrix r =
   let n = Obs.Recorder.n_nodes r in
   Array.init n (fun s ->
       Array.init n (fun d -> Obs.Recorder.matrix_get r ~src_node:s ~dst_node:d))
 
-let main dump_path chrome tail =
+let main dump_path chrome tail partial cycles =
   let text =
     try read_file dump_path
     with Sys_error m ->
       Printf.eprintf "cannot read dump: %s\n" m;
       exit 2
   in
-  match Obs.Recorder.of_string text with
+  match Obs.Recorder.of_string ~partial text with
   | Error m ->
       Printf.eprintf "cannot parse dump %s: %s\n" dump_path m;
       exit 2
@@ -414,7 +677,7 @@ let main dump_path chrome tail =
       for v = 0 to n_vprocs - 1 do
         dropped := !dropped + Obs.Recorder.dropped r ~vproc:v
       done;
-      Printf.printf "%s: %d vprocs on %d nodes, %d events surviving%s\n\n"
+      Printf.printf "%s: %d vprocs on %d nodes, %d events surviving%s\n"
         dump_path n_vprocs (Obs.Recorder.n_nodes r)
         (let n = ref 0 in
          for v = 0 to n_vprocs - 1 do
@@ -424,6 +687,20 @@ let main dump_path chrome tail =
         (if !dropped > 0 then
            Printf.sprintf " (%d overwritten in-ring)" !dropped
          else "");
+      if !dropped > 0 then begin
+        print_string "per-vproc ring drops:";
+        for v = 0 to n_vprocs - 1 do
+          let d = Obs.Recorder.dropped r ~vproc:v in
+          if d > 0 then Printf.printf " vproc %d: %d" v d
+        done;
+        print_newline ();
+        Printf.printf
+          "warning: %d event(s) were overwritten in-ring before the dump; \
+           every attribution below is computed from wrapped rings and may \
+           undercount early activity\n"
+          !dropped
+      end;
+      print_newline ();
       print_attribution r;
       print_newline ();
       let tr, orphans, colls = reconstruct r in
@@ -441,6 +718,10 @@ let main dump_path chrome tail =
       print_newline ();
       print_request_latencies r colls;
       print_newline ();
+      if cycles then begin
+        print_cycles r;
+        print_newline ()
+      end;
       print_counters r;
       print_newline ();
       print_string
@@ -473,10 +754,32 @@ let tail_arg =
     value & flag
     & info [ "tail" ] ~doc:"Also print the raw per-vproc event tails.")
 
+let partial_arg =
+  Arg.(
+    value & flag
+    & info [ "partial" ]
+        ~doc:
+          "Salvage mode: analyze the readable prefix of a truncated or \
+           corrupt dump instead of exiting with an error.")
+
+let cycles_arg =
+  Arg.(
+    value & flag
+    & info [ "cycles" ]
+        ~doc:
+          "Per-concurrent-cycle critical-path report: phase blame summing to \
+           100% of each cycle's wall time, the straggler vproc bounding each \
+           handshake/ratify round, and every >= p99 request linked to the \
+           cycle and phase it overlapped.")
+
 let () =
   let info =
     Cmd.info "gcprof"
       ~doc:"Analyze a Manticore-GC flight-recorder dump post mortem."
   in
   exit
-    (Cmd.eval (Cmd.v info Term.(const main $ dump_arg $ chrome_arg $ tail_arg)))
+    (Cmd.eval
+       (Cmd.v info
+          Term.(
+            const main $ dump_arg $ chrome_arg $ tail_arg $ partial_arg
+            $ cycles_arg)))

@@ -10,8 +10,9 @@ let write_file path s =
   close_out oc;
   Printf.eprintf "wrote %s\n" path
 
-let run name machine_name threads policy_str global_mode_str scale cache_scale
-    bw_scale trace trace_json metrics_json events census seed verbose =
+let run name machine_name threads policy_str global_mode_str global_budget
+    scale cache_scale bw_scale trace trace_json metrics_json events telemetry
+    telemetry_ms census seed verbose =
   let spec =
     match Workloads.Registry.find name with
     | Some s -> s
@@ -54,8 +55,19 @@ let run name machine_name threads policy_str global_mode_str scale cache_scale
       trace = trace || trace_json <> None;
       census;
       seed;
+      telemetry =
+        Option.map (fun path -> (path, telemetry_ms *. 1e6)) telemetry;
       params =
-        { base.Harness.Run_config.params with Manticore_gc.Params.global_gc_mode };
+        {
+          base.Harness.Run_config.params with
+          Manticore_gc.Params.global_gc_mode;
+          global_budget_per_vproc =
+            (match global_budget with
+            | None ->
+                base.Harness.Run_config.params
+                  .Manticore_gc.Params.global_budget_per_vproc
+            | Some kib -> kib * 1024);
+        };
     }
   in
   let o = Harness.Run_config.execute spec cfg in
@@ -91,7 +103,13 @@ let run name machine_name threads policy_str global_mode_str scale cache_scale
   Option.iter
     (fun path ->
       write_file path (Obs.Recorder.to_string o.Harness.Run_config.obs))
-    events
+    events;
+  Option.iter
+    (fun path ->
+      Printf.eprintf "streamed %d OpenMetrics exposition(s) to %s\n"
+        (Manticore_gc.Metrics.stream_emitted o.Harness.Run_config.metrics)
+        path)
+    telemetry
 
 let name_arg =
   Arg.(
@@ -121,6 +139,17 @@ let global_mode_arg =
           "Global-collection mode: $(b,stw) (the paper's parallel \
            stop-the-world collection) or $(b,concurrent) (incremental chunk \
            evacuation with bounded slices and a short ratify barrier).")
+
+let global_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "global-budget" ] ~docv:"KIB"
+        ~doc:
+          "Global-collection trigger budget per vproc, in KiB (default \
+           768).  Tighten (e.g. 64) to force global cycles on workloads \
+           that would otherwise stay within the local heaps — useful with \
+           $(b,--global-mode concurrent) and $(b,gcprof --cycles).")
 
 let scale_arg =
   Arg.(value & opt float 1.0 & info [ "s"; "scale" ] ~doc:"Workload scale factor.")
@@ -166,6 +195,23 @@ let events_arg =
           "Write the flight recorder's event dump (per-vproc rings, NUMA \
            traffic matrix); analyze it with gcprof.")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Stream OpenMetrics exposition blocks to $(docv) while the run is \
+           in flight (one block every $(b,--telemetry-interval) of virtual \
+           time, plus a final one); validate with validate_metrics \
+           --openmetrics.")
+
+let telemetry_interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "telemetry-interval" ] ~docv:"MS"
+        ~doc:"Virtual-time interval between telemetry emissions, in ms.")
+
 let census_arg =
   Arg.(
     value & flag & info [ "census" ] ~doc:"Render a post-run heap census.")
@@ -183,6 +229,8 @@ let () =
        (Cmd.v info
           Term.(
             const run $ name_arg $ machine_arg $ threads_arg $ policy_arg
-            $ global_mode_arg $ scale_arg $ cache_scale_arg $ bw_scale_arg
+            $ global_mode_arg $ global_budget_arg $ scale_arg $ cache_scale_arg
+            $ bw_scale_arg
             $ trace_arg $ trace_json_arg $ metrics_json_arg $ events_arg
-            $ census_arg $ seed_arg $ verbose_arg)))
+            $ telemetry_arg $ telemetry_interval_arg $ census_arg $ seed_arg
+            $ verbose_arg)))

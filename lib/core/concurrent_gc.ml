@@ -172,7 +172,7 @@ let record_barrier_wait ctx (m : Ctx.mutator) ~cause ~t_from ~t_to =
       t_end_ns = t_to;
       bytes = 0;
     };
-  Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
+  Metrics.record_pause ~cause ~t_ns:t_to ctx.Ctx.metrics ~vproc:m.Ctx.id
     ~kind:Gc_trace.Barrier ~ns:(t_to -. t_from) ~bytes:0;
   Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:t_to
     (Obs.Event.Coll_end { kind = Barrier; cause; bytes = 0 })
@@ -191,7 +191,12 @@ let record_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) ~t_start
     (fun (phase, dur_ns) ->
       if dur_ns > 0. then
         Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
-          (Obs.Event.Conc_phase { phase; dur_ns = int_of_float dur_ns }))
+          (Obs.Event.Conc_phase
+             {
+               cycle = st.Ctx.cg_cycle;
+               phase;
+               dur_ns = int_of_float dur_ns;
+             }))
     phases;
   Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
     (Obs.Event.Coll_end { kind = Global; cause; bytes });
@@ -205,8 +210,10 @@ let record_slice ctx (st : Ctx.conc_state) (m : Ctx.mutator) ~t_start
       t_end_ns = m.Ctx.now_ns;
       bytes;
     };
-  Metrics.record_pause ctx.Ctx.metrics ~vproc:m.Ctx.id ~kind:Gc_trace.Global
-    ~ns:(m.Ctx.now_ns -. t_start) ~bytes
+  Metrics.record_pause ~t_ns:m.Ctx.now_ns ctx.Ctx.metrics ~vproc:m.Ctx.id
+    ~kind:Gc_trace.Global
+    ~ns:(m.Ctx.now_ns -. t_start)
+    ~bytes
 
 (* ------------------------------------------------------------------ *)
 (* Slices                                                              *)
@@ -496,6 +503,25 @@ let ratify ctx (st : Ctx.conc_state) =
         if ratified.(m.Ctx.id) then Float.max acc m.Ctx.now_ns else acc)
       0. muts
   in
+  (* Entry round: the straggler is the last ratified vproc to arrive —
+     it alone bounded [t_sync] — and the wait is the spread it imposed
+     on the earliest arrival. *)
+  (let straggler = ref lead.Ctx.id and t_min = ref Float.infinity in
+   Array.iter
+     (fun (m : Ctx.mutator) ->
+       if ratified.(m.Ctx.id) then begin
+         if arrivals.(m.Ctx.id) >= t_sync then straggler := m.Ctx.id;
+         if arrivals.(m.Ctx.id) < !t_min then t_min := arrivals.(m.Ctx.id)
+       end)
+     muts;
+   Obs.Recorder.record ctx.Ctx.obs ~vproc:lead.Ctx.id ~t_ns:t_sync
+     (Obs.Event.Conc_round
+        {
+          cycle = st.Ctx.cg_cycle;
+          exit = false;
+          straggler = !straggler;
+          wait_ns = int_of_float (Float.max 0. (t_sync -. !t_min));
+        }));
   iter_r (fun m ->
       record_barrier_wait ctx m ~cause ~t_from:m.Ctx.now_ns ~t_to:t_sync;
       m.Ctx.now_ns <- t_sync;
@@ -624,6 +650,34 @@ let ratify ctx (st : Ctx.conc_state) =
         if ratified.(m.Ctx.id) then Float.max acc m.Ctx.now_ns else acc)
       0. muts
   in
+  (* Exit round: the straggler is the ratified vproc whose in-barrier
+     work ran longest (it bounded [t_exit]); everyone else's wait is the
+     time they idled for it.  The whole barrier span [t_sync, t_exit]
+     is also recorded as one Exit-phase interval so gcprof can attribute
+     it within the cycle timeline. *)
+  (let straggler = ref lead.Ctx.id and t_min = ref Float.infinity in
+   Array.iter
+     (fun (m : Ctx.mutator) ->
+       if ratified.(m.Ctx.id) then begin
+         if m.Ctx.now_ns >= t_exit then straggler := m.Ctx.id;
+         if m.Ctx.now_ns < !t_min then t_min := m.Ctx.now_ns
+       end)
+     muts;
+   Obs.Recorder.record ctx.Ctx.obs ~vproc:lead.Ctx.id ~t_ns:t_exit
+     (Obs.Event.Conc_round
+        {
+          cycle = st.Ctx.cg_cycle;
+          exit = true;
+          straggler = !straggler;
+          wait_ns = int_of_float (Float.max 0. (t_exit -. !t_min));
+        }));
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:lead.Ctx.id ~t_ns:t_exit
+    (Obs.Event.Conc_phase
+       {
+         cycle = st.Ctx.cg_cycle;
+         phase = Obs.Event.Exit;
+         dur_ns = int_of_float (Float.max 0. (t_exit -. t_sync));
+       });
   iter_r (fun m ->
       record_barrier_wait ctx m ~cause ~t_from:m.Ctx.now_ns ~t_to:t_exit;
       m.Ctx.now_ns <- t_exit;
@@ -640,8 +694,8 @@ let ratify ctx (st : Ctx.conc_state) =
           t_end_ns = m.Ctx.now_ns;
           bytes;
         };
-      Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
-        ~kind:Gc_trace.Global
+      Metrics.record_pause ~cause ~t_ns:m.Ctx.now_ns ctx.Ctx.metrics
+        ~vproc:m.Ctx.id ~kind:Gc_trace.Global
         ~ns:(m.Ctx.now_ns -. arrivals.(m.Ctx.id))
         ~bytes;
       Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
@@ -653,7 +707,18 @@ let ratify ctx (st : Ctx.conc_state) =
     muts;
   Obs.Recorder.record ctx.Ctx.obs ~vproc:lead.Ctx.id ~t_ns:lead.Ctx.now_ns
     (Obs.Event.Conc_ratify
-       { ratified = n_ratified; skipped = Array.length muts - n_ratified });
+       {
+         cycle = st.Ctx.cg_cycle;
+         ratified = n_ratified;
+         skipped = Array.length muts - n_ratified;
+       });
+  Obs.Recorder.record ctx.Ctx.obs ~vproc:lead.Ctx.id ~t_ns:lead.Ctx.now_ns
+    (Obs.Event.Conc_cycle
+       {
+         cycle = st.Ctx.cg_cycle;
+         dur_ns = int_of_float (lead.Ctx.now_ns -. st.Ctx.cg_t_start);
+         slices = st.Ctx.cg_slices;
+       });
   let copied_total = Array.fold_left ( + ) 0 st.Ctx.cg_copied_by in
   ctx.Ctx.stats.Gc_stats.global_count <-
     ctx.Ctx.stats.Gc_stats.global_count + 1;
@@ -709,6 +774,7 @@ let start ?(cause = Obs.Gc_cause.Forced) ctx =
         cg_claims = Hashtbl.create 16;
         cg_t_start = t0;
         cg_slices = 0;
+        cg_cycle = ctx.Ctx.stats.Gc_stats.global_count;
       }
     in
     ctx.Ctx.conc <- Some st;
@@ -799,7 +865,7 @@ let assist ctx (m : Ctx.mutator) =
 let step_turn ctx ~idle =
   match ctx.Ctx.conc with
   | None -> false
-  | Some _ ->
+  | Some st ->
       let lead = min_clock_vproc ctx in
       (* Assists may only consume idle time that has already passed for
          some other vproc: a vproc behind the virtual-time frontier (the
@@ -830,7 +896,8 @@ let step_turn ctx ~idle =
         if !assists > 0 then
           Obs.Recorder.record ctx.Ctx.obs ~vproc:lead.Ctx.id
             ~t_ns:lead.Ctx.now_ns
-            (Obs.Event.Conc_slices { count = 1 + !assists })
+            (Obs.Event.Conc_slices
+               { cycle = st.Ctx.cg_cycle; count = 1 + !assists })
       end;
       in_flight
 

@@ -57,6 +57,10 @@ type conc_state = {
          a takeover, so two slices in one turn scan distinct chunks *)
   cg_t_start : float;  (* virtual time the collection started *)
   mutable cg_slices : int;
+  cg_cycle : int;
+      (* 0-based id of this concurrent cycle (the global-collection count
+         when it started), threaded through every Conc_* obs event so
+         gcprof can reconstruct per-cycle phase timelines *)
 }
 
 type t = {
@@ -142,7 +146,7 @@ let create ?(params = Params.default) ?(cap_scale = 1.) ~machine ~n_vprocs
     conc = None;
     stats = Gc_stats.create ();
     trace = Gc_trace.create ();
-    metrics = Metrics.create ~n_vprocs;
+    metrics = Metrics.create ~n_vprocs ();
     obs =
       Obs.Recorder.create ~n_vprocs
         ~n_nodes:(Numa.Topology.n_nodes machine)

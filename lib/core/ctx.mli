@@ -64,6 +64,10 @@ type conc_state = {
       (** [Chunk.id -> vproc] evacuation claims for parallel slices *)
   cg_t_start : float;  (** virtual time the collection started *)
   mutable cg_slices : int;  (** collector slices run so far *)
+  cg_cycle : int;
+      (** 0-based id of this concurrent cycle (the global-collection
+          count when it started), threaded through every [Conc_*] obs
+          event so gcprof can reconstruct per-cycle phase timelines *)
 }
 (** In-flight concurrent global collection (see {!Concurrent_gc}).  Kept
     here so the {!Mut} write barrier, the scheduler, and the checkers can

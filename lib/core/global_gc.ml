@@ -31,7 +31,7 @@ let record_barrier_wait ctx (m : Ctx.mutator) ~cause ~t_from ~t_to =
       t_end_ns = t_to;
       bytes = 0;
     };
-  Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
+  Metrics.record_pause ~cause ~t_ns:t_to ctx.Ctx.metrics ~vproc:m.Ctx.id
     ~kind:Gc_trace.Barrier ~ns:(t_to -. t_from) ~bytes:0;
   Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:t_to
     (Obs.Event.Coll_end { kind = Barrier; cause; bytes = 0 })
@@ -266,8 +266,8 @@ let run ?(cause = Obs.Gc_cause.Forced) ctx =
           t_end_ns = m.Ctx.now_ns;
           bytes = copied_by.(m.Ctx.id);
         };
-      Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
-        ~kind:Gc_trace.Global
+      Metrics.record_pause ~cause ~t_ns:m.Ctx.now_ns ctx.Ctx.metrics
+        ~vproc:m.Ctx.id ~kind:Gc_trace.Global
         ~ns:(m.Ctx.now_ns -. t_start)
         ~bytes:copied_by.(m.Ctx.id);
       Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns

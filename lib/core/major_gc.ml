@@ -166,7 +166,7 @@ let run ?(cause = Obs.Gc_cause.Forced) ctx (m : Ctx.mutator) =
       t_end_ns = m.Ctx.now_ns;
       bytes = !copied;
     };
-  Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
+  Metrics.record_pause ~cause ~t_ns:m.Ctx.now_ns ctx.Ctx.metrics ~vproc:m.Ctx.id
     ~kind:Gc_trace.Major ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!copied;
   Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
     (Obs.Event.Coll_end { kind = Major; cause; bytes = !copied });

@@ -320,6 +320,98 @@ let hist_percentile h p =
     go 0 0
   end
 
+let hist_reset h =
+  Array.fill h.counts 0 n_buckets 0;
+  h.n <- 0;
+  h.sum <- 0.;
+  h.vmin <- 0.;
+  h.vmax <- 0.
+
+(* ------------------------------------------------------------------ *)
+(* Windowed histograms                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A sliding window over virtual time: a ring of per-epoch
+   sub-histograms.  Samples land in the sub-histogram of their epoch
+   (epoch = floor (t_ns / epoch_ns)); advancing time reuses the oldest
+   slot, so at any moment the ring holds the last [epochs] epochs and a
+   query merges the populated slots.  Recording stays O(1) and querying
+   O(epochs * n_buckets) — cheap enough to evaluate on every scrape. *)
+
+type windowed = {
+  w_epoch_ns : float;
+  w_ring : hist array;
+  w_epoch_ids : int array; (* epoch id held by each slot; -1 = empty *)
+  w_over : int array; (* samples above [w_thresh] per slot *)
+  mutable w_cur : int; (* newest epoch id seen; -1 before any sample *)
+  mutable w_thresh : float; (* SLO threshold; nan disables tracking *)
+}
+
+let windowed_create ?(epochs = 8) ~epoch_ns () =
+  if epochs <= 0 then invalid_arg "windowed_create: epochs must be positive";
+  if not (epoch_ns > 0.) then
+    invalid_arg "windowed_create: epoch_ns must be positive";
+  {
+    w_epoch_ns = epoch_ns;
+    w_ring = Array.init epochs (fun _ -> hist_create ());
+    w_epoch_ids = Array.make epochs (-1);
+    w_over = Array.make epochs 0;
+    w_cur = -1;
+    w_thresh = Float.nan;
+  }
+
+let windowed_epochs w = Array.length w.w_ring
+let windowed_epoch_ns w = w.w_epoch_ns
+let windowed_current_epoch w = w.w_cur
+
+(* Rotate forward to epoch [e], clearing every slot that is being
+   reused.  A jump larger than the ring clears everything once (the
+   loop is clamped), so an idle stretch costs O(epochs), not O(gap). *)
+let windowed_rotate w e =
+  if e > w.w_cur then begin
+    let n = Array.length w.w_ring in
+    let lo = Stdlib.max (w.w_cur + 1) (e - n + 1) in
+    for i = lo to e do
+      let s = i mod n in
+      hist_reset w.w_ring.(s);
+      w.w_epoch_ids.(s) <- i;
+      w.w_over.(s) <- 0
+    done;
+    w.w_cur <- e
+  end
+
+let windowed_add w ~t_ns v =
+  let t_ns = Float.max t_ns 0. in
+  let e = int_of_float (Float.floor (t_ns /. w.w_epoch_ns)) in
+  windowed_rotate w e;
+  let n = Array.length w.w_ring in
+  let s = e mod n in
+  (* A sample older than the ring retains (a laggard vproc clock) is
+     dropped rather than polluting a newer epoch's slot. *)
+  if w.w_epoch_ids.(s) = e then begin
+    hist_add w.w_ring.(s) v;
+    if (not (Float.is_nan w.w_thresh)) && v > w.w_thresh then
+      w.w_over.(s) <- w.w_over.(s) + 1
+  end
+
+(* Merge the (up to) [last] newest populated epochs; also return how
+   many samples in them exceeded the threshold. *)
+let windowed_merge ?last w =
+  let n = Array.length w.w_ring in
+  let last = match last with None -> n | Some l -> Stdlib.min (Stdlib.max l 1) n in
+  let acc = hist_create () in
+  let over = ref 0 in
+  let lo = w.w_cur - last + 1 in
+  Array.iteri
+    (fun s h ->
+      let e = w.w_epoch_ids.(s) in
+      if e >= 0 && e >= lo then begin
+        hist_merge ~into:acc h;
+        over := !over + w.w_over.(s)
+      end)
+    w.w_ring;
+  (acc, !over)
+
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -358,9 +450,61 @@ let vrec_create () =
     v_ratify_skipped = 0;
   }
 
-type t = { mutable vrecs : vrec array }
+(* A declared latency objective: "the [slo_percentile] of request
+   latency over the last [slo_epochs] window epochs stays below
+   [slo_threshold_ns]".  Burn rate is the observed share of requests
+   over the threshold divided by the error budget (1 - percentile):
+   burn < 1 means within budget, > 1 means burning it down. *)
+type slo = {
+  slo_percentile : float;
+  slo_threshold_ns : float;
+  slo_epochs : int;
+}
 
-let create ~n_vprocs = { vrecs = Array.init n_vprocs (fun _ -> vrec_create ()) }
+type stream = {
+  str_out : out_channel;
+  str_interval_ns : float;
+  mutable str_next_ns : float;
+  mutable str_emitted : int;
+  mutable str_closed : bool;
+      (* the record outlives the channel so [stream_emitted] still
+         answers after the run closed the stream *)
+}
+
+type t = {
+  mutable vrecs : vrec array;
+  w_pause : windowed; (* all non-barrier collection pauses *)
+  w_barrier : windowed; (* barrier waits *)
+  w_req : windowed; (* request latency; carries the SLO threshold *)
+  mutable slo : slo option;
+  mutable stream : stream option;
+  mutable last_t_ns : float; (* newest event time seen, for exposition *)
+}
+
+let default_window_epoch_ns = 1_000_000. (* 1 ms of virtual time *)
+let default_window_epochs = 8
+
+let create ?(window_epoch_ns = default_window_epoch_ns)
+    ?(window_epochs = default_window_epochs) ~n_vprocs () =
+  {
+    vrecs = Array.init n_vprocs (fun _ -> vrec_create ());
+    w_pause = windowed_create ~epochs:window_epochs ~epoch_ns:window_epoch_ns ();
+    w_barrier =
+      windowed_create ~epochs:window_epochs ~epoch_ns:window_epoch_ns ();
+    w_req = windowed_create ~epochs:window_epochs ~epoch_ns:window_epoch_ns ();
+    slo = None;
+    stream = None;
+    last_t_ns = 0.;
+  }
+
+let set_slo t slo =
+  t.slo <- slo;
+  t.w_req.w_thresh <-
+    (match slo with None -> Float.nan | Some s -> s.slo_threshold_ns)
+
+let slo t = t.slo
+
+let note_time t t_ns = if t_ns > t.last_t_ns then t.last_t_ns <- t_ns
 
 let ensure t vproc =
   if vproc >= Array.length t.vrecs then begin
@@ -369,13 +513,23 @@ let ensure t vproc =
     t.vrecs <- bigger
   end
 
-let record_pause ?cause t ~vproc ~kind ~ns ~bytes =
+(* [t_ns], when given, is the (virtual) time the pause *ended*: it
+   routes the sample into the sliding window as well as the cumulative
+   histogram.  Callers that have no clock (tests, offline merges) omit
+   it and only the cumulative side is updated. *)
+let record_pause ?cause ?t_ns t ~vproc ~kind ~ns ~bytes =
   if vproc >= 0 then begin
     ensure t vproc;
     let r = t.vrecs.(vproc) in
     let k = kind_index kind in
     hist_add r.pause.(k) ns;
     hist_add r.bytes.(k) (float_of_int bytes);
+    (match t_ns with
+    | None -> ()
+    | Some now ->
+        note_time t now;
+        let w = match kind with Gc_trace.Barrier -> t.w_barrier | _ -> t.w_pause in
+        windowed_add w ~t_ns:now ns);
     match cause with
     | None -> ()
     | Some c ->
@@ -383,10 +537,15 @@ let record_pause ?cause t ~vproc ~kind ~ns ~bytes =
         r.v_causes.(i) <- r.v_causes.(i) + 1
   end
 
-let record_request t ~vproc ~ns =
+let record_request ?t_ns t ~vproc ~ns =
   if vproc >= 0 then begin
     ensure t vproc;
-    hist_add t.vrecs.(vproc).req ns
+    hist_add t.vrecs.(vproc).req ns;
+    match t_ns with
+    | None -> ()
+    | Some now ->
+        note_time t now;
+        windowed_add t.w_req ~t_ns:now ns
   end
 
 let record_chunk_acquire t ~vproc =
@@ -477,6 +636,95 @@ let dist_of_hist h =
     p99 = hist_percentile h 0.99;
     p999 = hist_percentile h 0.999;
   }
+
+let windowed_dist ?last w = dist_of_hist (fst (windowed_merge ?last w))
+
+(* Windowed view over the last [window_epochs] epochs (or fewer while
+   the ring is still filling): what "p99.9 right now" means. *)
+type window_stats = {
+  win_pause : dist;
+  win_barrier : dist;
+  win_request : dist;
+  win_epoch_ns : float;
+  win_epochs : int; (* ring size, i.e. the maximum lookback *)
+  win_newest_epoch : int; (* -1 while no sample has been windowed *)
+}
+
+let window_stats t =
+  {
+    win_pause = windowed_dist t.w_pause;
+    win_barrier = windowed_dist t.w_barrier;
+    win_request = windowed_dist t.w_req;
+    win_epoch_ns = t.w_pause.w_epoch_ns;
+    win_epochs = Array.length t.w_pause.w_ring;
+    win_newest_epoch =
+      Stdlib.max t.w_pause.w_cur (Stdlib.max t.w_barrier.w_cur t.w_req.w_cur);
+  }
+
+type slo_status = {
+  st_slo : slo;
+  st_requests : int; (* requests observed in the SLO window *)
+  st_over : int; (* of which above the threshold *)
+  st_attained_ns : float; (* the target percentile actually attained *)
+  st_burn_rate : float; (* (over/requests) / (1 - percentile) *)
+}
+
+let slo_status t =
+  match t.slo with
+  | None -> None
+  | Some s ->
+      let h, over = windowed_merge ~last:s.slo_epochs t.w_req in
+      let budget = Float.max (1. -. s.slo_percentile) 1e-9 in
+      let burn =
+        if h.n = 0 then 0.
+        else float_of_int over /. float_of_int h.n /. budget
+      in
+      Some
+        {
+          st_slo = s;
+          st_requests = h.n;
+          st_over = over;
+          st_attained_ns = hist_percentile h s.slo_percentile;
+          st_burn_rate = burn;
+        }
+
+(* The live (windowed) side of the report: sliding-window percentiles
+   and SLO burn, which the JSON snapshot deliberately omits (its shape
+   is pinned by checked-in benchmark artifacts). *)
+let window_report t =
+  let b = Buffer.create 256 in
+  let w = window_stats t in
+  if w.win_newest_epoch >= 0 then begin
+    Buffer.add_string b
+      (Printf.sprintf "sliding window (last %d x %s epochs):\n" w.win_epochs
+         (Units.ns_to_string w.win_epoch_ns));
+    let line name (d : dist) =
+      if d.count > 0 then
+        Buffer.add_string b
+          (Printf.sprintf
+             "  %-8s %7d  p50 %10s  p90 %10s  p99 %10s  p99.9 %10s\n" name
+             d.count (Units.ns_to_string d.p50) (Units.ns_to_string d.p90)
+             (Units.ns_to_string d.p99)
+             (Units.ns_to_string d.p999))
+    in
+    line "pause" w.win_pause;
+    line "barrier" w.win_barrier;
+    line "request" w.win_request
+  end;
+  (match slo_status t with
+  | None -> ()
+  | Some st ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "slo: p%g <= %s over %d epochs: attained %s, %d/%d over \
+            threshold, burn rate %.2f (%s)\n"
+           (100. *. st.st_slo.slo_percentile)
+           (Units.ns_to_string st.st_slo.slo_threshold_ns)
+           st.st_slo.slo_epochs
+           (Units.ns_to_string st.st_attained_ns)
+           st.st_over st.st_requests st.st_burn_rate
+           (if st.st_burn_rate <= 1. then "within budget" else "BURNING")));
+  Buffer.contents b
 
 let kind_stats_of r k =
   { pause_ns = dist_of_hist r.pause.(k); copied_bytes = dist_of_hist r.bytes.(k) }
@@ -743,3 +991,245 @@ let pp_summary ppf s =
              (List.map (fun (name, n) -> Printf.sprintf "%s %d" name n) vs.causes)))
     s.vprocs;
   Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One self-contained OpenMetrics text block (ending in "# EOF").  The
+   telemetry stream appends one block per emission, so a file holds a
+   time series of expositions; [validate_metrics --openmetrics] splits
+   on the terminator and checks each block. *)
+
+let om_num = Json.num_to_string
+
+let om_label_value s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let om_sample buf name labels value =
+  Buffer.add_string buf name;
+  (match labels with
+  | [] -> ()
+  | _ ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (om_label_value v);
+          Buffer.add_char buf '"')
+        labels;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (om_num value);
+  Buffer.add_char buf '\n'
+
+let om_family buf name typ help =
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ);
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help)
+
+let om_summary buf name labels d =
+  if d.count > 0 then begin
+    om_sample buf name (labels @ [ ("quantile", "0.5") ]) d.p50;
+    om_sample buf name (labels @ [ ("quantile", "0.9") ]) d.p90;
+    om_sample buf name (labels @ [ ("quantile", "0.99") ]) d.p99;
+    om_sample buf name (labels @ [ ("quantile", "0.999") ]) d.p999
+  end;
+  om_sample buf (name ^ "_count") labels (float_of_int d.count);
+  om_sample buf (name ^ "_sum") labels d.sum
+
+let to_openmetrics ?now_ns t =
+  let now = match now_ns with Some n -> n | None -> t.last_t_ns in
+  note_time t now;
+  let buf = Buffer.create 4096 in
+  let s = snapshot t in
+  let vlabel vs = [ ("vproc", string_of_int vs.vproc) ] in
+  om_family buf "gcsim_virtual_time_ns" "gauge"
+    "Virtual time of this exposition (ns).";
+  om_sample buf "gcsim_virtual_time_ns" [] now;
+  om_family buf "gcsim_pause_ns" "summary"
+    "Cumulative collector pause duration by vproc and kind (ns).";
+  List.iter
+    (fun vs ->
+      Array.iteri
+        (fun k name ->
+          let ks =
+            match k with
+            | 0 -> vs.minor
+            | 1 -> vs.major
+            | 2 -> vs.promotion
+            | 3 -> vs.global
+            | _ -> vs.barrier
+          in
+          if ks.pause_ns.count > 0 then
+            om_summary buf "gcsim_pause_ns"
+              (vlabel vs @ [ ("kind", name) ])
+              ks.pause_ns)
+        kind_names)
+    s.vprocs;
+  om_family buf "gcsim_request_ns" "summary"
+    "Cumulative request latency by vproc (ns).";
+  List.iter
+    (fun vs ->
+      if vs.requests.count > 0 then
+        om_summary buf "gcsim_request_ns" (vlabel vs) vs.requests)
+    s.vprocs;
+  let w = window_stats t in
+  let wlabel =
+    [
+      ("epoch_ns", om_num w.win_epoch_ns);
+      ("epochs", string_of_int w.win_epochs);
+    ]
+  in
+  om_family buf "gcsim_window_pause_ns" "summary"
+    "Collector pauses (non-barrier) over the sliding window (ns).";
+  om_summary buf "gcsim_window_pause_ns" wlabel w.win_pause;
+  om_family buf "gcsim_window_barrier_ns" "summary"
+    "Barrier waits over the sliding window (ns).";
+  om_summary buf "gcsim_window_barrier_ns" wlabel w.win_barrier;
+  om_family buf "gcsim_window_request_ns" "summary"
+    "Request latency over the sliding window (ns).";
+  om_summary buf "gcsim_window_request_ns" wlabel w.win_request;
+  om_family buf "gcsim_copied_bytes" "counter"
+    "Bytes copied or promoted by collections, by vproc and kind.";
+  List.iter
+    (fun vs ->
+      Array.iteri
+        (fun k name ->
+          let ks =
+            match k with
+            | 0 -> vs.minor
+            | 1 -> vs.major
+            | 2 -> vs.promotion
+            | 3 -> vs.global
+            | _ -> vs.barrier
+          in
+          if ks.copied_bytes.count > 0 then
+            om_sample buf "gcsim_copied_bytes_total"
+              (vlabel vs @ [ ("kind", name) ])
+              ks.copied_bytes.sum)
+        kind_names)
+    s.vprocs;
+  om_family buf "gcsim_steals" "counter"
+    "Steal attempts by thief vproc and outcome.";
+  List.iter
+    (fun vs ->
+      if vs.steal_attempts > 0 then begin
+        om_sample buf "gcsim_steals_total"
+          (vlabel vs @ [ ("outcome", "success") ])
+          (float_of_int vs.steal_successes);
+        om_sample buf "gcsim_steals_total"
+          (vlabel vs @ [ ("outcome", "failure") ])
+          (float_of_int (vs.steal_attempts - vs.steal_successes))
+      end)
+    s.vprocs;
+  om_family buf "gcsim_chunk_acquires" "counter"
+    "Global-heap chunk acquisitions by vproc.";
+  List.iter
+    (fun vs ->
+      if vs.chunk_acquires > 0 then
+        om_sample buf "gcsim_chunk_acquires_total" (vlabel vs)
+          (float_of_int vs.chunk_acquires))
+    s.vprocs;
+  om_family buf "gcsim_ratify" "counter"
+    "Concurrent-cycle ratify outcomes by vproc.";
+  List.iter
+    (fun vs ->
+      if vs.ratified > 0 || vs.ratify_skipped > 0 then begin
+        om_sample buf "gcsim_ratify_total"
+          (vlabel vs @ [ ("outcome", "stopped") ])
+          (float_of_int vs.ratified);
+        om_sample buf "gcsim_ratify_total"
+          (vlabel vs @ [ ("outcome", "skipped") ])
+          (float_of_int vs.ratify_skipped)
+      end)
+    s.vprocs;
+  om_family buf "gcsim_collections" "counter"
+    "Collections by vproc and cause.";
+  List.iter
+    (fun vs ->
+      List.iter
+        (fun (cause, n) ->
+          om_sample buf "gcsim_collections_total"
+            (vlabel vs @ [ ("cause", cause) ])
+            (float_of_int n))
+        vs.causes)
+    s.vprocs;
+  (match slo_status t with
+  | None -> ()
+  | Some st ->
+      om_family buf "gcsim_slo_burn_rate" "gauge"
+        "Request-latency SLO burn rate over the SLO window (1 = budget).";
+      om_sample buf "gcsim_slo_burn_rate" [] st.st_burn_rate;
+      om_family buf "gcsim_slo_window_requests" "gauge"
+        "Requests observed in the SLO window.";
+      om_sample buf "gcsim_slo_window_requests" [] (float_of_int st.st_requests);
+      om_sample buf "gcsim_slo_window_requests"
+        [ ("over_threshold", "true") ]
+        (float_of_int st.st_over);
+      om_family buf "gcsim_slo_attained_ns" "gauge"
+        "Latency actually attained at the SLO target percentile (ns).";
+      om_sample buf "gcsim_slo_attained_ns" [] st.st_attained_ns;
+      om_family buf "gcsim_slo_threshold_ns" "gauge"
+        "Declared SLO latency threshold (ns).";
+      om_sample buf "gcsim_slo_threshold_ns"
+        [ ("percentile", om_num st.st_slo.slo_percentile) ]
+        st.st_slo.slo_threshold_ns);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Streaming emission                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let stream_to t ~path ~interval_ns =
+  (match t.stream with
+  | Some s when not s.str_closed -> close_out s.str_out
+  | _ -> ());
+  t.stream <-
+    Some
+      {
+        str_out = open_out path;
+        str_interval_ns = Float.max interval_ns 1.;
+        str_next_ns = 0.;
+        str_emitted = 0;
+        str_closed = false;
+      }
+
+let stream_emit t ~now_ns s =
+  output_string s.str_out (to_openmetrics ~now_ns t);
+  flush s.str_out;
+  s.str_emitted <- s.str_emitted + 1;
+  s.str_next_ns <-
+    (Float.floor (now_ns /. s.str_interval_ns) +. 1.) *. s.str_interval_ns
+
+let stream_tick t ~now_ns =
+  match t.stream with
+  | Some s when (not s.str_closed) && now_ns >= s.str_next_ns ->
+      stream_emit t ~now_ns s
+  | _ -> ()
+
+let stream_emitted t =
+  match t.stream with Some s -> s.str_emitted | None -> 0
+
+let stream_close t ~now_ns =
+  match t.stream with
+  | None -> ()
+  | Some s ->
+      if not s.str_closed then begin
+        (* Always write a final block: a run shorter than the interval
+           still leaves a complete exposition behind. *)
+        stream_emit t ~now_ns s;
+        close_out s.str_out;
+        s.str_closed <- true
+      end

@@ -40,14 +40,43 @@ module Json : sig
   (** [member k (Obj _)] looks up key [k]; [None] otherwise. *)
 end
 
+(** {2 Windowed histograms}
+
+    A sliding window over scheduler virtual time: a ring of per-epoch
+    sub-histograms.  Each sample lands in the sub-histogram of its epoch
+    ([floor (t_ns / epoch_ns)]); advancing time reuses the oldest slot,
+    so the ring always holds the most recent [epochs] epochs and a query
+    merges the populated slots.  This is what makes "p99.9 over the last
+    few milliseconds" (rather than since process start) answerable. *)
+
+type windowed
+
+val windowed_create : ?epochs:int -> epoch_ns:float -> unit -> windowed
+(** [epochs] (default 8) sub-histograms of [epoch_ns] virtual time each.
+    Raises [Invalid_argument] when either is non-positive. *)
+
+val windowed_add : windowed -> t_ns:float -> float -> unit
+(** Record a sample stamped [t_ns].  Rotates the ring forward if [t_ns]
+    opens a new epoch; samples older than the ring still retains are
+    dropped rather than polluting a newer epoch. *)
+
+val windowed_epochs : windowed -> int
+val windowed_epoch_ns : windowed -> float
+
+val windowed_current_epoch : windowed -> int
+(** Newest epoch id seen ([-1] before the first sample). *)
+
 (** {2 Recording} *)
 
 type t
 
-val create : n_vprocs:int -> t
+val create : ?window_epoch_ns:float -> ?window_epochs:int -> n_vprocs:int -> unit -> t
+(** [window_epoch_ns] (default 1 ms) and [window_epochs] (default 8)
+    size the sliding windows behind {!window_stats} and {!slo_status}. *)
 
 val record_pause :
   ?cause:Obs.Gc_cause.t ->
+  ?t_ns:float ->
   t ->
   vproc:int ->
   kind:Gc_trace.kind ->
@@ -55,14 +84,17 @@ val record_pause :
   bytes:int ->
   unit
 (** One finished collection phase on [vproc]: its duration and the bytes
-    it copied/promoted, attributed to [cause] when given.  Out-of-range
-    vprocs are ignored. *)
+    it copied/promoted, attributed to [cause] when given.  [t_ns], when
+    given, is the virtual time the pause ended and additionally routes
+    the sample into the sliding window (barrier waits and other pauses
+    keep separate windows).  Out-of-range vprocs are ignored. *)
 
-val record_request : t -> vproc:int -> ns:float -> unit
+val record_request : ?t_ns:float -> t -> vproc:int -> ns:float -> unit
 (** One completed request on [vproc] (the vproc that finished it):
     end-to-end latency from arrival to response, in the same log-bucket
     histogram family as pauses so SLO percentiles sit next to GC
-    percentiles.  Out-of-range vprocs are ignored. *)
+    percentiles.  [t_ns] (completion time) additionally routes the
+    sample into the request window.  Out-of-range vprocs are ignored. *)
 
 val record_chunk_acquire : t -> vproc:int -> unit
 val record_steal : t -> vproc:int -> success:bool -> unit
@@ -134,6 +166,60 @@ val aggregate : t -> vproc_stats
 
 val kind_stats : vproc_stats -> Gc_trace.kind -> kind_stats
 
+val windowed_dist : ?last:int -> windowed -> dist
+(** Merge of the newest [last] populated epochs (default: the whole
+    ring), summarized like any other distribution.  All-zero when the
+    window is empty. *)
+
+(** {2 Windowed views and SLO} *)
+
+type window_stats = {
+  win_pause : dist;  (** non-barrier collection pauses in the window *)
+  win_barrier : dist;  (** barrier waits in the window *)
+  win_request : dist;  (** request latency in the window *)
+  win_epoch_ns : float;
+  win_epochs : int;  (** ring size, i.e. the maximum lookback *)
+  win_newest_epoch : int;  (** [-1] while no sample has been windowed *)
+}
+
+val window_stats : t -> window_stats
+(** Current sliding-window percentiles — only samples recorded with
+    [?t_ns] appear here. *)
+
+type slo = {
+  slo_percentile : float;  (** e.g. [0.99] *)
+  slo_threshold_ns : float;
+  slo_epochs : int;  (** window length, in window epochs *)
+}
+(** A declared latency objective: the [slo_percentile] of request
+    latency over the last [slo_epochs] epochs stays below
+    [slo_threshold_ns]. *)
+
+val set_slo : t -> slo option -> unit
+(** Declare (or clear) the objective.  Over-threshold requests are
+    counted exactly from declaration on, not bucket-approximated. *)
+
+val slo : t -> slo option
+
+type slo_status = {
+  st_slo : slo;
+  st_requests : int;  (** requests observed in the SLO window *)
+  st_over : int;  (** of which above the threshold *)
+  st_attained_ns : float;  (** latency attained at the target percentile *)
+  st_burn_rate : float;
+      (** [(st_over / st_requests) / (1 - slo_percentile)]: 1.0 means
+          exactly on budget, above 1 means burning it down, [0.] when
+          the window holds no requests *)
+}
+
+val slo_status : t -> slo_status option
+(** [None] when no SLO is declared. *)
+
+val window_report : t -> string
+(** Human-readable sliding-window percentiles and SLO status — the live
+    side of the report, which the (shape-pinned) JSON snapshot omits.
+    Empty when no sample was ever windowed and no SLO is declared. *)
+
 (** {2 Serialization} *)
 
 val snapshot_to_json : snapshot -> string
@@ -149,3 +235,32 @@ val snapshot_to_csv : snapshot -> string
 
 val pp_summary : Format.formatter -> snapshot -> unit
 (** Human-readable per-vproc percentile table (uses {!Units}). *)
+
+(** {2 OpenMetrics exposition and streaming}
+
+    One exposition is a self-contained OpenMetrics text block ending in
+    [# EOF]: cumulative summaries per vproc x kind, the sliding-window
+    summaries, counters, and (when declared) the SLO burn rate.  The
+    stream appends one block per emission so a telemetry file holds a
+    time series of expositions that can be tailed while a run is live
+    and checked offline with [validate_metrics --openmetrics]. *)
+
+val to_openmetrics : ?now_ns:float -> t -> string
+(** [now_ns] stamps the [gcsim_virtual_time_ns] gauge (default: the
+    newest event time recorded). *)
+
+val stream_to : t -> path:string -> interval_ns:float -> unit
+(** Start streaming: (re)creates [path] and arms periodic emission every
+    [interval_ns] of virtual time.  The first {!stream_tick} emits
+    immediately. *)
+
+val stream_tick : t -> now_ns:float -> unit
+(** Emit an exposition if the interval has elapsed; a cheap comparison
+    otherwise (safe to call every scheduler turn). *)
+
+val stream_close : t -> now_ns:float -> unit
+(** Emit one final exposition and close the file.  No-op when no stream
+    is armed. *)
+
+val stream_emitted : t -> int
+(** Expositions written so far on the armed stream (0 when none). *)

@@ -47,7 +47,7 @@ let value ?(reason = Obs.Gc_cause.Explicit) ctx (m : Ctx.mutator) v =
         t_end_ns = m.Ctx.now_ns;
         bytes = !promoted;
       };
-    Metrics.record_pause ~cause ctx.Ctx.metrics ~vproc:m.Ctx.id
+    Metrics.record_pause ~cause ~t_ns:m.Ctx.now_ns ctx.Ctx.metrics ~vproc:m.Ctx.id
       ~kind:Gc_trace.Promotion ~ns:(m.Ctx.now_ns -. t_start) ~bytes:!promoted;
     Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
       (Obs.Event.Coll_end { kind = Promotion; cause; bytes = !promoted });
@@ -167,7 +167,8 @@ let batch_end b =
           t_end_ns = m.Ctx.now_ns;
           bytes;
         };
-      Metrics.record_pause ~cause:b.b_cause ctx.Ctx.metrics ~vproc:m.Ctx.id
+      Metrics.record_pause ~cause:b.b_cause ~t_ns:m.Ctx.now_ns ctx.Ctx.metrics
+        ~vproc:m.Ctx.id
         ~kind:Gc_trace.Promotion ~ns:b.b_pause_ns ~bytes;
       Obs.Recorder.record ctx.Ctx.obs ~vproc:m.Ctx.id ~t_ns:m.Ctx.now_ns
         (Obs.Event.Coll_end { kind = Promotion; cause = b.b_cause; bytes })

@@ -230,7 +230,7 @@ let gc_report ?(fast = false) () =
 (* --- Pause-distribution telemetry ------------------------------------ *)
 
 let sweep_metrics results =
-  let acc = Manticore_gc.Metrics.create ~n_vprocs:0 in
+  let acc = Manticore_gc.Metrics.create ~n_vprocs:0 () in
   List.iter
     (fun r ->
       List.iter
@@ -302,7 +302,7 @@ let pause_report ?(fast = false) ?progress () =
           ])
       runs
   in
-  let merged = M.create ~n_vprocs:0 in
+  let merged = M.create ~n_vprocs:0 () in
   List.iter
     (fun (_, (o : Run_config.outcome)) ->
       M.merge ~into:merged o.Run_config.metrics)

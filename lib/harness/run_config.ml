@@ -15,6 +15,9 @@ type t = {
   census : bool;
   obs_enabled : bool;
   seed : int;
+  telemetry : (string * float) option;
+      (* stream OpenMetrics blocks to (path, every interval_ns) *)
+  slo : Metrics.slo option;  (* declared request-latency objective *)
 }
 
 let harness_params =
@@ -42,6 +45,8 @@ let default ~machine ~n_vprocs =
     census = false;
     obs_enabled = true;
     seed = 0x5eed;
+    telemetry = None;
+    slo = None;
   }
 
 type outcome = {
@@ -72,7 +77,13 @@ let execute_with t run =
   in
   if t.trace then Gc_trace.enable ctx.Ctx.trace;
   Obs.Recorder.set_enabled ctx.Ctx.obs t.obs_enabled;
+  Metrics.set_slo ctx.Ctx.metrics t.slo;
+  Option.iter
+    (fun (path, interval_ns) ->
+      Metrics.stream_to ctx.Ctx.metrics ~path ~interval_ns)
+    t.telemetry;
   let checksum = run ctx rt in
+  Metrics.stream_close ctx.Ctx.metrics ~now_ns:(Runtime.Sched.elapsed_ns rt);
   let gc =
     Gc_stats.total
       (Array.init t.n_vprocs (fun i -> (Ctx.mutator ctx i).Ctx.stats))
@@ -133,7 +144,27 @@ let execute_server t ~rate_rps ~n_requests =
       !sum)
 
 let metrics_block o =
-  Format.asprintf "%a" Metrics.pp_summary (Metrics.snapshot o.metrics)
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Format.asprintf "%a" Metrics.pp_summary (Metrics.snapshot o.metrics));
+  if Buffer.length b > 0 && Buffer.nth b (Buffer.length b - 1) <> '\n' then
+    Buffer.add_char b '\n';
+  Buffer.add_string b (Metrics.window_report o.metrics);
+  (* Ring health: a wrapped ring silently truncates any analysis built
+     on it, so surface the per-vproc drop counters next to the table. *)
+  let n = Obs.Recorder.n_vprocs o.obs in
+  let drops = ref [] in
+  for v = n - 1 downto 0 do
+    let d = Obs.Recorder.dropped o.obs ~vproc:v in
+    if d > 0 then drops := (v, d) :: !drops
+  done;
+  if !drops <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "obs ring drops: %d event(s) overwritten (%s)\n"
+         (List.fold_left (fun a (_, d) -> a + d) 0 !drops)
+         (String.concat ", "
+            (List.map (fun (v, d) -> Printf.sprintf "v%02d: %d" v d) !drops)));
+  Buffer.contents b
 
 let pp ppf t =
   Format.fprintf ppf "%s x%d %a scale=%g"

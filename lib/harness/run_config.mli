@@ -24,6 +24,14 @@ type t = {
       (** keep the flight recorder on (the default); turned off only by
           the recorder-overhead benchmark *)
   seed : int;
+  telemetry : (string * float) option;
+      (** when [Some (path, interval_ns)], stream OpenMetrics exposition
+          blocks to [path] every [interval_ns] of virtual time (plus one
+          final block when the run ends) *)
+  slo : Metrics.slo option;
+      (** declared request-latency objective, installed on the run's
+          metrics before the workload starts so the burn rate is
+          tracked from the first request *)
 }
 
 val default : machine:Numa.Topology.t -> n_vprocs:int -> t
@@ -62,6 +70,9 @@ val execute_server : t -> rate_rps:float -> n_requests:int -> outcome
     the request-latency percentiles then live in [outcome.metrics]. *)
 
 val metrics_block : outcome -> string
-(** The run's per-vproc pause-percentile table, rendered. *)
+(** The run's per-vproc pause-percentile table, rendered, followed by
+    the sliding-window percentiles and SLO status (when any sample was
+    windowed) and the per-vproc obs ring drop counters (when any ring
+    wrapped). *)
 
 val pp : Format.formatter -> t -> unit

@@ -18,9 +18,11 @@ type t =
   | Global_phase of { phase : global_phase }
   | Alloc_sample of { bytes : int }
   | Req_done of { latency_ns : int }
-  | Conc_phase of { phase : global_phase; dur_ns : int }
-  | Conc_slices of { count : int }
-  | Conc_ratify of { ratified : int; skipped : int }
+  | Conc_phase of { cycle : int; phase : global_phase; dur_ns : int }
+  | Conc_slices of { cycle : int; count : int }
+  | Conc_ratify of { cycle : int; ratified : int; skipped : int }
+  | Conc_round of { cycle : int; exit : bool; straggler : int; wait_ns : int }
+  | Conc_cycle of { cycle : int; dur_ns : int; slices : int }
 
 let kind_code = function
   | Minor -> 0
@@ -116,9 +118,12 @@ let encode = function
   | Global_phase { phase } -> (6, phase_code phase, 0, 0)
   | Alloc_sample { bytes } -> (7, bytes, 0, 0)
   | Req_done { latency_ns } -> (8, latency_ns, 0, 0)
-  | Conc_phase { phase; dur_ns } -> (9, phase_code phase, dur_ns, 0)
-  | Conc_slices { count } -> (10, count, 0, 0)
-  | Conc_ratify { ratified; skipped } -> (11, ratified, skipped, 0)
+  | Conc_phase { cycle; phase; dur_ns } -> (9, phase_code phase, dur_ns, cycle)
+  | Conc_slices { cycle; count } -> (10, count, cycle, 0)
+  | Conc_ratify { cycle; ratified; skipped } -> (11, ratified, skipped, cycle)
+  | Conc_round { cycle; exit; straggler; wait_ns } ->
+      ((if exit then 13 else 12), cycle, straggler, wait_ns)
+  | Conc_cycle { cycle; dur_ns; slices } -> (14, cycle, dur_ns, slices)
 
 let decode ~tag ~a ~b ~c =
   match tag with
@@ -142,10 +147,13 @@ let decode ~tag ~a ~b ~c =
   | 8 -> Some (Req_done { latency_ns = a })
   | 9 -> (
       match phase_of_code a with
-      | Some phase -> Some (Conc_phase { phase; dur_ns = b })
+      | Some phase -> Some (Conc_phase { cycle = c; phase; dur_ns = b })
       | None -> None)
-  | 10 -> Some (Conc_slices { count = a })
-  | 11 -> Some (Conc_ratify { ratified = a; skipped = b })
+  | 10 -> Some (Conc_slices { cycle = b; count = a })
+  | 11 -> Some (Conc_ratify { cycle = c; ratified = a; skipped = b })
+  | 12 -> Some (Conc_round { cycle = a; exit = false; straggler = b; wait_ns = c })
+  | 13 -> Some (Conc_round { cycle = a; exit = true; straggler = b; wait_ns = c })
+  | 14 -> Some (Conc_cycle { cycle = a; dur_ns = b; slices = c })
   | _ -> None
 
 (* Text form used by the dump codec: a name followed by its operands. *)
@@ -166,11 +174,28 @@ let to_strings = function
   | Global_phase { phase } -> [ "global-phase"; phase_to_string phase ]
   | Alloc_sample { bytes } -> [ "alloc-sample"; string_of_int bytes ]
   | Req_done { latency_ns } -> [ "req-done"; string_of_int latency_ns ]
-  | Conc_phase { phase; dur_ns } ->
-      [ "conc-phase"; phase_to_string phase; string_of_int dur_ns ]
-  | Conc_slices { count } -> [ "conc-slices"; string_of_int count ]
-  | Conc_ratify { ratified; skipped } ->
-      [ "conc-ratify"; string_of_int ratified; string_of_int skipped ]
+  | Conc_phase { cycle; phase; dur_ns } ->
+      [
+        "conc-phase"; phase_to_string phase; string_of_int dur_ns;
+        string_of_int cycle;
+      ]
+  | Conc_slices { cycle; count } ->
+      [ "conc-slices"; string_of_int count; string_of_int cycle ]
+  | Conc_ratify { cycle; ratified; skipped } ->
+      [
+        "conc-ratify"; string_of_int ratified; string_of_int skipped;
+        string_of_int cycle;
+      ]
+  | Conc_round { cycle; exit; straggler; wait_ns } ->
+      [
+        "conc-round"; string_of_int cycle; (if exit then "exit" else "entry");
+        string_of_int straggler; string_of_int wait_ns;
+      ]
+  | Conc_cycle { cycle; dur_ns; slices } ->
+      [
+        "conc-cycle"; string_of_int cycle; string_of_int dur_ns;
+        string_of_int slices;
+      ]
 
 let of_strings words =
   let int s =
@@ -215,18 +240,45 @@ let of_strings words =
   | [ "req-done"; l ] ->
       let* latency_ns = int l in
       Ok (Req_done { latency_ns })
-  | [ "conc-phase"; p; d ] -> (
+  (* conc-* events grew a trailing cycle id; the two-operand forms are
+     still accepted (as cycle 0) so old dumps keep parsing. *)
+  | [ "conc-phase"; p; d ] | [ "conc-phase"; p; d; _ ] as w -> (
       match phase_of_string p with
       | Some phase ->
           let* dur_ns = int d in
-          Ok (Conc_phase { phase; dur_ns })
+          let* cycle =
+            match w with [ _; _; _; cy ] -> int cy | _ -> Ok 0
+          in
+          Ok (Conc_phase { cycle; phase; dur_ns })
       | None -> Error "bad conc-phase name")
   | [ "conc-slices"; n ] ->
       let* count = int n in
-      Ok (Conc_slices { count })
+      Ok (Conc_slices { cycle = 0; count })
+  | [ "conc-slices"; n; cy ] ->
+      let* count = int n in
+      let* cycle = int cy in
+      Ok (Conc_slices { cycle; count })
   | [ "conc-ratify"; r; s ] ->
       let* ratified = int r in
       let* skipped = int s in
-      Ok (Conc_ratify { ratified; skipped })
+      Ok (Conc_ratify { cycle = 0; ratified; skipped })
+  | [ "conc-ratify"; r; s; cy ] ->
+      let* ratified = int r in
+      let* skipped = int s in
+      let* cycle = int cy in
+      Ok (Conc_ratify { cycle; ratified; skipped })
+  | [ "conc-round"; cy; which; st; w ] ->
+      let* cycle = int cy in
+      let* straggler = int st in
+      let* wait_ns = int w in
+      (match which with
+      | "entry" -> Ok (Conc_round { cycle; exit = false; straggler; wait_ns })
+      | "exit" -> Ok (Conc_round { cycle; exit = true; straggler; wait_ns })
+      | _ -> Error "bad conc-round kind")
+  | [ "conc-cycle"; cy; d; s ] ->
+      let* cycle = int cy in
+      let* dur_ns = int d in
+      let* slices = int s in
+      Ok (Conc_cycle { cycle; dur_ns; slices })
   | w :: _ -> Error (Printf.sprintf "unknown event %S" w)
   | [] -> Error "empty event"

@@ -38,21 +38,35 @@ type t =
           [latency_ns] is its end-to-end latency from (virtual) arrival
           to response.  Lets gcprof correlate slow requests with the
           collections that ran during them. *)
-  | Conc_phase of { phase : global_phase; dur_ns : int }
+  | Conc_phase of { cycle : int; phase : global_phase; dur_ns : int }
       (** One concurrent-collector slice finished on this vproc:
           [phase] says what it did (mark roots, claim a chunk, evacuate
           a slice, handshake a mutator, or retarget/keep local
           forwarding words) and [dur_ns] how much virtual time it
           charged — the input to gcprof's per-phase attribution for
-          concurrent collections. *)
-  | Conc_slices of { count : int }
+          concurrent collections.  [cycle] names the concurrent cycle
+          the slice belonged to (0-based; dumps predating cycle ids
+          parse as cycle 0). *)
+  | Conc_slices of { cycle : int; count : int }
       (** One scheduler turn dispatched [count] (> 1) concurrent
           evacuation slices on distinct vprocs — the lead slice plus
           its assists (see [Params.conc_parallel_slices]). *)
-  | Conc_ratify of { ratified : int; skipped : int }
+  | Conc_ratify of { cycle : int; ratified : int; skipped : int }
       (** The ratify barrier finished a concurrent cycle stopping
           [ratified] vprocs and leaving [skipped] quiescent ones
           running (see [Params.conc_ratify_dirty_only]). *)
+  | Conc_round of { cycle : int; exit : bool; straggler : int; wait_ns : int }
+      (** One synchronization round of [cycle]'s ratify barrier, emitted
+          on the lead vproc: the entry round ([exit = false]) collects
+          the taint-dirty vprocs and the exit round releases them.
+          [straggler] is the vproc that bounded the round (last to
+          arrive, or longest ratify work) and [wait_ns] the spread it
+          imposed — the inputs to [gcprof --cycles] straggler naming. *)
+  | Conc_cycle of { cycle : int; dur_ns : int; slices : int }
+      (** A concurrent cycle completed: emitted on the lead vproc at
+          ratify exit, [dur_ns] back to the cycle's start and [slices]
+          the evacuation/mark/keep slices it ran.  Bounds the window
+          [gcprof --cycles] attributes phase time within. *)
 
 val kind_code : coll_kind -> int
 val kind_of_code : int -> coll_kind option

@@ -96,6 +96,9 @@ let reset t =
 let merge ~into src =
   let n = min (Array.length into.rings) (Array.length src.rings) in
   for v = 0 to n - 1 do
+    (* Events [src] already lost to overwrite are gone for good; keep
+       them visible in the merged ring's drop counter. *)
+    Ring.note_lost into.rings.(v) (Ring.dropped src.rings.(v));
     Ring.iter_oldest_first src.rings.(v) (fun _seq t_ns tag a b c ->
         Ring.push into.rings.(v) ~t_ns ~tag ~a ~b ~c)
   done;
@@ -145,7 +148,12 @@ let to_string t =
   to_buffer buf t;
   Buffer.contents buf
 
-let of_string s =
+(* Strict by default: every line must parse and the stream must close
+   with its "end" terminator, so a truncated or corrupt dump is an
+   error rather than a silently shortened analysis.  [partial] keeps
+   the old forgiving behaviour for salvage work: unparsable lines are
+   skipped (and counted) and a missing terminator is tolerated. *)
+let of_string ?(partial = false) s =
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
   let ( let* ) = Result.bind in
   let lines =
@@ -199,7 +207,14 @@ let of_string s =
                   t.node_of_vproc.(v) <- n;
                   Ok ()
               | _ -> fail "bad vproc-node line %S" l)
-          | [ "dropped"; _; _ ] -> Ok ()  (* informational only *)
+          | [ "dropped"; v; d ] -> (
+              (* Events lost before the dump was written: keep them in
+                 the restored ring's drop counter. *)
+              match (int_of_string_opt v, int_of_string_opt d) with
+              | Some v, Some d when v >= 0 && v < n_vprocs && d >= 0 ->
+                  Ring.note_lost t.rings.(v) d;
+                  Ok ()
+              | _ -> fail "bad dropped line %S" l)
           | [ "matrix"; s_; d_; b_ ] -> (
               match
                 (int_of_string_opt s_, int_of_string_opt d_, int_of_string_opt b_)
@@ -218,16 +233,28 @@ let of_string s =
                       Ok ()
                   | Error e -> fail "bad event in %S: %s" l e)
               | _ -> fail "bad ev line %S" l)
-          | [ "end" ] -> Ok ()
           | _ -> fail "unrecognized dump line %S" l
         in
-        let rec go = function
-          | [] -> Ok t
+        let rec go saw_end = function
+          | [] ->
+              if saw_end || partial then Ok t
+              else
+                fail
+                  "truncated dump: missing \"end\" terminator (use --partial \
+                   to analyze the readable prefix)"
           | l :: rest ->
-              let* () = parse_line l in
-              go rest
+              if l = "end" then
+                if rest = [] || partial then go true rest
+                else fail "corrupt dump: %d lines after \"end\" terminator"
+                    (List.length rest)
+              else if saw_end then go saw_end rest
+              else (
+                match parse_line l with
+                | Ok () -> go false rest
+                | Error _ when partial -> go false rest
+                | Error _ as e -> e)
         in
-        go rest
+        go false rest
 
 (* Human-readable tail of each vproc's ring, for post-mortem printing
    next to a failing trace. *)

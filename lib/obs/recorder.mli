@@ -56,8 +56,13 @@ val merge : into:t -> t -> unit
 val to_string : t -> string
 (** Serialize to the [obs-dump v1] text format. *)
 
-val of_string : string -> (t, string) result
-(** Parse a dump produced by {!to_string}. *)
+val of_string : ?partial:bool -> string -> (t, string) result
+(** Parse a dump produced by {!to_string}.  Strict by default: a
+    malformed line, a missing ["end"] terminator (truncation), or
+    content after it is an [Error].  [~partial:true] salvages what it
+    can instead — unparsable lines are skipped and a missing terminator
+    is tolerated.  The dump's ["dropped"] lines are restored into the
+    rings' drop counters either way. *)
 
 val dump_tail : ?events_per_vproc:int -> t -> string
 (** Human-readable tail (default last 32 events) of each vproc's ring,

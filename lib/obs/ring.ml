@@ -10,6 +10,7 @@ type t = {
   c : int array;
   t_ns : float array;
   mutable total : int;  (* events ever pushed; head slot = total mod capacity *)
+  mutable lost : int;  (* drops carried over from a restored dump *)
 }
 
 let create ~capacity =
@@ -22,6 +23,7 @@ let create ~capacity =
     c = Array.make capacity 0;
     t_ns = Array.make capacity 0.0;
     total = 0;
+    lost = 0;
   }
 
 let push t ~t_ns ~tag ~a ~b ~c =
@@ -36,7 +38,12 @@ let push t ~t_ns ~tag ~a ~b ~c =
 let total t = t.total
 let capacity t = t.capacity
 let stored t = min t.total t.capacity
-let dropped t = max 0 (t.total - t.capacity)
+let dropped t = t.lost + max 0 (t.total - t.capacity)
+
+(* Account for events known to have been lost before this ring existed
+   (e.g. the "dropped" lines of a restored dump, whose events are gone
+   for good): they stay visible in [dropped] instead of vanishing. *)
+let note_lost t n = if n > 0 then t.lost <- t.lost + n
 
 (* Visit surviving events oldest-first.  [f seq t_ns tag a b c] where
    [seq] is the event's global sequence number (0-based since reset). *)
@@ -49,4 +56,6 @@ let iter_oldest_first t f =
     f seq t.t_ns.(i) t.tag.(i) t.a.(i) t.b.(i) t.c.(i)
   done
 
-let reset t = t.total <- 0
+let reset t =
+  t.total <- 0;
+  t.lost <- 0

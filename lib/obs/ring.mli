@@ -20,7 +20,13 @@ val stored : t -> int
 (** Events currently held: [min total capacity]. *)
 
 val dropped : t -> int
-(** Events lost to overwrite: [max 0 (total - capacity)]. *)
+(** Events lost to overwrite, plus any losses recorded via
+    {!note_lost}: [lost + max 0 (total - capacity)]. *)
+
+val note_lost : t -> int -> unit
+(** Account for [n] events known to have been lost before this ring
+    existed (a restored dump's "dropped" lines); negative [n] is
+    ignored.  Cleared by {!reset}. *)
 
 val iter_oldest_first :
   t -> (int -> float -> int -> int -> int -> int -> unit) -> unit

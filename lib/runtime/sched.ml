@@ -1030,8 +1030,11 @@ let run t ~main =
   let rec loop () =
     (* Turn boundary: publish every open write buffer before choosing
        the next move, so a batch never spans turns or a stop-the-world
-       collection. *)
+       collection.  The boundary doubles as the telemetry heartbeat —
+       armed OpenMetrics streams emit here on virtual time, so no
+       per-event hook is needed. *)
     flush_wbufs t;
+    Metrics.stream_tick t.c.Ctx.metrics ~now_ns:t.turn_start_ns;
     match fut.fstate with
     | Done _ -> ()
     | _ ->

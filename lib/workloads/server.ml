@@ -117,7 +117,8 @@ let run_load rt (m : Ctx.mutator) load =
               List.fold_left ( + ) 0 (Pml.Pval.ints_of_list c m resp)
             in
             let lat = m.Ctx.now_ns -. a in
-            Metrics.record_request c.Ctx.metrics ~vproc:m.Ctx.id ~ns:lat;
+            Metrics.record_request ~t_ns:m.Ctx.now_ns c.Ctx.metrics
+              ~vproc:m.Ctx.id ~ns:lat;
             Obs.Recorder.record c.Ctx.obs ~vproc:m.Ctx.id
               ~t_ns:m.Ctx.now_ns
               (Obs.Event.Req_done { latency_ns = int_of_float lat });

@@ -492,7 +492,7 @@ let test_parallel_slices_distinct_chunks () =
     List.exists
       (fun (_, _, ev) ->
         match ev with
-        | Obs.Event.Conc_slices { count } -> count = 2
+        | Obs.Event.Conc_slices { count; _ } -> count = 2
         | _ -> false)
       (List.concat_map
          (fun v -> Obs.Recorder.events ctx.Ctx.obs ~vproc:v)

@@ -58,7 +58,7 @@ let test_json_edge_cases () =
     [ "{} x"; "[1] [2]"; "null,"; {|"a" "b"|}; "7 }" ]
 
 let mk_recorder () =
-  let t = Metrics.create ~n_vprocs:2 in
+  let t = Metrics.create ~n_vprocs:2 () in
   for i = 1 to 100 do
     Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor
       ~ns:(float_of_int (i * 1000))
@@ -110,7 +110,7 @@ let minor_dist t =
   (List.hd s.Metrics.vprocs).Metrics.minor.Metrics.pause_ns
 
 let test_percentile_empty () =
-  let t = Metrics.create ~n_vprocs:1 in
+  let t = Metrics.create ~n_vprocs:1 () in
   let d = minor_dist t in
   Alcotest.(check int) "count" 0 d.Metrics.count;
   List.iter
@@ -120,7 +120,7 @@ let test_percentile_empty () =
       ("p99.9", d.Metrics.p999) ]
 
 let test_percentile_single_sample () =
-  let t = Metrics.create ~n_vprocs:1 in
+  let t = Metrics.create ~n_vprocs:1 () in
   Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:777. ~bytes:0;
   let d = minor_dist t in
   (* One sample: every percentile is that sample, exactly. *)
@@ -132,7 +132,7 @@ let test_percentile_single_sample () =
 let test_percentile_one_bucket () =
   (* All samples identical: vmin = vmax clamps every bucket
      representative to the one true value. *)
-  let t = Metrics.create ~n_vprocs:1 in
+  let t = Metrics.create ~n_vprocs:1 () in
   for _ = 1 to 50 do
     Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:123_456. ~bytes:0
   done;
@@ -145,7 +145,7 @@ let test_percentile_one_bucket () =
 let test_percentile_above_top_bucket () =
   (* Samples beyond the last log bucket (2^63-ish) collapse into it; the
      reported percentiles must still stay inside [min, max]. *)
-  let t = Metrics.create ~n_vprocs:1 in
+  let t = Metrics.create ~n_vprocs:1 () in
   Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:1e30 ~bytes:0;
   Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:2e30 ~bytes:0;
   let d = minor_dist t in
@@ -163,7 +163,7 @@ let test_percentile_float_ceil_rank () =
   (* Regression: with 10 samples, 0.9 *. 10. = 9.000000000000002, and a
      bare ceiling asked for rank 10 — reporting the outlier max as p90
      instead of the true ninth sample. *)
-  let t = Metrics.create ~n_vprocs:1 in
+  let t = Metrics.create ~n_vprocs:1 () in
   for _ = 1 to 9 do
     Metrics.record_pause t ~vproc:0 ~kind:Gc_trace.Minor ~ns:1_000. ~bytes:0
   done;
@@ -179,8 +179,8 @@ let test_percentile_float_ceil_rank () =
 let test_percentile_merged_clamp () =
   (* Merging widens [vmin, vmax], so the clamp is looser — percentiles
      must still fall inside the union range and stay monotone. *)
-  let a = Metrics.create ~n_vprocs:1 in
-  let b = Metrics.create ~n_vprocs:1 in
+  let a = Metrics.create ~n_vprocs:1 () in
+  let b = Metrics.create ~n_vprocs:1 () in
   Metrics.record_pause a ~vproc:0 ~kind:Gc_trace.Minor ~ns:1. ~bytes:0;
   Metrics.record_pause b ~vproc:0 ~kind:Gc_trace.Minor ~ns:1_000. ~bytes:0;
   Metrics.merge ~into:a b;
@@ -197,7 +197,7 @@ let test_percentile_merged_clamp () =
     && d.Metrics.p999 <= d.Metrics.max)
 
 let test_request_latency_recorded () =
-  let t = Metrics.create ~n_vprocs:2 in
+  let t = Metrics.create ~n_vprocs:2 () in
   for i = 1 to 10 do
     Metrics.record_request t ~vproc:(i mod 2) ~ns:(float_of_int (i * 500))
   done;
@@ -242,8 +242,8 @@ let test_csv () =
        lines)
 
 let test_merge () =
-  let a = Metrics.create ~n_vprocs:2 in
-  let b = Metrics.create ~n_vprocs:4 in
+  let a = Metrics.create ~n_vprocs:2 () in
+  let b = Metrics.create ~n_vprocs:4 () in
   for _ = 1 to 10 do
     Metrics.record_pause a ~vproc:0 ~kind:Gc_trace.Minor ~ns:1e3 ~bytes:8
   done;
@@ -276,7 +276,7 @@ let test_aggregate () =
     (Metrics.kind_stats agg Gc_trace.Global).Metrics.pause_ns.Metrics.count
 
 let test_out_of_range_vproc_ignored () =
-  let t = Metrics.create ~n_vprocs:1 in
+  let t = Metrics.create ~n_vprocs:1 () in
   Metrics.record_pause t ~vproc:(-3) ~kind:Gc_trace.Minor ~ns:1e3 ~bytes:8;
   Metrics.record_steal t ~vproc:(-1) ~success:true;
   Metrics.record_chunk_acquire t ~vproc:(-2);
@@ -382,6 +382,196 @@ let test_instrumented_run_records () =
   Alcotest.(check bool) "summary renders" true
     (String.length (Harness.Run_config.metrics_block o) > 0)
 
+(* --- Sliding-window histograms, SLO, and the telemetry stream ------ *)
+
+(* 1000 ns epochs, a 4-epoch ring: small enough to exercise rotation
+   and expiry with hand-picked timestamps. *)
+let win_create () =
+  Metrics.create ~window_epoch_ns:1_000. ~window_epochs:4 ~n_vprocs:1 ()
+
+let test_window_empty () =
+  let m = win_create () in
+  let w = Metrics.window_stats m in
+  Alcotest.(check int) "no pause samples" 0 w.Metrics.win_pause.Metrics.count;
+  Alcotest.(check int) "no requests" 0 w.Metrics.win_request.Metrics.count;
+  Alcotest.(check (float 0.)) "empty p50" 0. w.Metrics.win_request.Metrics.p50;
+  Alcotest.(check (float 0.)) "empty p99.9" 0.
+    w.Metrics.win_request.Metrics.p999;
+  Alcotest.(check int) "no epoch yet" (-1) w.Metrics.win_newest_epoch
+
+let test_window_exact_epoch_boundary () =
+  let m = win_create () in
+  (* t = 999 is still epoch 0; t = 1000 exactly opens epoch 1. *)
+  Metrics.record_request ~t_ns:999. m ~vproc:0 ~ns:100.;
+  Metrics.record_request ~t_ns:1_000. m ~vproc:0 ~ns:200.;
+  let w = Metrics.window_stats m in
+  Alcotest.(check int) "both in window" 2 w.Metrics.win_request.Metrics.count;
+  Alcotest.(check int) "boundary opened epoch 1" 1 w.Metrics.win_newest_epoch;
+  (* Advancing to epoch 4 reuses epoch 0's slot: the ring now holds
+     epochs 1-4, so the t=999 sample is gone and t=1000 survives. *)
+  Metrics.record_request ~t_ns:4_000. m ~vproc:0 ~ns:400.;
+  let w = Metrics.window_stats m in
+  Alcotest.(check int) "epoch 0 expired" 2 w.Metrics.win_request.Metrics.count;
+  Alcotest.(check (float 0.)) "survivor min" 200.
+    w.Metrics.win_request.Metrics.min
+
+let test_window_partial_ring () =
+  let m = win_create () in
+  (* One sample in epoch 2 of a 4-slot ring: a query must only see the
+     populated slot, not trip on the three empty ones. *)
+  Metrics.record_request ~t_ns:2_500. m ~vproc:0 ~ns:1_000.;
+  let w = Metrics.window_stats m in
+  Alcotest.(check int) "single sample" 1 w.Metrics.win_request.Metrics.count;
+  Alcotest.(check int) "newest epoch" 2 w.Metrics.win_newest_epoch;
+  (* Log-bucketed percentile: within one bucket (~19% relative) of the
+     sample. *)
+  Alcotest.(check bool) "p50 in bucket range" true
+    (Float.abs (w.Metrics.win_request.Metrics.p50 -. 1_000.) <= 200.);
+  Alcotest.(check (float 0.)) "p50 = p99.9 for one sample"
+    w.Metrics.win_request.Metrics.p50 w.Metrics.win_request.Metrics.p999
+
+let test_window_disjoint_merge () =
+  let m = win_create () in
+  (* Epoch 0 holds tiny samples, epoch 1 huge ones — disjoint bucket
+     ranges whose merge must span both. *)
+  for _ = 1 to 50 do
+    Metrics.record_request ~t_ns:100. m ~vproc:0 ~ns:10.
+  done;
+  for _ = 1 to 50 do
+    Metrics.record_request ~t_ns:1_100. m ~vproc:0 ~ns:1_000_000.
+  done;
+  let w = Metrics.window_stats m in
+  let d = w.Metrics.win_request in
+  Alcotest.(check int) "merged count" 100 d.Metrics.count;
+  Alcotest.(check (float 0.)) "min from the small epoch" 10. d.Metrics.min;
+  Alcotest.(check (float 0.)) "max from the large epoch" 1_000_000.
+    d.Metrics.max;
+  Alcotest.(check bool) "p50 from the small half" true (d.Metrics.p50 <= 12.);
+  Alcotest.(check bool) "p99 from the large half" true
+    (d.Metrics.p99 >= 800_000.)
+
+let test_window_laggard_dropped () =
+  let m = win_create () in
+  Metrics.record_request ~t_ns:5_000. m ~vproc:0 ~ns:100.;
+  (* Epoch 0 is older than the 4-slot ring retains once epoch 5 is
+     current: the laggard sample must be dropped, not land in the slot
+     epoch 4 now owns. *)
+  Metrics.record_request ~t_ns:100. m ~vproc:0 ~ns:999.;
+  let w = Metrics.window_stats m in
+  Alcotest.(check int) "laggard dropped" 1 w.Metrics.win_request.Metrics.count;
+  Alcotest.(check (float 0.)) "survivor value" 100.
+    w.Metrics.win_request.Metrics.max
+
+let test_window_pause_vs_barrier_routing () =
+  let m = win_create () in
+  Metrics.record_pause ~t_ns:10. m ~vproc:0 ~kind:Gc_trace.Minor ~ns:50.
+    ~bytes:0;
+  Metrics.record_pause ~t_ns:20. m ~vproc:0 ~kind:Gc_trace.Barrier ~ns:70.
+    ~bytes:0;
+  let w = Metrics.window_stats m in
+  Alcotest.(check int) "minor -> pause window" 1
+    w.Metrics.win_pause.Metrics.count;
+  Alcotest.(check int) "barrier -> barrier window" 1
+    w.Metrics.win_barrier.Metrics.count;
+  (* Without a timestamp only the cumulative side is fed. *)
+  Metrics.record_pause m ~vproc:0 ~kind:Gc_trace.Minor ~ns:60. ~bytes:0;
+  let w = Metrics.window_stats m in
+  Alcotest.(check int) "timestampless pause not windowed" 1
+    w.Metrics.win_pause.Metrics.count
+
+let test_slo_burn_rate () =
+  let m = win_create () in
+  Alcotest.(check bool) "no slo -> no status" true
+    (Metrics.slo_status m = None);
+  Metrics.set_slo m
+    (Some
+       { Metrics.slo_percentile = 0.9; slo_threshold_ns = 100.; slo_epochs = 4 });
+  (match Metrics.slo_status m with
+  | Some st ->
+      Alcotest.(check (float 0.)) "empty window burns nothing" 0.
+        st.Metrics.st_burn_rate
+  | None -> Alcotest.fail "slo declared but no status");
+  (* 9 under, 1 over: exactly the 10% error budget of a p90 SLO. *)
+  for _ = 1 to 9 do
+    Metrics.record_request ~t_ns:100. m ~vproc:0 ~ns:50.
+  done;
+  Metrics.record_request ~t_ns:100. m ~vproc:0 ~ns:200.;
+  (match Metrics.slo_status m with
+  | Some st ->
+      Alcotest.(check int) "window requests" 10 st.Metrics.st_requests;
+      Alcotest.(check int) "over threshold" 1 st.Metrics.st_over;
+      Alcotest.(check (float 1e-9)) "burn exactly on budget" 1.
+        st.Metrics.st_burn_rate
+  | None -> Alcotest.fail "no status");
+  (* A sample exactly at the threshold is within the objective. *)
+  Metrics.record_request ~t_ns:100. m ~vproc:0 ~ns:100.;
+  (match Metrics.slo_status m with
+  | Some st -> Alcotest.(check int) "at-threshold not over" 1 st.Metrics.st_over
+  | None -> Alcotest.fail "no status");
+  (* The SLO window slides: once the over-threshold epoch expires, the
+     burn rate recovers. *)
+  Metrics.record_request ~t_ns:9_000. m ~vproc:0 ~ns:50.;
+  match Metrics.slo_status m with
+  | Some st ->
+      Alcotest.(check int) "old epoch expired" 1 st.Metrics.st_requests;
+      Alcotest.(check (float 0.)) "burn recovered" 0. st.Metrics.st_burn_rate
+  | None -> Alcotest.fail "no status"
+
+let test_openmetrics_exposition () =
+  let m = win_create () in
+  Metrics.record_pause ~t_ns:10. m ~vproc:0 ~kind:Gc_trace.Minor ~ns:50.
+    ~bytes:64;
+  Metrics.record_request ~t_ns:20. m ~vproc:0 ~ns:75.;
+  Metrics.set_slo m
+    (Some
+       { Metrics.slo_percentile = 0.99; slo_threshold_ns = 1_000.;
+         slo_epochs = 4 });
+  let om = Metrics.to_openmetrics ~now_ns:1234. m in
+  let has s =
+    let sl = String.length s and il = String.length om in
+    let rec go i = i + sl <= il && (String.sub om i sl = s || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "ends with EOF" true
+    (String.length om >= 6 && String.sub om (String.length om - 6) 6 = "# EOF\n");
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (has needle))
+    [ "gcsim_virtual_time_ns 1234";
+      "# TYPE gcsim_pause_ns summary";
+      "quantile=\"0.99\"";
+      "# TYPE gcsim_window_request_ns summary";
+      "gcsim_slo_burn_rate";
+      "# TYPE gcsim_collections counter" ]
+
+let test_stream_blocks () =
+  let path = Filename.temp_file "metrics-stream" ".txt" in
+  let m = win_create () in
+  Metrics.stream_to m ~path ~interval_ns:1_000.;
+  Alcotest.(check int) "nothing emitted before a tick" 0
+    (Metrics.stream_emitted m);
+  Metrics.stream_tick m ~now_ns:0.;
+  Alcotest.(check int) "first tick emits" 1 (Metrics.stream_emitted m);
+  Metrics.stream_tick m ~now_ns:500.;
+  Alcotest.(check int) "inside the interval: no emission" 1
+    (Metrics.stream_emitted m);
+  Metrics.stream_tick m ~now_ns:2_300.;
+  Alcotest.(check int) "past the interval: emits" 2 (Metrics.stream_emitted m);
+  Metrics.stream_close m ~now_ns:2_400.;
+  Alcotest.(check int) "close writes a final block" 3
+    (Metrics.stream_emitted m);
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let body = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  let blocks =
+    List.filter
+      (fun l -> String.trim l = "# EOF")
+      (String.split_on_char '\n' body)
+  in
+  Alcotest.(check int) "three EOF-terminated blocks on disk" 3
+    (List.length blocks)
+
 let suite =
   ( "metrics",
     [
@@ -421,4 +611,21 @@ let suite =
         test_units_shared_formatter;
       Alcotest.test_case "runs record telemetry by default" `Quick
         test_instrumented_run_records;
+      Alcotest.test_case "window: empty percentiles" `Quick test_window_empty;
+      Alcotest.test_case "window: rotation at exact epoch boundary" `Quick
+        test_window_exact_epoch_boundary;
+      Alcotest.test_case "window: partially-filled ring query" `Quick
+        test_window_partial_ring;
+      Alcotest.test_case "window: merge of disjoint bucket ranges" `Quick
+        test_window_disjoint_merge;
+      Alcotest.test_case "window: laggard samples dropped" `Quick
+        test_window_laggard_dropped;
+      Alcotest.test_case "window: pause vs barrier routing" `Quick
+        test_window_pause_vs_barrier_routing;
+      Alcotest.test_case "slo: burn rate over the sliding window" `Quick
+        test_slo_burn_rate;
+      Alcotest.test_case "openmetrics: exposition structure" `Quick
+        test_openmetrics_exposition;
+      Alcotest.test_case "openmetrics: stream block lifecycle" `Quick
+        test_stream_blocks;
     ] )

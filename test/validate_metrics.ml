@@ -3,11 +3,13 @@
    --chrome, that a Chrome trace-event export is well-formed and every
    collection event carries a valid cause and NUMA node in its args.
    --server and --global gate the BENCH_7/BENCH_8 artifacts; --compare
-   diffs two exports of the same bench as a regression gate.
+   diffs two exports of the same bench as a regression gate;
+   --openmetrics validates a telemetry stream of OpenMetrics exposition
+   blocks (msim --telemetry).
 
    Usage: validate_metrics.exe FILE
-            [--require-all-kinds | --chrome | --server | --global
-             | --compare BASELINE [--tolerance T]] *)
+            [--require-all-kinds | --chrome | --openmetrics | --server
+             | --global | --compare BASELINE [--tolerance T]] *)
 
 open Manticore_gc
 module J = Metrics.Json
@@ -72,6 +74,228 @@ let validate_chrome path body =
       Printf.printf "%s: OK (%d collection events, all with cause+node args)\n"
         path (List.length xs)
 
+(* --openmetrics: validate a telemetry stream — one or more OpenMetrics
+   text exposition blocks, each terminated by "# EOF", appended to one
+   file by Metrics.stream_to.  Checks the line grammar (TYPE/HELP
+   comments, metric-name charset, float sample values, label syntax),
+   the OpenMetrics naming rules the exporter relies on (counter samples
+   end in _total, summaries expose only _count/_sum/quantile series,
+   quantile values are ordered), and that gcsim_virtual_time_ns is
+   present and non-decreasing across blocks. *)
+let validate_openmetrics path body =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "%s: INVALID openmetrics: %s\n" path m;
+        exit 1)
+      fmt
+  in
+  let lines = String.split_on_char '\n' body in
+  (* Split into blocks on the "# EOF" terminator. *)
+  let blocks, last =
+    List.fold_left
+      (fun (blocks, cur) line ->
+        if String.trim line = "# EOF" then (List.rev cur :: blocks, [])
+        else (blocks, line :: cur))
+      ([], []) lines
+  in
+  if List.exists (fun l -> String.trim l <> "") last then
+    fail "trailing content after the last \"# EOF\" terminator";
+  let blocks = List.rev blocks in
+  if blocks = [] then fail "no exposition block (missing \"# EOF\")";
+  let name_ok n =
+    n <> ""
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z')
+           || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9')
+           || c = '_' || c = ':')
+         n
+  in
+  (* Parse "name{k=\"v\",...}" into (name, labels). *)
+  let parse_series s =
+    match String.index_opt s '{' with
+    | None -> (s, [])
+    | Some i ->
+        if s.[String.length s - 1] <> '}' then fail "unclosed label set %S" s;
+        let name = String.sub s 0 i in
+        let inner = String.sub s (i + 1) (String.length s - i - 2) in
+        (* Labels: split on ',' outside quotes (values escape '"'). *)
+        let labels = ref [] in
+        let buf = Buffer.create 16 in
+        let in_q = ref false and esc = ref false in
+        let flush () =
+          let l = Buffer.contents buf in
+          Buffer.clear buf;
+          if l <> "" then
+            match String.index_opt l '=' with
+            | None -> fail "label without '=' in %S" s
+            | Some j ->
+                let k = String.sub l 0 j in
+                let v = String.sub l (j + 1) (String.length l - j - 1) in
+                if not (name_ok k) then fail "bad label name %S" k;
+                if
+                  String.length v < 2
+                  || v.[0] <> '"'
+                  || v.[String.length v - 1] <> '"'
+                then fail "unquoted label value in %S" s;
+                labels := (k, v) :: !labels
+        in
+        String.iter
+          (fun c ->
+            if !esc then begin
+              Buffer.add_char buf c;
+              esc := false
+            end
+            else if c = '\\' then begin
+              Buffer.add_char buf c;
+              esc := true
+            end
+            else if c = '"' then begin
+              Buffer.add_char buf c;
+              in_q := not !in_q
+            end
+            else if c = ',' && not !in_q then flush ()
+            else Buffer.add_char buf c)
+          inner;
+        if !in_q then fail "unterminated label value in %S" s;
+        flush ();
+        (name, List.rev !labels)
+  in
+  let last_vtime = ref neg_infinity in
+  let n_samples = ref 0 in
+  List.iteri
+    (fun bi block ->
+      let types = Hashtbl.create 16 in
+      (* (family, labels-minus-quantile) -> (quantile, value) list, to
+         check that quantile values are monotone in the quantile. *)
+      let quantiles = Hashtbl.create 16 in
+      let vtime = ref None in
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          if line = "" then ()
+          else if String.length line >= 1 && line.[0] = '#' then begin
+            match String.split_on_char ' ' line with
+            | "#" :: "TYPE" :: fam :: ty :: [] ->
+                if not (name_ok fam) then
+                  fail "block %d: bad family name %S" bi fam;
+                if not (List.mem ty [ "gauge"; "counter"; "summary" ]) then
+                  fail "block %d: unknown type %S for %s" bi ty fam;
+                if Hashtbl.mem types fam then
+                  fail "block %d: duplicate TYPE for %s" bi fam;
+                Hashtbl.add types fam ty
+            | "#" :: "HELP" :: fam :: _ ->
+                if not (name_ok fam) then
+                  fail "block %d: bad family name %S in HELP" bi fam
+            | _ -> fail "block %d: bad comment line %S" bi line
+          end
+          else begin
+            (* Sample: series value *)
+            let series, value =
+              match String.rindex_opt line ' ' with
+              | None -> fail "block %d: sample without value %S" bi line
+              | Some i ->
+                  ( String.sub line 0 i,
+                    String.sub line (i + 1) (String.length line - i - 1) )
+            in
+            let v =
+              match float_of_string_opt value with
+              | Some v -> v
+              | None -> fail "block %d: non-numeric value %S" bi line
+            in
+            let name, labels = parse_series series in
+            if not (name_ok name) then
+              fail "block %d: bad metric name %S" bi name;
+            incr n_samples;
+            (* Find the declaring family: the name itself, or the name
+               minus a _count/_sum/_total suffix. *)
+            let strip suf n =
+              let ls = String.length suf and ln = String.length n in
+              if ln > ls && String.sub n (ln - ls) ls = suf then
+                Some (String.sub n 0 (ln - ls))
+              else None
+            in
+            let fam, suffix =
+              match Hashtbl.find_opt types name with
+              | Some _ -> (name, "")
+              | None -> (
+                  match
+                    List.find_map
+                      (fun suf ->
+                        match strip suf name with
+                        | Some base when Hashtbl.mem types base ->
+                            Some (base, suf)
+                        | _ -> None)
+                      [ "_count"; "_sum"; "_total" ]
+                  with
+                  | Some (base, suf) -> (base, suf)
+                  | None -> fail "block %d: sample %S without a TYPE" bi name)
+            in
+            (match Hashtbl.find_opt types fam with
+            | Some "counter" ->
+                if suffix <> "_total" then
+                  fail "block %d: counter sample %S must end in _total" bi
+                    name
+            | Some "summary" ->
+                if suffix = "_total" then
+                  fail "block %d: summary sample %S ends in _total" bi name;
+                if suffix = "" then begin
+                  match List.assoc_opt "quantile" labels with
+                  | None ->
+                      fail
+                        "block %d: bare summary sample %S without a quantile \
+                         label"
+                        bi name
+                  | Some q ->
+                      let q = String.sub q 1 (String.length q - 2) in
+                      let qv =
+                        match float_of_string_opt q with
+                        | Some qv when qv >= 0. && qv <= 1. -> qv
+                        | _ -> fail "block %d: bad quantile %S on %s" bi q fam
+                      in
+                      let key =
+                        ( fam,
+                          List.filter (fun (k, _) -> k <> "quantile") labels )
+                      in
+                      let prev =
+                        Option.value ~default:[]
+                          (Hashtbl.find_opt quantiles key)
+                      in
+                      Hashtbl.replace quantiles key ((qv, v) :: prev)
+                end
+            | Some _ (* gauge *) | None -> ());
+            if name = "gcsim_virtual_time_ns" then vtime := Some v
+          end)
+        block;
+      (match !vtime with
+      | None -> fail "block %d: missing gcsim_virtual_time_ns" bi
+      | Some v ->
+          if v < !last_vtime then
+            fail "block %d: virtual time went backwards (%.0f after %.0f)" bi
+              v !last_vtime;
+          last_vtime := v);
+      Hashtbl.iter
+        (fun (fam, _) qs ->
+          let qs = List.sort compare qs in
+          ignore
+            (List.fold_left
+               (fun acc (q, v) ->
+                 (match acc with
+                 | Some (pq, pv) when v < pv ->
+                     fail
+                       "block %d: %s quantile %.3f value below quantile %.3f"
+                       bi fam q pq
+                 | _ -> ());
+                 Some (q, v))
+               None qs))
+        quantiles)
+    blocks;
+  Printf.printf "%s: OK (%d exposition block(s), %d samples, virtual time \
+                 non-decreasing)\n"
+    path (List.length blocks) !n_samples
+
 (* BENCH_7.json: a --server rate sweep.  The snapshot part must be a
    valid metrics export with request latencies recorded; the sweep part
    must have ordered percentiles per rate and a GC-bound rate — the
@@ -119,13 +343,43 @@ let validate_server path body =
             fail "rate %s: percentiles out of order" name;
           if num r "pause_p99_ns" < 0. then fail "rate %s: bad pause" name;
           let s = num r "gc_overlap_share_slow" in
-          if s < 0. || s > 1. then fail "rate %s: share out of [0,1]" name)
+          if s < 0. || s > 1. then fail "rate %s: share out of [0,1]" name;
+          if num r "slo_burn_rate" < 0. then fail "rate %s: bad burn rate" name;
+          let wr = num r "slo_window_requests" in
+          let ov = num r "slo_over_threshold" in
+          if wr < 0. || ov < 0. || ov > wr then
+            fail "rate %s: inconsistent SLO window counts" name)
         rates;
       (match J.member "gc_bound_rate" j with
       | Some (J.Num r) when r > 0. -> ()
       | _ -> fail "no GC-bound rate: the sweep never stressed the collector");
-      Printf.printf "%s: OK (server sweep, %d rates, GC-bound)\n" path
-        (List.length rates)
+      (* The declared objective and its gate: attained at the lightest
+         swept rate, burning at the heaviest. *)
+      (match J.member "slo" j with
+      | Some (J.Obj _ as o) ->
+          let snum k =
+            match J.member k o with
+            | Some (J.Num v) -> v
+            | _ -> fail "slo object without numeric %s" k
+          in
+          let p = snum "percentile" in
+          if p <= 0. || p >= 1. then fail "slo percentile out of (0,1)";
+          if snum "threshold_ns" <= 0. then fail "non-positive slo threshold";
+          if snum "epochs" < 1. then fail "non-positive slo window"
+      | _ -> fail "missing slo declaration");
+      let burns =
+        List.map (fun (_, r) -> num r "slo_burn_rate") rates
+      in
+      (match burns with
+      | light :: _ ->
+          if light > 1. then
+            fail "SLO already burning at the lightest rate (burn %.2f)" light;
+          let heavy = List.nth burns (List.length burns - 1) in
+          if heavy <= 1. then
+            fail "SLO not burning at the heaviest rate (burn %.2f)" heavy
+      | [] -> ());
+      Printf.printf "%s: OK (server sweep, %d rates, GC-bound, SLO gate)\n"
+        path (List.length rates)
 
 (* BENCH_8.json: the STW-vs-concurrent global-collection comparison.
    Both modes must have run real cycles over identical programs
@@ -308,6 +562,7 @@ let () =
     | [| _; p |] -> (p, `Metrics false)
     | [| _; p; "--require-all-kinds" |] -> (p, `Metrics true)
     | [| _; p; "--chrome" |] -> (p, `Chrome)
+    | [| _; p; "--openmetrics" |] -> (p, `Openmetrics)
     | [| _; p; "--server" |] -> (p, `Server)
     | [| _; p; "--global" |] -> (p, `Global)
     | [| _; p; "--compare"; b |] -> (p, `Compare (b, 0.10))
@@ -320,7 +575,8 @@ let () =
     | _ ->
         prerr_endline
           "usage: validate_metrics.exe FILE [--require-all-kinds | --chrome \
-           | --server | --global | --compare BASELINE [--tolerance T]]";
+           | --openmetrics | --server | --global | --compare BASELINE \
+           [--tolerance T]]";
         exit 2
   in
   let body =
@@ -334,6 +590,7 @@ let () =
   in
   match mode with
   | `Chrome -> validate_chrome path body
+  | `Openmetrics -> validate_openmetrics path body
   | `Server -> validate_server path body
   | `Global -> validate_global path body
   | `Compare (base, tolerance) -> validate_compare path body base ~tolerance
